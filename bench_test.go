@@ -1,0 +1,615 @@
+// Benchmarks regenerating the paper's evaluation (§VI), one per figure,
+// plus micro-benchmarks of the framework's building blocks and ablation
+// benches for the design choices called out in DESIGN.md.
+//
+// Figure benches report their headline series values through
+// b.ReportMetric (custom units), so `go test -bench=. -benchmem` prints
+// the reproduced numbers alongside timing. Benchmark scale follows
+// experiments.Default() — the paper's sweep scaled to benchmark time;
+// run `rideshare experiments -scale paper` for full-scale series.
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/bound"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/geo"
+	"repro/internal/lp"
+	"repro/internal/matching"
+	"repro/internal/model"
+	"repro/internal/offline"
+	"repro/internal/online"
+	"repro/internal/pricing"
+	"repro/internal/roadnet"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/taskmap"
+	"repro/internal/trace"
+)
+
+// benchProblem builds the standard bench-scale market once per call.
+func benchProblem(b *testing.B, seed int64, tasks, drivers int, dm trace.DriverModel) *core.Problem {
+	b.Helper()
+	cfg := trace.NewConfig(seed, tasks, drivers, dm)
+	tr := trace.NewGenerator(cfg).Generate(nil)
+	p, err := core.NewProblem(cfg.Market, tr.Drivers, tr.Tasks)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+// --- Figure 3 & 4: trace distributions -------------------------------
+
+func BenchmarkFig3TravelTimeDistribution(b *testing.B) {
+	cfg := experiments.Default()
+	var fig experiments.Figure
+	for i := 0; i < b.N; i++ {
+		fig = experiments.Fig3TravelTime(cfg)
+	}
+	if len(fig.Series) > 0 {
+		xs := fig.Series[0].X
+		b.ReportMetric(xs[len(xs)-1], "max-min(tt)")
+	}
+}
+
+func BenchmarkFig4TravelDistanceDistribution(b *testing.B) {
+	cfg := experiments.Default()
+	var fig experiments.Figure
+	for i := 0; i < b.N; i++ {
+		fig = experiments.Fig4TravelDistance(cfg)
+	}
+	if len(fig.Series) > 0 {
+		xs := fig.Series[0].X
+		b.ReportMetric(xs[len(xs)-1], "max-km")
+	}
+}
+
+// --- Figure 5: performance ratio vs driver count ---------------------
+
+func benchmarkFig5(b *testing.B, dm trace.DriverModel) {
+	cfg := experiments.Default()
+	cfg.Sweep = []int{20, 60, 120} // bench-speed subset of the sweep
+	var fig experiments.Figure
+	for i := 0; i < b.N; i++ {
+		var err error
+		fig, err = experiments.Fig5PerformanceRatio(cfg, dm)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Report the final (densest-market) ratio of each curve.
+	for _, s := range fig.Series {
+		b.ReportMetric(s.Y[len(s.Y)-1], "ratio-"+s.Name)
+	}
+}
+
+func BenchmarkFig5PerformanceRatioHitchhiking(b *testing.B) {
+	benchmarkFig5(b, trace.Hitchhiking)
+}
+
+func BenchmarkFig5PerformanceRatioHomeWorkHome(b *testing.B) {
+	benchmarkFig5(b, trace.HomeWorkHome)
+}
+
+// --- Figures 6–9: market-density study -------------------------------
+
+func densitySweep(b *testing.B) experiments.DensityMetrics {
+	b.Helper()
+	cfg := experiments.Default()
+	var m experiments.DensityMetrics
+	for i := 0; i < b.N; i++ {
+		var err error
+		m, err = experiments.RunDensitySweep(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return m
+}
+
+func BenchmarkFig6TotalRevenue(b *testing.B) {
+	m := densitySweep(b)
+	last := len(m.Drivers) - 1
+	b.ReportMetric(m.Revenue[0][0], "rev-sparse")
+	b.ReportMetric(m.Revenue[0][last], "rev-dense")
+}
+
+func BenchmarkFig7ServeRate(b *testing.B) {
+	m := densitySweep(b)
+	last := len(m.Drivers) - 1
+	b.ReportMetric(m.ServeRate[0][0], "serve-sparse")
+	b.ReportMetric(m.ServeRate[0][last], "serve-dense")
+}
+
+func BenchmarkFig8AvgRevenuePerDriver(b *testing.B) {
+	m := densitySweep(b)
+	last := len(m.Drivers) - 1
+	b.ReportMetric(m.AvgRev[0][0], "avgrev-sparse")
+	b.ReportMetric(m.AvgRev[0][last], "avgrev-dense")
+}
+
+func BenchmarkFig9AvgTasksPerDriver(b *testing.B) {
+	m := densitySweep(b)
+	last := len(m.Drivers) - 1
+	b.ReportMetric(m.AvgTasks[0][0], "avgtasks-sparse")
+	b.ReportMetric(m.AvgTasks[0][last], "avgtasks-dense")
+}
+
+// --- §VI-B small-scale exact comparison (CPLEX role) -----------------
+
+func BenchmarkExactSmallScale(b *testing.B) {
+	// The paper's n ≤ 50, m ≤ 100 exact regime, shrunk to B&B-friendly
+	// size: exact Z* via the arc-formulation MILP.
+	p := benchProblem(b, 1, 12, 4, trace.Hitchhiking)
+	g := p.Graph()
+	var gap float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ex, err := bound.ExactMILP(g, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		greedy := offline.Greedy(g).TotalProfit
+		gap = greedy / ex.Objective
+	}
+	b.ReportMetric(gap, "greedy/Z*")
+}
+
+// --- Fig. 2 / Theorem 1: tightness instance --------------------------
+
+func BenchmarkTightnessInstance(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		mkt, drivers, tasks, err := offline.TightnessInstance(6, 0.01)
+		if err != nil {
+			b.Fatal(err)
+		}
+		g, err := taskmap.New(mkt, drivers, tasks)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ga := offline.Greedy(g)
+		ex, err := bound.BruteForce(g, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = ga.TotalProfit / ex.Objective
+	}
+	b.ReportMetric(ratio, "GA/OPT")
+}
+
+// --- Micro-benchmarks: substrates ------------------------------------
+
+func BenchmarkTaskMapConstruction(b *testing.B) {
+	cfg := trace.NewConfig(3, 250, 40, trace.Hitchhiking)
+	tr := trace.NewGenerator(cfg).Generate(nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := taskmap.New(cfg.Market, tr.Drivers, tr.Tasks); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLongestPathDP(b *testing.B) {
+	p := benchProblem(b, 3, 250, 40, trace.Hitchhiking)
+	g := p.Graph()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.BestPath(i%g.N(), nil, nil)
+	}
+}
+
+func BenchmarkSimplexMediumLP(b *testing.B) {
+	// A 60x120 random-ish dense LP, the master-LP shape.
+	build := func() *lp.Problem {
+		p := lp.NewProblem(120)
+		for j := 0; j < 120; j++ {
+			p.SetObjective(j, float64((j*37)%11)-3)
+		}
+		for i := 0; i < 60; i++ {
+			entries := make([]lp.Entry, 0, 12)
+			for k := 0; k < 12; k++ {
+				col := (i*13 + k*7) % 120
+				entries = append(entries, lp.Entry{Col: col, Val: float64((i+k)%5) + 0.5})
+			}
+			p.AddRow(lp.LE, float64(5+i%7), entries...)
+		}
+		return p
+	}
+	prob := build()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lp.Solve(prob); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkColumnGenerationSmall(b *testing.B) {
+	p := benchProblem(b, 5, 40, 8, trace.Hitchhiking)
+	g := p.Graph()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := bound.ColumnGeneration(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLagrangianBound(b *testing.B) {
+	p := benchProblem(b, 5, 250, 60, trace.Hitchhiking)
+	g := p.Graph()
+	lb := offline.Greedy(g).TotalProfit
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bound.Lagrangian(g, lb, 60)
+	}
+}
+
+func BenchmarkOnlineMaxMargin(b *testing.B) {
+	cfg := trace.NewConfig(7, 250, 40, trace.Hitchhiking)
+	tr := trace.NewGenerator(cfg).Generate(nil)
+	eng, err := sim.New(cfg.Market, tr.Drivers, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Run(tr.Tasks, online.MaxMargin{})
+	}
+}
+
+func BenchmarkOnlineNearest(b *testing.B) {
+	cfg := trace.NewConfig(7, 250, 40, trace.Hitchhiking)
+	tr := trace.NewGenerator(cfg).Generate(nil)
+	eng, err := sim.New(cfg.Market, tr.Drivers, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Run(tr.Tasks, online.Nearest{})
+	}
+}
+
+func BenchmarkSurgePricer(b *testing.B) {
+	m := model.DefaultMarket()
+	grid := geo.NewGrid(geo.PortoBox, 8, 8)
+	s := pricing.NewSurge(pricing.NewLinear(m, 1), grid, 3)
+	tk := model.Task{Source: geo.PortoBox.Center(), Dest: geo.PortoBox.Lerp(0.8, 0.8),
+		StartBy: 600, EndBy: 1800}
+	s.ObserveDemand(tk.Source, 5)
+	s.ObserveSupply(tk.Source, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Price(tk)
+	}
+}
+
+func BenchmarkTraceGeneration(b *testing.B) {
+	cfg := trace.NewConfig(11, 1000, 100, trace.Hitchhiking)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		trace.NewGenerator(cfg).Generate(nil)
+	}
+}
+
+func BenchmarkPowerLawFit(b *testing.B) {
+	cfg := trace.NewConfig(13, 5000, 1, trace.Hitchhiking)
+	tasks := trace.NewGenerator(cfg).GenerateTasks()
+	xs := make([]float64, len(tasks))
+	for i, tk := range tasks {
+		xs[i] = cfg.Market.Dist(tk.Source, tk.Dest)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := stats.FitPowerLaw(xs, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablations (DESIGN.md design choices) ----------------------------
+
+// BenchmarkAblationGreedyLazy vs ...GreedyNaive quantifies the lazy
+// priority-queue evaluation against the textbook O(N²M²) loop on the
+// same instance (identical output, see offline tests).
+func BenchmarkAblationGreedyLazy(b *testing.B) {
+	p := benchProblem(b, 9, 250, 60, trace.Hitchhiking)
+	g := p.Graph()
+	var rec int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec = offline.Greedy(g).Recomputes
+	}
+	b.ReportMetric(float64(rec), "dp-calls")
+}
+
+func BenchmarkAblationGreedyNaive(b *testing.B) {
+	p := benchProblem(b, 9, 250, 60, trace.Hitchhiking)
+	g := p.Graph()
+	var rec int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec = offline.GreedyNaive(g).Recomputes
+	}
+	b.ReportMetric(float64(rec), "dp-calls")
+}
+
+// BenchmarkAblationDeadlineVsRealTime quantifies how much extra capacity
+// the online market gains when drivers free up at real finish times
+// (§III-B) instead of deadlines (Algorithms 3–4 as written).
+func BenchmarkAblationDeadlineAvailability(b *testing.B) {
+	benchmarkAvailability(b, false)
+}
+
+func BenchmarkAblationRealTimeAvailability(b *testing.B) {
+	benchmarkAvailability(b, true)
+}
+
+func benchmarkAvailability(b *testing.B, realTime bool) {
+	cfg := trace.NewConfig(15, 250, 40, trace.Hitchhiking)
+	tr := trace.NewGenerator(cfg).Generate(nil)
+	eng, err := sim.New(cfg.Market, tr.Drivers, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng.RealTime = realTime
+	var profit float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		profit = eng.Run(tr.Tasks, online.MaxMargin{}).TotalProfit
+	}
+	b.ReportMetric(profit, "profit")
+}
+
+// BenchmarkAblationByValueOrdering measures the offline sorted variant
+// of maxMargin (§V-B) against arrival-order processing.
+func BenchmarkAblationByValueOrdering(b *testing.B) {
+	cfg := trace.NewConfig(17, 250, 40, trace.Hitchhiking)
+	tr := trace.NewGenerator(cfg).Generate(nil)
+	eng, err := sim.New(cfg.Market, tr.Drivers, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var arrival, byValue float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		arrival = eng.Run(tr.Tasks, online.MaxMargin{}).TotalProfit
+		byValue = eng.RunByValue(tr.Tasks, online.MaxMargin{}).TotalProfit
+	}
+	b.ReportMetric(arrival, "profit-arrival")
+	b.ReportMetric(byValue, "profit-byvalue")
+}
+
+// BenchmarkAblationSurgeVsFlat compares market outcomes under flat and
+// surge pricing on the same demand curve (the paper's §VI-C discussion
+// of congestion control levers).
+func BenchmarkAblationSurgeVsFlat(b *testing.B) {
+	cfg := trace.NewConfig(19, 250, 40, trace.HomeWorkHome)
+	gen := trace.NewGenerator(cfg)
+	flatTrace := gen.Generate(pricing.NewLinear(cfg.Market, 1))
+	surgeTasks := append([]model.Task(nil), flatTrace.Tasks...)
+	grid := geo.NewGrid(cfg.Box, 6, 6)
+	surge := pricing.NewSurge(pricing.NewLinear(cfg.Market, 1), grid, 3)
+	for _, d := range flatTrace.Drivers {
+		surge.ObserveSupply(d.Source, 1)
+	}
+	for i := range surgeTasks {
+		surge.ObserveDemand(surgeTasks[i].Source, 1)
+		surgeTasks[i].Price = surge.Price(surgeTasks[i])
+		surgeTasks[i].WTP = surgeTasks[i].Price * 1.5
+	}
+	eng, err := sim.New(cfg.Market, flatTrace.Drivers, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var flat, surged float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		flat = eng.Run(flatTrace.Tasks, online.MaxMargin{}).TotalProfit
+		surged = eng.Run(surgeTasks, online.MaxMargin{}).TotalProfit
+	}
+	b.ReportMetric(flat, "profit-flat")
+	b.ReportMetric(surged, "profit-surge")
+}
+
+// BenchmarkAblationBatchedDispatch compares batched maximum-weight
+// matching dispatch (Hungarian per 30s window) against instant per-task
+// assignment on the same day — the framework's implementation of the
+// paper's "non-heuristic online algorithms" future-work direction.
+func BenchmarkAblationBatchedDispatch(b *testing.B) {
+	cfg := trace.NewConfig(21, 250, 40, trace.Hitchhiking)
+	cfg.PickupWindowMin = 10 * 60 // batching needs notice to breathe
+	cfg.PickupWindowMax = 20 * 60
+	tr := trace.NewGenerator(cfg).Generate(nil)
+	eng, err := sim.New(cfg.Market, tr.Drivers, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var instant, batched float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		instant = eng.Run(tr.Tasks, online.MaxMargin{}).TotalProfit
+		batched = eng.RunBatched(tr.Tasks, 30, sim.BatchHungarian).TotalProfit
+	}
+	b.ReportMetric(instant, "profit-instant")
+	b.ReportMetric(batched, "profit-batched")
+}
+
+func BenchmarkHungarianMatching(b *testing.B) {
+	// Batch-shaped instance: 12 tasks x 40 drivers.
+	w := make([][]float64, 12)
+	for r := range w {
+		w[r] = make([]float64, 40)
+		for c := range w[r] {
+			if (r*41+c*17)%5 == 0 {
+				w[r][c] = matching.Forbidden
+				continue
+			}
+			w[r][c] = float64((r*31+c*13)%23) - 5
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := matching.Hungarian(w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAuctionMatching(b *testing.B) {
+	w := make([][]float64, 12)
+	for r := range w {
+		w[r] = make([]float64, 40)
+		for c := range w[r] {
+			if (r*41+c*17)%5 == 0 {
+				w[r][c] = matching.Forbidden
+				continue
+			}
+			w[r][c] = float64((r*31+c*13)%23) - 5
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := matching.Auction(w, 1e-6); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRoadNetworkRouting(b *testing.B) {
+	g, err := roadnet.GenerateGrid(roadnet.DefaultGridConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	router := roadnet.NewRouter(g, geo.PortoBox, 10)
+	pts := make([]geo.Point, 64)
+	for i := range pts {
+		pts[i] = geo.PortoBox.Lerp(float64(i%8)/8+0.05, float64(i/8)/8+0.05)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		router.Dist(pts[i%64], pts[(i*7+3)%64])
+	}
+}
+
+// BenchmarkAblationRoadVsCrowFly builds the same market under network
+// and straight-line distances and reports the greedy profit gap (the
+// estimation-error story of examples/roadnetwork).
+func BenchmarkAblationRoadVsCrowFly(b *testing.B) {
+	g, err := roadnet.GenerateGrid(roadnet.DefaultGridConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	router := roadnet.NewRouter(g, geo.PortoBox, 10)
+	cfg := trace.NewConfig(23, 150, 25, trace.Hitchhiking)
+	cfg.Market.Dist = router.Dist
+	tr := trace.NewGenerator(cfg).Generate(nil)
+
+	roadP, err := core.NewProblem(cfg.Market, tr.Drivers, tr.Tasks)
+	if err != nil {
+		b.Fatal(err)
+	}
+	crowMkt := cfg.Market
+	crowMkt.Dist = geo.Equirectangular
+	crowP, err := core.NewProblem(crowMkt, tr.Drivers, tr.Tasks)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var road, promised, delivered float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		roadSol := offline.Greedy(roadP.Graph())
+		crowSol := offline.Greedy(crowP.Graph())
+		road = roadSol.TotalProfit
+		promised = crowSol.TotalProfit
+		delivered = 0
+		for _, path := range crowSol.Paths {
+			if pr, err := roadP.Graph().PathProfit(path.Driver, path.Tasks); err == nil {
+				delivered += pr
+			}
+		}
+	}
+	b.ReportMetric(road, "profit-road-aware")
+	b.ReportMetric(promised, "profit-crow-promised")
+	b.ReportMetric(delivered, "profit-crow-delivered")
+}
+
+// BenchmarkAblationReplanDispatch measures rolling-horizon
+// re-optimization (offline greedy re-run at every arrival) against the
+// instant maxMargin heuristic — the strongest online strategy in the
+// framework versus the paper's best heuristic.
+func BenchmarkAblationReplanDispatch(b *testing.B) {
+	cfg := trace.NewConfig(25, 250, 40, trace.Hitchhiking)
+	tr := trace.NewGenerator(cfg).Generate(nil)
+	eng, err := sim.New(cfg.Market, tr.Drivers, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var replan, instant float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		replan = eng.RunReplan(tr.Tasks, 120).TotalProfit
+		instant = eng.Run(tr.Tasks, online.MaxMargin{}).TotalProfit
+	}
+	b.ReportMetric(replan, "profit-replan")
+	b.ReportMetric(instant, "profit-instant")
+}
+
+// --- Extension experiments -------------------------------------------
+
+// BenchmarkExtWelfareGap quantifies §III-E's claim that optimizing
+// drivers' profit (Eq. 4) is "enough": the welfare attained by the
+// profit objective vs the welfare objective.
+func BenchmarkExtWelfareGap(b *testing.B) {
+	cfg := experiments.Default()
+	cfg.Sweep = []int{60}
+	var rows []experiments.WelfareRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.WelfareComparison(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[0].ProfitObjWelfare, "welfare-profit-obj")
+	b.ReportMetric(rows[0].WelfareObjWelfare, "welfare-welfare-obj")
+}
+
+// BenchmarkExtSurgeSweep reports the serve rate and earnings inequality
+// at the extremes of the surge-cap sweep (§VI-C congestion levers).
+func BenchmarkExtSurgeSweep(b *testing.B) {
+	cfg := experiments.Default()
+	var rows []experiments.SurgeRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.SurgeSweep(cfg, 40, []float64{1, 3})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[0].AvgProfit, "avgprofit-flat")
+	b.ReportMetric(rows[1].AvgProfit, "avgprofit-surge3")
+	b.ReportMetric(rows[1].Gini, "gini-surge3")
+}
+
+// BenchmarkExtDispatchComparison lines up all five dispatch strategies.
+func BenchmarkExtDispatchComparison(b *testing.B) {
+	cfg := experiments.Default()
+	var rows []experiments.DispatchRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.DispatchComparison(cfg, 60)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.Ratio, "ratio-"+r.Name[:7])
+	}
+}

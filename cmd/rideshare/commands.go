@@ -1,0 +1,323 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/bound"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/model"
+	"repro/internal/offline"
+	"repro/internal/online"
+	"repro/internal/sim"
+	"repro/internal/taskmap"
+	"repro/internal/trace"
+)
+
+func parseModel(s string) (trace.DriverModel, error) {
+	switch strings.ToLower(s) {
+	case "hitchhiking", "hitch":
+		return trace.Hitchhiking, nil
+	case "home", "home-work-home", "homeworkhome":
+		return trace.HomeWorkHome, nil
+	default:
+		return 0, fmt.Errorf("unknown driver model %q (want hitchhiking or home)", s)
+	}
+}
+
+func cmdGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ContinueOnError)
+	tasks := fs.Int("tasks", 250, "number of customer tasks")
+	drivers := fs.Int("drivers", 50, "number of drivers")
+	modelName := fs.String("model", "hitchhiking", "driver model: hitchhiking or home")
+	seed := fs.Int64("seed", 1, "random seed")
+	out := fs.String("out", "", "output file (default stdout); .json or .csv prefix pair")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	dm, err := parseModel(*modelName)
+	if err != nil {
+		return err
+	}
+	cfg := trace.NewConfig(*seed, *tasks, *drivers, dm)
+	tr := trace.NewGenerator(cfg).Generate(nil)
+
+	if *out == "" {
+		return model.WriteTraceJSON(os.Stdout, tr)
+	}
+	if strings.HasSuffix(*out, ".json") {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := model.WriteTraceJSON(f, tr); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (%d drivers, %d tasks)\n", *out, len(tr.Drivers), len(tr.Tasks))
+		return f.Close()
+	}
+	// CSV pair: <out>_drivers.csv and <out>_tasks.csv.
+	base := strings.TrimSuffix(*out, ".csv")
+	df, err := os.Create(base + "_drivers.csv")
+	if err != nil {
+		return err
+	}
+	defer df.Close()
+	if err := model.WriteDriversCSV(df, tr.Drivers); err != nil {
+		return err
+	}
+	tf, err := os.Create(base + "_tasks.csv")
+	if err != nil {
+		return err
+	}
+	defer tf.Close()
+	if err := model.WriteTasksCSV(tf, tr.Tasks); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s_drivers.csv and %s_tasks.csv\n", base, base)
+	return nil
+}
+
+func loadTrace(path string) (model.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return model.Trace{}, err
+	}
+	defer f.Close()
+	return model.ReadTraceJSON(f)
+}
+
+func cmdSolve(args []string) error {
+	fs := flag.NewFlagSet("solve", flag.ContinueOnError)
+	tracePath := fs.String("trace", "", "trace JSON file (required)")
+	withBound := fs.Bool("bound", false, "also compute the Z*_f upper bound and performance ratio")
+	naive := fs.Bool("naive", false, "use the O(N²M²) reference greedy instead of lazy evaluation")
+	verbose := fs.Bool("v", false, "print each selected task list")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *tracePath == "" {
+		return fmt.Errorf("solve: -trace is required")
+	}
+	tr, err := loadTrace(*tracePath)
+	if err != nil {
+		return err
+	}
+	p, err := core.NewProblem(model.DefaultMarket(), tr.Drivers, tr.Tasks)
+	if err != nil {
+		return err
+	}
+	sol, err := core.GreedySolver{Naive: *naive}.Solve(p)
+	if err != nil {
+		return err
+	}
+	g := p.Graph()
+	fmt.Printf("algorithm       %s\n", sol.Algorithm)
+	fmt.Printf("drivers         %d\n", g.N())
+	fmt.Printf("tasks           %d\n", g.M())
+	fmt.Printf("task-map arcs   %d (diameter %d)\n", g.ArcCount(), g.Diameter())
+	fmt.Printf("served          %d (%.1f%%)\n", sol.Served, 100*float64(sol.Served)/float64(g.M()))
+	fmt.Printf("revenue         %.2f\n", sol.Revenue)
+	fmt.Printf("drivers' profit %.2f\n", sol.Profit)
+	fmt.Printf("social welfare  %.2f\n", sol.Welfare(p))
+	if *withBound {
+		ub := bound.Auto(g, sol.Profit)
+		fmt.Printf("upper bound     %.2f (%s)\n", ub.Bound, ub.Method)
+		fmt.Printf("perf ratio      %.4f\n", core.PerformanceRatio(sol.Profit, ub.Bound))
+	}
+	if *verbose {
+		for _, path := range sol.Paths {
+			fmt.Printf("driver %4d  profit %8.2f  tasks %v\n", path.Driver, path.Profit, path.Tasks)
+		}
+	}
+	return nil
+}
+
+func cmdSimulate(args []string) error {
+	fs := flag.NewFlagSet("simulate", flag.ContinueOnError)
+	tracePath := fs.String("trace", "", "trace JSON file (required)")
+	algo := fs.String("algo", "maxmargin", "dispatcher: maxmargin, nearest, random, batched or replan")
+	byValue := fs.Bool("byvalue", false, "process tasks by descending price (offline variant)")
+	realTime := fs.Bool("realtime", false, "free drivers at real finish times instead of deadlines")
+	batchWindow := fs.Float64("batchwindow", 30, "batch window in seconds (batched dispatcher only)")
+	replanPeriod := fs.Float64("replanperiod", 60, "flush period in seconds (replan dispatcher only)")
+	seed := fs.Int64("seed", 1, "random seed for tie-breaking")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *tracePath == "" {
+		return fmt.Errorf("simulate: -trace is required")
+	}
+	tr, err := loadTrace(*tracePath)
+	if err != nil {
+		return err
+	}
+	eng, err := sim.New(model.DefaultMarket(), tr.Drivers, *seed)
+	if err != nil {
+		return err
+	}
+	eng.RealTime = *realTime
+
+	var res sim.Result
+	name := ""
+	switch strings.ToLower(*algo) {
+	case "batched":
+		res = eng.RunBatched(tr.Tasks, *batchWindow, sim.BatchHungarian)
+		name = fmt.Sprintf("%v window=%gs", sim.BatchHungarian, *batchWindow)
+	case "replan":
+		res = eng.RunReplan(tr.Tasks, *replanPeriod)
+		name = fmt.Sprintf("replan period=%gs", *replanPeriod)
+	default:
+		var d sim.Dispatcher
+		switch strings.ToLower(*algo) {
+		case "maxmargin":
+			d = online.MaxMargin{}
+		case "nearest":
+			d = online.Nearest{}
+		case "random":
+			d = online.Random{}
+		default:
+			return fmt.Errorf("simulate: unknown dispatcher %q", *algo)
+		}
+		if *byValue {
+			res = eng.RunByValue(tr.Tasks, d)
+		} else {
+			res = eng.Run(tr.Tasks, d)
+		}
+		name = d.Name()
+	}
+	fmt.Printf("dispatcher        %s\n", name)
+	fmt.Printf("served            %d / %d (%.1f%%)\n", res.Served, res.Served+res.Rejected, 100*res.ServeRate())
+	fmt.Printf("revenue           %.2f\n", res.Revenue)
+	fmt.Printf("drivers' profit   %.2f\n", res.TotalProfit)
+	fmt.Printf("avg revenue/drv   %.2f\n", res.AvgRevenuePerDriver())
+	fmt.Printf("avg tasks/drv     %.2f\n", res.AvgTasksPerDriver())
+	return nil
+}
+
+func cmdExperiments(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fig := fs.String("fig", "all", "figure to regenerate: 3-9, welfare, surge, dispatch, or all")
+	scale := fs.String("scale", "bench", "bench (scaled-down, fast) or paper (full §VI scale)")
+	seed := fs.Int64("seed", 1, "trace seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var cfg experiments.Config
+	switch *scale {
+	case "bench":
+		cfg = experiments.Default()
+	case "paper":
+		cfg = experiments.Paper()
+	default:
+		return fmt.Errorf("experiments: unknown scale %q", *scale)
+	}
+	cfg.Seed = *seed
+	return runExperiments(os.Stdout, cfg, *fig)
+}
+
+func runExperiments(w io.Writer, cfg experiments.Config, fig string) error {
+	want := func(id string) bool { return fig == "all" || fig == id }
+
+	if want("3") {
+		if err := experiments.RenderText(w, experiments.Fig3TravelTime(cfg)); err != nil {
+			return err
+		}
+	}
+	if want("4") {
+		if err := experiments.RenderText(w, experiments.Fig4TravelDistance(cfg)); err != nil {
+			return err
+		}
+	}
+	if want("5") {
+		for _, dm := range []trace.DriverModel{trace.Hitchhiking, trace.HomeWorkHome} {
+			f, err := experiments.Fig5PerformanceRatio(cfg, dm)
+			if err != nil {
+				return err
+			}
+			if err := experiments.RenderText(w, f); err != nil {
+				return err
+			}
+		}
+	}
+	if want("6") || want("7") || want("8") || want("9") {
+		m, err := experiments.RunDensitySweep(cfg)
+		if err != nil {
+			return err
+		}
+		for _, f := range m.Figures() {
+			if !want(strings.TrimPrefix(f.ID, "fig")) {
+				continue
+			}
+			if err := experiments.RenderText(w, f); err != nil {
+				return err
+			}
+		}
+	}
+	if want("welfare") {
+		rows, err := experiments.WelfareComparison(cfg)
+		if err != nil {
+			return err
+		}
+		if err := experiments.RenderText(w, experiments.WelfareFigure(rows)); err != nil {
+			return err
+		}
+	}
+	if want("surge") {
+		mid := cfg.Sweep[len(cfg.Sweep)/2]
+		rows, err := experiments.SurgeSweep(cfg, mid, []float64{1, 1.25, 1.5, 2, 2.5, 3})
+		if err != nil {
+			return err
+		}
+		if err := experiments.RenderText(w, experiments.SurgeFigure(rows)); err != nil {
+			return err
+		}
+	}
+	if want("dispatch") {
+		mid := cfg.Sweep[len(cfg.Sweep)/2]
+		rows, err := experiments.DispatchComparison(cfg, mid)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "# ext-dispatch — Dispatch strategies vs the relaxation bound (%d drivers)\n", mid)
+		for _, r := range rows {
+			fmt.Fprintf(w, "%-24s profit %8.2f  revenue %8.2f  serve %5.1f%%  ratio %.4f\n",
+				r.Name, r.Profit, r.Revenue, 100*r.ServeRate, r.Ratio)
+		}
+	}
+	return nil
+}
+
+func cmdTightness(args []string) error {
+	fs := flag.NewFlagSet("tightness", flag.ContinueOnError)
+	d := fs.Int("d", 5, "task-map diameter D of the adversarial instance")
+	eps := fs.Float64("eps", 0.01, "profit gap ε of the adversarial instance")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	mkt, drivers, tasks, err := offline.TightnessInstance(*d, *eps)
+	if err != nil {
+		return err
+	}
+	g, err := taskmap.New(mkt, drivers, tasks)
+	if err != nil {
+		return err
+	}
+	ga := offline.Greedy(g)
+	exact, err := bound.BruteForce(g, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Fig. 2 adversarial instance: D=%d, ε=%g\n", *d, *eps)
+	fmt.Printf("greedy (GA) profit  %.6f\n", ga.TotalProfit)
+	fmt.Printf("optimal profit      %.6f  (= (D+1)(1−ε) = %.6f)\n",
+		exact.Objective, float64(*d+1)*(1-*eps))
+	fmt.Printf("GA / OPT            %.6f\n", ga.TotalProfit/exact.Objective)
+	fmt.Printf("1/(D+1) bound       %.6f  (Theorem 1: the bound is tight)\n", 1/float64(*d+1))
+	return nil
+}

@@ -1,0 +1,159 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/model"
+	"repro/internal/trace"
+)
+
+func TestParseModel(t *testing.T) {
+	cases := []struct {
+		in   string
+		want trace.DriverModel
+		ok   bool
+	}{
+		{"hitchhiking", trace.Hitchhiking, true},
+		{"hitch", trace.Hitchhiking, true},
+		{"HOME", trace.HomeWorkHome, true},
+		{"home-work-home", trace.HomeWorkHome, true},
+		{"uber", 0, false},
+	}
+	for _, tc := range cases {
+		got, err := parseModel(tc.in)
+		if tc.ok && (err != nil || got != tc.want) {
+			t.Errorf("parseModel(%q) = %v, %v", tc.in, got, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("parseModel(%q) accepted", tc.in)
+		}
+	}
+}
+
+func TestCmdGenJSONAndSolveAndSimulate(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "day.json")
+	if err := cmdGen([]string{"-tasks", "40", "-drivers", "8", "-seed", "3", "-out", out}); err != nil {
+		t.Fatalf("gen: %v", err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := model.ReadTraceJSON(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Tasks) != 40 || len(tr.Drivers) != 8 {
+		t.Fatalf("trace sizes %d/%d", len(tr.Tasks), len(tr.Drivers))
+	}
+
+	if err := cmdSolve([]string{"-trace", out, "-bound", "-v"}); err != nil {
+		t.Fatalf("solve: %v", err)
+	}
+	for _, algo := range []string{"maxmargin", "nearest", "random", "batched"} {
+		if err := cmdSimulate([]string{"-trace", out, "-algo", algo}); err != nil {
+			t.Fatalf("simulate %s: %v", algo, err)
+		}
+	}
+	if err := cmdSimulate([]string{"-trace", out, "-algo", "maxmargin", "-byvalue", "-realtime"}); err != nil {
+		t.Fatalf("simulate flags: %v", err)
+	}
+}
+
+func TestCmdGenCSV(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "day.csv")
+	if err := cmdGen([]string{"-tasks", "10", "-drivers", "3", "-out", base}); err != nil {
+		t.Fatalf("gen csv: %v", err)
+	}
+	df, err := os.Open(strings.TrimSuffix(base, ".csv") + "_drivers.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer df.Close()
+	drivers, err := model.ReadDriversCSV(df)
+	if err != nil || len(drivers) != 3 {
+		t.Fatalf("drivers csv: %v, %d", err, len(drivers))
+	}
+	tf, err := os.Open(strings.TrimSuffix(base, ".csv") + "_tasks.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tf.Close()
+	tasks, err := model.ReadTasksCSV(tf)
+	if err != nil || len(tasks) != 10 {
+		t.Fatalf("tasks csv: %v, %d", err, len(tasks))
+	}
+}
+
+func TestCmdErrors(t *testing.T) {
+	if err := cmdSolve(nil); err == nil {
+		t.Error("solve without -trace accepted")
+	}
+	if err := cmdSimulate(nil); err == nil {
+		t.Error("simulate without -trace accepted")
+	}
+	if err := cmdSimulate([]string{"-trace", "/nonexistent.json"}); err == nil {
+		t.Error("missing trace file accepted")
+	}
+	if err := cmdGen([]string{"-model", "teleportation"}); err == nil {
+		t.Error("unknown model accepted")
+	}
+	if err := cmdExperiments([]string{"-scale", "galactic"}); err == nil {
+		t.Error("unknown scale accepted")
+	}
+	if err := cmdTightness([]string{"-d", "1"}); err == nil {
+		t.Error("D=1 tightness accepted")
+	}
+}
+
+func TestCmdTightness(t *testing.T) {
+	if err := cmdTightness([]string{"-d", "3", "-eps", "0.05"}); err != nil {
+		t.Fatalf("tightness: %v", err)
+	}
+}
+
+func TestRunExperimentsRendersRequestedFigures(t *testing.T) {
+	cfg := experiments.Config{
+		Seed: 1, Tasks: 40, Sweep: []int{5, 10},
+		BoundIters: 20, DistSamples: 500,
+	}
+	var buf bytes.Buffer
+	if err := runExperiments(&buf, cfg, "3"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "fig3") {
+		t.Errorf("fig3 missing:\n%s", out)
+	}
+	if strings.Contains(out, "fig5") {
+		t.Errorf("fig5 rendered though only fig3 requested")
+	}
+
+	buf.Reset()
+	if err := runExperiments(&buf, cfg, "7"); err != nil {
+		t.Fatal(err)
+	}
+	out = buf.String()
+	if !strings.Contains(out, "fig7") || strings.Contains(out, "fig6") {
+		t.Errorf("density figure filtering broken:\n%s", out)
+	}
+
+	buf.Reset()
+	if err := runExperiments(&buf, cfg, "all"); err != nil {
+		t.Fatal(err)
+	}
+	out = buf.String()
+	for _, id := range []string{"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9"} {
+		if !strings.Contains(out, id) {
+			t.Errorf("%s missing from -fig all output", id)
+		}
+	}
+}

@@ -1,0 +1,62 @@
+// Command rideshare is the CLI front end of the ride-sharing market
+// optimization framework. Subcommands:
+//
+//	gen          generate a synthetic Porto-like trace (CSV or JSON)
+//	solve        run the offline greedy algorithm on a trace
+//	simulate     run an online dispatcher over a trace
+//	experiments  regenerate the paper's evaluation figures (3–9)
+//	tightness    demonstrate the greedy algorithm's tight 1/(D+1) bound
+//
+// Run `rideshare <subcommand> -h` for per-command flags.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "gen":
+		err = cmdGen(os.Args[2:])
+	case "solve":
+		err = cmdSolve(os.Args[2:])
+	case "simulate":
+		err = cmdSimulate(os.Args[2:])
+	case "experiments":
+		err = cmdExperiments(os.Args[2:])
+	case "tightness":
+		err = cmdTightness(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "rideshare: unknown subcommand %q\n\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		if err == flag.ErrHelp {
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "rideshare: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `rideshare — online ride-sharing market optimization framework
+
+Usage:
+  rideshare gen         -tasks N -drivers N [-model hitchhiking|home] [-seed S] [-out trace.json]
+  rideshare solve       -trace trace.json [-bound] [-naive]
+  rideshare simulate    -trace trace.json [-algo maxmargin|nearest|random] [-byvalue] [-realtime]
+  rideshare experiments [-fig 3|4|5|6|7|8|9|all] [-scale bench|paper] [-seed S]
+  rideshare tightness   [-d D] [-eps E]
+`)
+}

@@ -1,0 +1,13 @@
+// Package repro is a from-scratch Go reproduction of "An Optimization
+// Framework For Online Ride-sharing Markets" (Jia, Xu, Liu — ICDCS
+// 2017): a generalized two-sided market model for taxi and delivery
+// platforms, an offline greedy algorithm for the maximum-value
+// node-disjoint-paths formulation with a tight 1/(D+1) approximation
+// ratio, two online dispatch heuristics, and a trace-driven evaluation
+// harness that regenerates every figure of the paper's §VI.
+//
+// The implementation lives under internal/ (see DESIGN.md for the module
+// map); cmd/rideshare is the CLI front end and examples/ contains
+// runnable scenarios. The benchmarks in this package regenerate the
+// paper's tables and figures — see EXPERIMENTS.md.
+package repro

@@ -1,0 +1,59 @@
+// Quickstart: generate a small synthetic market, run the offline greedy
+// algorithm and both online heuristics against it, and compare everyone
+// with the LP-relaxation upper bound Z*_f.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/bound"
+	"repro/internal/core"
+	"repro/internal/online"
+	"repro/internal/trace"
+)
+
+func main() {
+	// 1. Generate one synthetic day of the Porto market: 120 orders,
+	//    20 commuting ("hitchhiking") drivers, default surge-free fares.
+	cfg := trace.NewConfig(42, 120, 20, trace.Hitchhiking)
+	tr := trace.NewGenerator(cfg).Generate(nil)
+
+	// 2. Bundle it into an optimization problem.
+	problem, err := core.NewProblem(cfg.Market, tr.Drivers, tr.Tasks)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g := problem.Graph()
+	fmt.Printf("market: %d drivers, %d tasks, %d task-map arcs, diameter %d\n",
+		g.N(), g.M(), g.ArcCount(), g.Diameter())
+
+	// 3. Solve offline (Algorithm 1) and online (Algorithms 3 and 4).
+	solvers := []core.Solver{
+		core.GreedySolver{},
+		core.OnlineSolver{Dispatcher: online.MaxMargin{}, Seed: 1},
+		core.OnlineSolver{Dispatcher: online.Nearest{}, Seed: 1},
+	}
+	var sols []core.Solution
+	for _, s := range solvers {
+		sol, err := s.Solve(problem)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sols = append(sols, sol)
+	}
+
+	// 4. Compute the upper bound Z*_f and report performance ratios.
+	ub := bound.Auto(g, sols[0].Profit)
+	fmt.Printf("upper bound Z*_f = %.2f (%s)\n\n", ub.Bound, ub.Method)
+	fmt.Printf("%-12s %8s %8s %8s %8s\n", "algorithm", "profit", "revenue", "served", "ratio")
+	for _, sol := range sols {
+		fmt.Printf("%-12s %8.2f %8.2f %8d %8.4f\n",
+			sol.Algorithm, sol.Profit, sol.Revenue, sol.Served,
+			core.PerformanceRatio(sol.Profit, ub.Bound))
+	}
+}

@@ -1,0 +1,230 @@
+package bound
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/offline"
+	"repro/internal/taskmap"
+	"repro/internal/trace"
+)
+
+func buildGraph(t *testing.T, seed int64, tasks, drivers int, dm trace.DriverModel) *taskmap.Graph {
+	t.Helper()
+	cfg := trace.NewConfig(seed, tasks, drivers, dm)
+	tr := trace.NewGenerator(cfg).Generate(nil)
+	g, err := taskmap.New(cfg.Market, tr.Drivers, tr.Tasks)
+	if err != nil {
+		t.Fatalf("taskmap.New: %v", err)
+	}
+	return g
+}
+
+func TestColumnGenerationDominatesExact(t *testing.T) {
+	// Z*_f ≥ Z* on every instance (LP relaxation bound).
+	for seed := int64(0); seed < 5; seed++ {
+		g := buildGraph(t, seed, 12, 3, trace.Hitchhiking)
+		cg, _, err := ColumnGeneration(g)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		exact, err := BruteForce(g, 0)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if cg.Bound < exact.Objective-1e-6 {
+			t.Errorf("seed %d: Z*_f = %.6f below Z* = %.6f", seed, cg.Bound, exact.Objective)
+		}
+	}
+}
+
+func TestColumnGenerationTightWhenLPIntegral(t *testing.T) {
+	// With a single driver the path polytope is integral: Z*_f == Z*.
+	for seed := int64(0); seed < 5; seed++ {
+		g := buildGraph(t, seed, 10, 1, trace.Hitchhiking)
+		cg, _, err := ColumnGeneration(g)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		best := g.BestPath(0, nil, nil)
+		want := math.Max(0, best.Profit)
+		if math.Abs(cg.Bound-want) > 1e-6 {
+			t.Errorf("seed %d: single-driver Z*_f = %.6f, best path = %.6f", seed, cg.Bound, want)
+		}
+	}
+}
+
+func TestColumnGenerationReturnsNonNegativeDuals(t *testing.T) {
+	g := buildGraph(t, 2, 20, 4, trace.Hitchhiking)
+	_, lambda, err := ColumnGeneration(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lambda) != g.M() {
+		t.Fatalf("lambda length %d, want %d", len(lambda), g.M())
+	}
+	for j, l := range lambda {
+		if l < 0 {
+			t.Fatalf("λ[%d] = %g < 0", j, l)
+		}
+	}
+}
+
+func TestColumnGenerationEmptyInstance(t *testing.T) {
+	g := buildGraph(t, 1, 5, 0, trace.Hitchhiking)
+	r, _, err := ColumnGeneration(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Bound != 0 {
+		t.Fatalf("bound %g for empty instance, want 0", r.Bound)
+	}
+}
+
+func TestLagrangianDominatesColumnGeneration(t *testing.T) {
+	// L(λ) ≥ Z*_f for every λ, so the subgradient bound can never fall
+	// below the exact LP optimum.
+	for seed := int64(0); seed < 4; seed++ {
+		g := buildGraph(t, seed, 25, 5, trace.Hitchhiking)
+		cg, _, err := ColumnGeneration(g)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		greedy := offline.Greedy(g).TotalProfit
+		lag := Lagrangian(g, greedy, 150)
+		if lag.Bound < cg.Bound-1e-6 {
+			t.Errorf("seed %d: Lagrangian %.6f below Z*_f %.6f", seed, lag.Bound, cg.Bound)
+		}
+		// And it should be reasonably tight.
+		if cg.Bound > 0 && lag.Bound > cg.Bound*1.25 {
+			t.Errorf("seed %d: Lagrangian %.6f loose vs Z*_f %.6f", seed, lag.Bound, cg.Bound)
+		}
+	}
+}
+
+func TestLagrangianDominatesGreedy(t *testing.T) {
+	g := buildGraph(t, 8, 60, 12, trace.HomeWorkHome)
+	greedy := offline.Greedy(g).TotalProfit
+	lag := Lagrangian(g, greedy, 80)
+	if lag.Bound < greedy-1e-6 {
+		t.Fatalf("upper bound %.6f below feasible profit %.6f", lag.Bound, greedy)
+	}
+}
+
+func TestLagrangianMonotoneInIterations(t *testing.T) {
+	// More iterations can only improve (lower) the best bound seen.
+	g := buildGraph(t, 14, 40, 8, trace.Hitchhiking)
+	lb := offline.Greedy(g).TotalProfit
+	b1 := Lagrangian(g, lb, 5)
+	b2 := Lagrangian(g, lb, 100)
+	if b2.Bound > b1.Bound+1e-9 {
+		t.Fatalf("100-iter bound %.6f worse than 5-iter bound %.6f", b2.Bound, b1.Bound)
+	}
+}
+
+func TestAutoSelectsMethodBySize(t *testing.T) {
+	small := buildGraph(t, 1, 15, 3, trace.Hitchhiking)
+	if r := Auto(small, 0); r.Method != "colgen" {
+		t.Errorf("small instance used %q, want colgen", r.Method)
+	}
+	big := buildGraph(t, 1, 200, 30, trace.Hitchhiking)
+	if r := Auto(big, 10); r.Method != "lagrangian" {
+		t.Errorf("large instance used %q, want lagrangian", r.Method)
+	}
+}
+
+func TestExactMILPMatchesBruteForce(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		g := buildGraph(t, seed, 8, 3, trace.Hitchhiking)
+		milp, err := ExactMILP(g, 0)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		brute, err := BruteForce(g, 0)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if math.Abs(milp.Objective-brute.Objective) > 1e-5 {
+			t.Errorf("seed %d: MILP %.6f != brute force %.6f", seed, milp.Objective, brute.Objective)
+		}
+		if milp.RootBound < milp.Objective-1e-6 {
+			t.Errorf("seed %d: root bound %.6f below optimum %.6f", seed, milp.RootBound, milp.Objective)
+		}
+	}
+}
+
+func TestExactMILPPathsAreValid(t *testing.T) {
+	g := buildGraph(t, 3, 8, 3, trace.Hitchhiking)
+	milp, err := ExactMILP(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	seen := make(map[int]bool)
+	for _, p := range milp.Paths {
+		profit, err := g.PathProfit(p.Driver, p.Tasks)
+		if err != nil {
+			t.Fatalf("driver %d: %v", p.Driver, err)
+		}
+		if math.Abs(profit-p.Profit) > 1e-6 {
+			t.Fatalf("driver %d: profit mismatch %.6f vs %.6f", p.Driver, profit, p.Profit)
+		}
+		for _, task := range p.Tasks {
+			if seen[task] {
+				t.Fatalf("task %d assigned twice", task)
+			}
+			seen[task] = true
+		}
+		total += profit
+	}
+	if math.Abs(total-milp.Objective) > 1e-5 {
+		t.Fatalf("paths sum to %.6f, objective %.6f", total, milp.Objective)
+	}
+}
+
+func TestGreedySandwichedByBounds(t *testing.T) {
+	// Z* ≥ greedy and Z*_f ≥ Z*: the full ordering on one instance.
+	g := buildGraph(t, 6, 10, 3, trace.HomeWorkHome)
+	greedy := offline.Greedy(g).TotalProfit
+	exact, err := BruteForce(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cg, _, err := ColumnGeneration(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if greedy > exact.Objective+1e-6 {
+		t.Errorf("greedy %.6f > Z* %.6f", greedy, exact.Objective)
+	}
+	if exact.Objective > cg.Bound+1e-6 {
+		t.Errorf("Z* %.6f > Z*_f %.6f", exact.Objective, cg.Bound)
+	}
+}
+
+func TestEnumeratePathsRespectsCap(t *testing.T) {
+	g := buildGraph(t, 2, 30, 2, trace.Hitchhiking)
+	if _, err := EnumeratePaths(g, 0, 1); err == nil {
+		t.Skip("instance too sparse to exceed a 1-path cap") // acceptable
+	}
+}
+
+func TestBruteForcePathsDisjoint(t *testing.T) {
+	g := buildGraph(t, 4, 9, 3, trace.Hitchhiking)
+	exact, err := BruteForce(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int]bool)
+	for _, p := range exact.Paths {
+		for _, task := range p.Tasks {
+			if seen[task] {
+				t.Fatalf("task %d on two optimal paths", task)
+			}
+			seen[task] = true
+		}
+		if p.Profit <= 0 {
+			t.Fatalf("optimal solution contains non-positive path %.6f", p.Profit)
+		}
+	}
+}

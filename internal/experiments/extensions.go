@@ -1,0 +1,249 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/model"
+	"repro/internal/online"
+	"repro/internal/pricing"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// This file holds the evaluation extensions beyond the paper's figures:
+//
+//   - WelfareComparison quantifies §III-C vs §III-D: how much social
+//     welfare is lost by optimizing drivers' profit instead of welfare
+//     (the paper argues profit optimization "is enough" in practice —
+//     this experiment measures the gap).
+//   - SurgeSweep operationalizes the §VI-C discussion of congestion
+//     control: the surge-multiplier cap is swept and its effect on serve
+//     rate, revenue, per-driver earnings and earnings inequality (Gini)
+//     is reported.
+//   - DispatchComparison lines up every dispatch strategy in the
+//     framework (the paper's two heuristics plus batched matching and
+//     rolling-horizon re-optimization) against the bound on one market.
+
+// WelfareRow is one line of the welfare-objective comparison.
+type WelfareRow struct {
+	Drivers int
+	// ProfitObjective: greedy run on the p_m objective (Eq. 4), then
+	// both metrics evaluated on the resulting assignment.
+	ProfitObjProfit  float64
+	ProfitObjWelfare float64
+	// WelfareObjective: greedy run on the b_m objective (Eq. 6).
+	WelfareObjProfit  float64
+	WelfareObjWelfare float64
+}
+
+// WelfareComparison runs the greedy algorithm under both objectives of
+// §III across the driver sweep (hitchhiking model).
+func WelfareComparison(cfg Config) ([]WelfareRow, error) {
+	var rows []WelfareRow
+	for _, n := range cfg.Sweep {
+		p, err := buildProblem(cfg, n, trace.Hitchhiking)
+		if err != nil {
+			return nil, err
+		}
+		profitSol, err := core.GreedySolver{}.Solve(p)
+		if err != nil {
+			return nil, err
+		}
+		w := p.WelfareProblem()
+		welfareSol, err := core.GreedySolver{}.Solve(w)
+		if err != nil {
+			return nil, err
+		}
+		// Evaluate the welfare solution's true profit on the original
+		// problem (its Profit field is the b_m objective value).
+		var welfareObjProfit float64
+		g := p.Graph()
+		for _, path := range welfareSol.Paths {
+			pr, err := g.PathProfit(path.Driver, path.Tasks)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: welfare path invalid on profit view: %w", err)
+			}
+			welfareObjProfit += pr
+		}
+		rows = append(rows, WelfareRow{
+			Drivers:           n,
+			ProfitObjProfit:   profitSol.Profit,
+			ProfitObjWelfare:  profitSol.Welfare(p),
+			WelfareObjProfit:  welfareObjProfit,
+			WelfareObjWelfare: welfareSol.Profit, // Eq. (6) value
+		})
+	}
+	return rows, nil
+}
+
+// WelfareFigure renders the comparison as a Figure (two welfare curves).
+func WelfareFigure(rows []WelfareRow) Figure {
+	fig := Figure{
+		ID:     "ext-welfare",
+		Title:  "Social Welfare: profit objective vs welfare objective",
+		XLabel: "number of drivers", YLabel: "social welfare (Eq. 6)",
+		Series: make([]Series, 2),
+		Notes:  "gap = welfare left on the table by optimizing Eq. 4 instead of Eq. 6 (§III-E)",
+	}
+	fig.Series[0].Name = "greedy(profit obj)"
+	fig.Series[1].Name = "greedy(welfare obj)"
+	for _, r := range rows {
+		x := float64(r.Drivers)
+		fig.Series[0].X = append(fig.Series[0].X, x)
+		fig.Series[0].Y = append(fig.Series[0].Y, r.ProfitObjWelfare)
+		fig.Series[1].X = append(fig.Series[1].X, x)
+		fig.Series[1].Y = append(fig.Series[1].Y, r.WelfareObjWelfare)
+	}
+	return fig
+}
+
+// SurgeRow is one line of the surge-cap sweep.
+type SurgeRow struct {
+	MaxAlpha  float64
+	ServeRate float64
+	Revenue   float64
+	AvgProfit float64 // mean driver profit
+	Gini      float64 // inequality of per-driver revenue
+}
+
+// SurgeSweep fixes the market (tasks, drivers) and sweeps the surge
+// multiplier cap; each point re-prices the day under that cap and runs
+// the maxMargin dispatcher. Cap 1.0 is flat pricing.
+func SurgeSweep(cfg Config, drivers int, caps []float64) ([]SurgeRow, error) {
+	tcfg := trace.NewConfig(cfg.Seed, cfg.Tasks, drivers, trace.HomeWorkHome)
+	gen := trace.NewGenerator(tcfg)
+	baseTasks := gen.GenerateTasks()
+	drv := gen.GenerateDrivers()
+
+	var rows []SurgeRow
+	for _, cap := range caps {
+		tasks := append([]model.Task(nil), baseTasks...)
+		grid := geo.NewGrid(tcfg.Box, 6, 6)
+		surge := pricing.NewSurge(pricing.NewLinear(tcfg.Market, 1), grid, cap)
+		for _, d := range drv {
+			surge.ObserveSupply(d.Source, 1)
+		}
+		var bucket float64
+		for i := range tasks {
+			for tasks[i].Publish > bucket+1800 {
+				surge.Decay(0.7)
+				bucket += 1800
+			}
+			surge.ObserveDemand(tasks[i].Source, 1)
+			tasks[i].Price = surge.Price(tasks[i])
+			tasks[i].WTP = tasks[i].Price * 1.5
+		}
+		eng, err := sim.New(tcfg.Market, drv, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		res := eng.Run(tasks, online.MaxMargin{})
+		rows = append(rows, SurgeRow{
+			MaxAlpha:  cap,
+			ServeRate: res.ServeRate(),
+			Revenue:   res.Revenue,
+			AvgProfit: res.TotalProfit / float64(len(drv)),
+			Gini:      stats.Gini(res.PerDriverRevenue),
+		})
+	}
+	return rows, nil
+}
+
+// SurgeFigure renders the sweep.
+func SurgeFigure(rows []SurgeRow) Figure {
+	fig := Figure{
+		ID:     "ext-surge",
+		Title:  "Surge cap sweep (congestion control, §VI-C)",
+		XLabel: "surge multiplier cap", YLabel: "metric",
+		Series: make([]Series, 4),
+		Notes:  "maxMargin dispatch; revenue rescaled by 1/100 to share the axis",
+	}
+	names := []string{"serve-rate", "revenue/100", "avg-driver-profit", "gini(revenue)"}
+	for i, name := range names {
+		fig.Series[i].Name = name
+	}
+	for _, r := range rows {
+		x := r.MaxAlpha
+		vals := []float64{r.ServeRate, r.Revenue / 100, r.AvgProfit, r.Gini}
+		for i := range vals {
+			fig.Series[i].X = append(fig.Series[i].X, x)
+			fig.Series[i].Y = append(fig.Series[i].Y, vals[i])
+		}
+	}
+	return fig
+}
+
+// DispatchRow is one strategy's outcome in the dispatch comparison.
+type DispatchRow struct {
+	Name      string
+	Profit    float64
+	Revenue   float64
+	ServeRate float64
+	Ratio     float64 // profit / Z*_f estimate
+}
+
+// DispatchComparison runs every dispatch strategy in the framework on
+// one market and reports profits against the relaxation bound: the
+// paper's two heuristics, the batched matcher, rolling-horizon
+// re-optimization, and the offline greedy as the full-information
+// reference.
+func DispatchComparison(cfg Config, drivers int) ([]DispatchRow, error) {
+	p, err := buildProblem(cfg, drivers, trace.Hitchhiking)
+	if err != nil {
+		return nil, err
+	}
+	greedySol, err := core.GreedySolver{}.Solve(p)
+	if err != nil {
+		return nil, err
+	}
+	ub := upperBound(p, greedySol.Profit, cfg)
+	eng, err := sim.New(p.Market, p.Drivers, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	mTasks := float64(len(p.Tasks))
+	row := func(name string, profit, revenue float64, served int) DispatchRow {
+		return DispatchRow{
+			Name: name, Profit: profit, Revenue: revenue,
+			ServeRate: float64(served) / mTasks,
+			Ratio:     core.PerformanceRatio(profit, ub),
+		}
+	}
+
+	nearest := eng.Run(p.Tasks, online.Nearest{})
+	maxMargin := eng.Run(p.Tasks, online.MaxMargin{})
+	batched := eng.RunBatched(p.Tasks, 30, sim.BatchHungarian)
+	replan := eng.RunReplan(p.Tasks, 120)
+
+	return []DispatchRow{
+		row("Nearest (Alg. 3)", nearest.TotalProfit, nearest.Revenue, nearest.Served),
+		row("maxMargin (Alg. 4)", maxMargin.TotalProfit, maxMargin.Revenue, maxMargin.Served),
+		row("batched matching", batched.TotalProfit, batched.Revenue, batched.Served),
+		row("rolling replan", replan.TotalProfit, replan.Revenue, replan.Served),
+		row("offline Greedy (Alg. 1)", greedySol.Profit, greedySol.Revenue, greedySol.Served),
+	}, nil
+}
+
+// DispatchFigure renders the comparison as a one-x-point-per-strategy
+// figure (bar-chart shaped).
+func DispatchFigure(rows []DispatchRow) Figure {
+	fig := Figure{
+		ID:     "ext-dispatch",
+		Title:  "Dispatch strategies vs the relaxation bound",
+		XLabel: "strategy index", YLabel: "profit / Z*_f",
+		Series: make([]Series, 1),
+	}
+	fig.Series[0].Name = "ratio"
+	notes := ""
+	for i, r := range rows {
+		fig.Series[0].X = append(fig.Series[0].X, float64(i))
+		fig.Series[0].Y = append(fig.Series[0].Y, r.Ratio)
+		notes += fmt.Sprintf("[%d]=%s ", i, r.Name)
+	}
+	fig.Notes = notes
+	return fig
+}

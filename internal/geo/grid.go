@@ -1,0 +1,90 @@
+package geo
+
+import "fmt"
+
+// Grid partitions a bounding box into Rows x Cols rectangular cells.
+// The surge-pricing engine (§VI-A, Eq. 15) computes per-zone demand/supply
+// imbalance over grid cells; the online dispatchers use it for cheap
+// spatial candidate pre-filtering.
+type Grid struct {
+	Box  BoundingBox
+	Rows int // number of latitude bands
+	Cols int // number of longitude bands
+}
+
+// NewGrid returns a grid over box with the given dimensions. It panics if
+// rows or cols are not positive or the box is invalid, since a grid is
+// always constructed from static configuration.
+func NewGrid(box BoundingBox, rows, cols int) *Grid {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("geo: invalid grid dimensions %dx%d", rows, cols))
+	}
+	if !box.Valid() {
+		panic(fmt.Sprintf("geo: invalid grid box %+v", box))
+	}
+	return &Grid{Box: box, Rows: rows, Cols: cols}
+}
+
+// NumCells returns the total number of cells.
+func (g *Grid) NumCells() int { return g.Rows * g.Cols }
+
+// CellOf returns the flat cell index of p. Points outside the box are
+// clamped to the nearest boundary cell, so the result is always a valid
+// index in [0, NumCells).
+func (g *Grid) CellOf(p Point) int {
+	r, c := g.rowColOf(p)
+	return r*g.Cols + c
+}
+
+func (g *Grid) rowColOf(p Point) (row, col int) {
+	p = g.Box.Clamp(p)
+	latSpan := g.Box.MaxLat - g.Box.MinLat
+	lonSpan := g.Box.MaxLon - g.Box.MinLon
+	row = int(float64(g.Rows) * (p.Lat - g.Box.MinLat) / latSpan)
+	col = int(float64(g.Cols) * (p.Lon - g.Box.MinLon) / lonSpan)
+	if row >= g.Rows {
+		row = g.Rows - 1
+	}
+	if col >= g.Cols {
+		col = g.Cols - 1
+	}
+	return row, col
+}
+
+// CellCenter returns the center point of the cell with the given flat
+// index. It panics on an out-of-range index.
+func (g *Grid) CellCenter(cell int) Point {
+	if cell < 0 || cell >= g.NumCells() {
+		panic(fmt.Sprintf("geo: cell index %d out of range [0,%d)", cell, g.NumCells()))
+	}
+	row := cell / g.Cols
+	col := cell % g.Cols
+	fLat := (float64(row) + 0.5) / float64(g.Rows)
+	fLon := (float64(col) + 0.5) / float64(g.Cols)
+	return g.Box.Lerp(fLat, fLon)
+}
+
+// Neighbors returns the flat indices of the up-to-8 cells adjacent to
+// cell (Moore neighborhood), excluding cell itself. The result is a fresh
+// slice owned by the caller.
+func (g *Grid) Neighbors(cell int) []int {
+	if cell < 0 || cell >= g.NumCells() {
+		panic(fmt.Sprintf("geo: cell index %d out of range [0,%d)", cell, g.NumCells()))
+	}
+	row := cell / g.Cols
+	col := cell % g.Cols
+	out := make([]int, 0, 8)
+	for dr := -1; dr <= 1; dr++ {
+		for dc := -1; dc <= 1; dc++ {
+			if dr == 0 && dc == 0 {
+				continue
+			}
+			r, c := row+dr, col+dc
+			if r < 0 || r >= g.Rows || c < 0 || c >= g.Cols {
+				continue
+			}
+			out = append(out, r*g.Cols+c)
+		}
+	}
+	return out
+}

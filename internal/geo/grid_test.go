@@ -1,0 +1,96 @@
+package geo
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestGridCellOfInRange(t *testing.T) {
+	g := NewGrid(PortoBox, 8, 10)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 2000; i++ {
+		p := randomPointIn(rng, PortoBox)
+		c := g.CellOf(p)
+		if c < 0 || c >= g.NumCells() {
+			t.Fatalf("CellOf(%v) = %d out of [0,%d)", p, c, g.NumCells())
+		}
+	}
+}
+
+func TestGridClampsOutsidePoints(t *testing.T) {
+	g := NewGrid(PortoBox, 4, 4)
+	c := g.CellOf(lisbon) // far south-west of the box
+	if c < 0 || c >= g.NumCells() {
+		t.Fatalf("CellOf(outside) = %d out of range", c)
+	}
+}
+
+func TestGridCellCenterRoundTrip(t *testing.T) {
+	g := NewGrid(PortoBox, 5, 7)
+	for c := 0; c < g.NumCells(); c++ {
+		if got := g.CellOf(g.CellCenter(c)); got != c {
+			t.Fatalf("CellOf(CellCenter(%d)) = %d", c, got)
+		}
+	}
+}
+
+func TestGridCornersMapToCornerCells(t *testing.T) {
+	g := NewGrid(PortoBox, 3, 3)
+	sw := Point{Lat: PortoBox.MinLat, Lon: PortoBox.MinLon}
+	ne := Point{Lat: PortoBox.MaxLat, Lon: PortoBox.MaxLon}
+	if c := g.CellOf(sw); c != 0 {
+		t.Errorf("SW corner in cell %d, want 0", c)
+	}
+	if c := g.CellOf(ne); c != g.NumCells()-1 {
+		t.Errorf("NE corner in cell %d, want %d", c, g.NumCells()-1)
+	}
+}
+
+func TestGridNeighbors(t *testing.T) {
+	g := NewGrid(PortoBox, 3, 3)
+	// Center cell (index 4) has all 8 neighbors.
+	if nbs := g.Neighbors(4); len(nbs) != 8 {
+		t.Errorf("center neighbors = %d, want 8", len(nbs))
+	}
+	// Corner cell 0 has 3.
+	if nbs := g.Neighbors(0); len(nbs) != 3 {
+		t.Errorf("corner neighbors = %d, want 3", len(nbs))
+	}
+	// Edge cell 1 has 5.
+	if nbs := g.Neighbors(1); len(nbs) != 5 {
+		t.Errorf("edge neighbors = %d, want 5", len(nbs))
+	}
+}
+
+func TestGridNeighborsExcludeSelf(t *testing.T) {
+	g := NewGrid(PortoBox, 4, 4)
+	for c := 0; c < g.NumCells(); c++ {
+		for _, nb := range g.Neighbors(c) {
+			if nb == c {
+				t.Fatalf("cell %d lists itself as neighbor", c)
+			}
+			if nb < 0 || nb >= g.NumCells() {
+				t.Fatalf("cell %d has out-of-range neighbor %d", c, nb)
+			}
+		}
+	}
+}
+
+func TestGridPanicsOnBadDimensions(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewGrid(0 rows) should panic")
+		}
+	}()
+	NewGrid(PortoBox, 0, 3)
+}
+
+func TestGridPanicsOnBadCellIndex(t *testing.T) {
+	g := NewGrid(PortoBox, 2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CellCenter(-1) should panic")
+		}
+	}()
+	g.CellCenter(-1)
+}

@@ -1,0 +1,188 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSolveBinaryKnapsack(t *testing.T) {
+	// max 10a + 6b + 4c s.t. a+b+c ≤ 2 (binary) → a,b → 16.
+	p := NewProblem(3)
+	p.SetObjective(0, 10)
+	p.SetObjective(1, 6)
+	p.SetObjective(2, 4)
+	p.AddRow(LE, 2, Entry{0, 1}, Entry{1, 1}, Entry{2, 1})
+	res, err := SolveBinary(p, []int{0, 1, 2}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Optimal {
+		t.Fatalf("status %v", res.Status)
+	}
+	approx(t, res.Objective, 16, tol, "objective")
+	approx(t, res.X[0], 1, intTol*10, "a")
+	approx(t, res.X[1], 1, intTol*10, "b")
+	approx(t, res.X[2], 0, intTol*10, "c")
+}
+
+func TestSolveBinaryFractionalRelaxation(t *testing.T) {
+	// Classic: max x+y s.t. 2x+2y ≤ 3 binary → LP gives 1.5, IP gives 1.
+	p := NewProblem(2)
+	p.SetObjective(0, 1)
+	p.SetObjective(1, 1)
+	p.AddRow(LE, 3, Entry{0, 2}, Entry{1, 2})
+	res, err := SolveBinary(p, []int{0, 1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, res.Objective, 1, tol, "objective")
+	approx(t, res.RootBound, 1.5, tol, "root LP bound")
+}
+
+func TestSolveBinaryInfeasible(t *testing.T) {
+	// x + y = 1.5 has no binary solution.
+	p := NewProblem(2)
+	p.SetObjective(0, 1)
+	p.AddRow(EQ, 1.5, Entry{0, 1}, Entry{1, 1})
+	res, err := SolveBinary(p, []int{0, 1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Infeasible {
+		t.Fatalf("status %v, want infeasible", res.Status)
+	}
+}
+
+func TestSolveBinaryMixed(t *testing.T) {
+	// Binary a plus continuous y: max 5a + y s.t. y ≤ 2 + 3a, y ≤ 4.
+	// a=1 → y=4 → 9.
+	p := NewProblem(2)
+	p.SetObjective(0, 5)
+	p.SetObjective(1, 1)
+	p.AddRow(LE, 2, Entry{1, 1}, Entry{0, -3})
+	p.AddRow(LE, 4, Entry{1, 1})
+	res, err := SolveBinary(p, []int{0}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, res.Objective, 9, tol, "objective")
+}
+
+// TestSolveBinaryAgainstBruteForce cross-checks B&B against exhaustive
+// enumeration on random small binary programs.
+func TestSolveBinaryAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 60; trial++ {
+		nv := 2 + rng.Intn(5) // up to 6 binaries
+		nr := 1 + rng.Intn(4)
+		p := NewProblem(nv)
+		obj := make([]float64, nv)
+		for j := range obj {
+			obj[j] = rng.Float64()*10 - 3
+			p.SetObjective(j, obj[j])
+		}
+		type crow struct {
+			coeffs []float64
+			rhs    float64
+		}
+		rows := make([]crow, nr)
+		for i := range rows {
+			coeffs := make([]float64, nv)
+			entries := make([]Entry, nv)
+			for j := range coeffs {
+				coeffs[j] = rng.Float64()*4 - 1
+				entries[j] = Entry{j, coeffs[j]}
+			}
+			rows[i] = crow{coeffs, rng.Float64() * float64(nv)}
+			p.AddRow(LE, rows[i].rhs, entries...)
+		}
+		binary := make([]int, nv)
+		for j := range binary {
+			binary[j] = j
+		}
+		res, err := SolveBinary(p, binary, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		best := math.Inf(-1)
+		found := false
+		for mask := 0; mask < 1<<nv; mask++ {
+			ok := true
+			for _, r := range rows {
+				var lhs float64
+				for j := 0; j < nv; j++ {
+					if mask&(1<<j) != 0 {
+						lhs += r.coeffs[j]
+					}
+				}
+				if lhs > r.rhs+1e-9 {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			found = true
+			var v float64
+			for j := 0; j < nv; j++ {
+				if mask&(1<<j) != 0 {
+					v += obj[j]
+				}
+			}
+			if v > best {
+				best = v
+			}
+		}
+		if !found {
+			if res.Status != Infeasible {
+				t.Fatalf("trial %d: brute force infeasible, solver says %v", trial, res.Status)
+			}
+			continue
+		}
+		if res.Status != Optimal {
+			t.Fatalf("trial %d: status %v", trial, res.Status)
+		}
+		approx(t, res.Objective, best, 1e-5, "vs brute force")
+		// Root LP bound must dominate the integral optimum.
+		if res.RootBound < best-1e-6 {
+			t.Fatalf("trial %d: root bound %g below IP optimum %g", trial, res.RootBound, best)
+		}
+	}
+}
+
+func TestSolveBinaryNodeCap(t *testing.T) {
+	// With maxNodes=1 on a problem needing branching, expect IterLimit.
+	p := NewProblem(2)
+	p.SetObjective(0, 1)
+	p.SetObjective(1, 1)
+	p.AddRow(LE, 3, Entry{0, 2}, Entry{1, 2})
+	res, err := SolveBinary(p, []int{0, 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != IterLimit {
+		t.Fatalf("status %v, want iteration-limit", res.Status)
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	p := NewProblem(2)
+	p.SetObjective(0, 1)
+	p.AddRow(LE, 1, Entry{0, 1})
+	q := p.Clone()
+	q.SetObjective(0, 5)
+	q.AddRow(LE, 9, Entry{1, 1})
+	q.SetCoeff(0, 1, 7)
+	if p.obj[0] != 1 {
+		t.Errorf("clone mutated original objective: %v", p.obj)
+	}
+	if p.NumRows() != 1 {
+		t.Errorf("clone mutated original rows: %d", p.NumRows())
+	}
+	if len(p.rows[0].entries) != 1 {
+		t.Errorf("clone shares row storage with original")
+	}
+}

@@ -1,0 +1,95 @@
+package matching
+
+// Auction implements Bertsekas' auction algorithm for maximum-weight
+// bipartite matching: unmatched rows repeatedly bid for their best
+// column at the current prices; each successful bid raises the column's
+// price by the bid increment. With increment ε, the result is within
+// rows·ε of the optimum; ε below the minimum weight gap makes it exact.
+// It is kept alongside Hungarian both as an independent cross-check
+// (their outputs are compared in tests) and because on sparse batched
+// dispatch instances it is usually faster.
+func Auction(w [][]float64, eps float64) (Assignment, error) {
+	rows, cols, err := validate(w)
+	if err != nil {
+		return Assignment{}, err
+	}
+	out := Assignment{ColOf: make([]int, rows)}
+	for i := range out.ColOf {
+		out.ColOf[i] = -1
+	}
+	if rows == 0 || cols == 0 {
+		return out, nil
+	}
+	if eps <= 0 {
+		eps = 1e-6
+	}
+
+	price := make([]float64, cols)
+	rowOf := make([]int, cols)
+	for c := range rowOf {
+		rowOf[c] = -1
+	}
+
+	// A row stays permanently unmatched once its best available value
+	// drops to ≤ 0 (unmatched is worth 0 under individual rationality).
+	queue := make([]int, 0, rows)
+	for r := 0; r < rows; r++ {
+		queue = append(queue, r)
+	}
+
+	// Each bid strictly raises one column's price by ≥ eps, and prices
+	// are bounded by the max weight, so the loop terminates after at
+	// most rows·cols·(maxW/eps) bids; cap defensively anyway.
+	maxBids := rows * cols * 1000
+	for len(queue) > 0 && maxBids > 0 {
+		maxBids--
+		r := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+
+		// Find the best and second-best column values for row r.
+		// Staying unmatched is worth 0 and acts as the reservation.
+		best := -1
+		bestV := 0.0
+		secondV := 0.0
+		for c := 0; c < cols; c++ {
+			if w[r][c] <= Forbidden {
+				continue
+			}
+			v := w[r][c] - price[c]
+			if best < 0 || v > bestV {
+				if best >= 0 && bestV > secondV {
+					secondV = bestV
+				}
+				best, bestV = c, v
+			} else if v > secondV {
+				secondV = v
+			}
+		}
+		if best < 0 || bestV <= 0 {
+			continue // unmatched is optimal for this row
+		}
+		// Bid away the advantage over the next-best alternative.
+		price[best] += bestV - secondV + eps
+
+		if prev := rowOf[best]; prev >= 0 {
+			out.ColOf[prev] = -1
+			queue = append(queue, prev)
+		}
+		rowOf[best] = r
+		out.ColOf[r] = best
+	}
+
+	for r := 0; r < rows; r++ {
+		if c := out.ColOf[r]; c >= 0 {
+			if w[r][c] <= 0 {
+				// Price dynamics can strand a non-positive match; drop
+				// it (unmatched is individually rational).
+				out.ColOf[r] = -1
+				continue
+			}
+			out.Weight += w[r][c]
+			out.Matched++
+		}
+	}
+	return out, nil
+}

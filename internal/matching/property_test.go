@@ -1,0 +1,75 @@
+package matching
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: Hungarian never produces an invalid structure and its weight
+// dominates the simple greedy matching on every random instance.
+func TestQuickHungarianDominatesGreedy(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := 1 + rng.Intn(8)
+		cols := 1 + rng.Intn(8)
+		w := randomMatrix(rng, rows, cols, 0.25)
+		asg, err := Hungarian(w)
+		if err != nil {
+			return false
+		}
+		// Greedy reference: repeatedly take the best remaining pair.
+		usedR := make([]bool, rows)
+		usedC := make([]bool, cols)
+		var greedy float64
+		for {
+			br, bc := -1, -1
+			best := 0.0
+			for r := 0; r < rows; r++ {
+				if usedR[r] {
+					continue
+				}
+				for c := 0; c < cols; c++ {
+					if usedC[c] || w[r][c] <= Forbidden {
+						continue
+					}
+					if w[r][c] > best {
+						best, br, bc = w[r][c], r, c
+					}
+				}
+			}
+			if br < 0 {
+				break
+			}
+			usedR[br] = true
+			usedC[bc] = true
+			greedy += best
+		}
+		return asg.Weight >= greedy-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the auction result never exceeds Hungarian's optimum.
+func TestQuickAuctionBoundedByHungarian(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := 1 + rng.Intn(7)
+		cols := 1 + rng.Intn(7)
+		w := randomMatrix(rng, rows, cols, 0.3)
+		h, err := Hungarian(w)
+		if err != nil {
+			return false
+		}
+		a, err := Auction(w, 1e-7)
+		if err != nil {
+			return false
+		}
+		return a.Weight <= h.Weight+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

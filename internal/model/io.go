@@ -1,0 +1,168 @@
+package model
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// This file implements trace serialization. Traces are exchanged as CSV
+// (one row per driver/task, mirroring the column layout of the ECML/PKDD
+// Porto dataset the paper evaluates on) and as JSON for programmatic use.
+
+var driverHeader = []string{"driver_id", "src_lat", "src_lon", "dst_lat", "dst_lon", "start", "end", "speed_kmh"}
+
+var taskHeader = []string{"task_id", "publish", "src_lat", "src_lon", "dst_lat", "dst_lon", "start_by", "end_by", "price", "wtp"}
+
+// WriteDriversCSV writes drivers to w in the canonical column layout.
+func WriteDriversCSV(w io.Writer, drivers []Driver) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(driverHeader); err != nil {
+		return fmt.Errorf("write driver header: %w", err)
+	}
+	for _, d := range drivers {
+		rec := []string{
+			strconv.Itoa(d.ID),
+			formatF(d.Source.Lat), formatF(d.Source.Lon),
+			formatF(d.Dest.Lat), formatF(d.Dest.Lon),
+			formatF(d.Start), formatF(d.End),
+			formatF(d.SpeedKmh),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("write driver %d: %w", d.ID, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadDriversCSV parses drivers previously written by WriteDriversCSV.
+func ReadDriversCSV(r io.Reader) ([]Driver, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(driverHeader)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("read drivers: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("read drivers: missing header")
+	}
+	drivers := make([]Driver, 0, len(rows)-1)
+	for i, row := range rows[1:] {
+		var d Driver
+		var perr error
+		parse := func(s string) float64 {
+			v, err := strconv.ParseFloat(s, 64)
+			if err != nil && perr == nil {
+				perr = err
+			}
+			return v
+		}
+		id, err := strconv.Atoi(row[0])
+		if err != nil {
+			return nil, fmt.Errorf("drivers row %d: bad id %q: %w", i+1, row[0], err)
+		}
+		d.ID = id
+		d.Source.Lat, d.Source.Lon = parse(row[1]), parse(row[2])
+		d.Dest.Lat, d.Dest.Lon = parse(row[3]), parse(row[4])
+		d.Start, d.End = parse(row[5]), parse(row[6])
+		d.SpeedKmh = parse(row[7])
+		if perr != nil {
+			return nil, fmt.Errorf("drivers row %d: %w", i+1, perr)
+		}
+		drivers = append(drivers, d)
+	}
+	return drivers, nil
+}
+
+// WriteTasksCSV writes tasks to w in the canonical column layout.
+func WriteTasksCSV(w io.Writer, tasks []Task) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(taskHeader); err != nil {
+		return fmt.Errorf("write task header: %w", err)
+	}
+	for _, t := range tasks {
+		rec := []string{
+			strconv.Itoa(t.ID),
+			formatF(t.Publish),
+			formatF(t.Source.Lat), formatF(t.Source.Lon),
+			formatF(t.Dest.Lat), formatF(t.Dest.Lon),
+			formatF(t.StartBy), formatF(t.EndBy),
+			formatF(t.Price), formatF(t.WTP),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("write task %d: %w", t.ID, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadTasksCSV parses tasks previously written by WriteTasksCSV.
+func ReadTasksCSV(r io.Reader) ([]Task, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(taskHeader)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("read tasks: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("read tasks: missing header")
+	}
+	tasks := make([]Task, 0, len(rows)-1)
+	for i, row := range rows[1:] {
+		var t Task
+		var perr error
+		parse := func(s string) float64 {
+			v, err := strconv.ParseFloat(s, 64)
+			if err != nil && perr == nil {
+				perr = err
+			}
+			return v
+		}
+		id, err := strconv.Atoi(row[0])
+		if err != nil {
+			return nil, fmt.Errorf("tasks row %d: bad id %q: %w", i+1, row[0], err)
+		}
+		t.ID = id
+		t.Publish = parse(row[1])
+		t.Source.Lat, t.Source.Lon = parse(row[2]), parse(row[3])
+		t.Dest.Lat, t.Dest.Lon = parse(row[4]), parse(row[5])
+		t.StartBy, t.EndBy = parse(row[6]), parse(row[7])
+		t.Price, t.WTP = parse(row[8]), parse(row[9])
+		if perr != nil {
+			return nil, fmt.Errorf("tasks row %d: %w", i+1, perr)
+		}
+		tasks = append(tasks, t)
+	}
+	return tasks, nil
+}
+
+// Trace bundles a full market instance for JSON serialization.
+type Trace struct {
+	Drivers []Driver `json:"drivers"`
+	Tasks   []Task   `json:"tasks"`
+}
+
+// WriteTraceJSON writes the instance as indented JSON.
+func WriteTraceJSON(w io.Writer, tr Trace) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(tr); err != nil {
+		return fmt.Errorf("encode trace: %w", err)
+	}
+	return nil
+}
+
+// ReadTraceJSON reads an instance written by WriteTraceJSON.
+func ReadTraceJSON(r io.Reader) (Trace, error) {
+	var tr Trace
+	if err := json.NewDecoder(r).Decode(&tr); err != nil {
+		return Trace{}, fmt.Errorf("decode trace: %w", err)
+	}
+	return tr, nil
+}
+
+func formatF(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

@@ -1,0 +1,118 @@
+package model
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sampleTrace() Trace {
+	return Trace{
+		Drivers: []Driver{
+			{ID: 0, Source: pA, Dest: pB, Start: 100, End: 7200, SpeedKmh: 45},
+			{ID: 1, Source: pB, Dest: pB, Start: 0, End: 3600},
+		},
+		Tasks: []Task{
+			{ID: 0, Publish: 10, Source: pA, Dest: pB, StartBy: 500, EndBy: 900, Price: 3.25, WTP: 4},
+			{ID: 1, Publish: 20, Source: pB, Dest: pA, StartBy: 700, EndBy: 1400, Price: 5, WTP: 5},
+		},
+	}
+}
+
+func TestDriversCSVRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := WriteDriversCSV(&buf, tr.Drivers); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDriversCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, tr.Drivers) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, tr.Drivers)
+	}
+}
+
+func TestTasksCSVRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := WriteTasksCSV(&buf, tr.Tasks); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTasksCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, tr.Tasks) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, tr.Tasks)
+	}
+}
+
+func TestTraceJSONRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := WriteTraceJSON(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTraceJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, tr) {
+		t.Fatalf("round trip mismatch")
+	}
+}
+
+func TestReadDriversCSVErrors(t *testing.T) {
+	if _, err := ReadDriversCSV(strings.NewReader("")); err == nil {
+		t.Error("empty input accepted")
+	}
+	bad := "driver_id,src_lat,src_lon,dst_lat,dst_lon,start,end,speed_kmh\nxx,1,2,3,4,5,6,7\n"
+	if _, err := ReadDriversCSV(strings.NewReader(bad)); err == nil {
+		t.Error("non-numeric id accepted")
+	}
+	badF := "driver_id,src_lat,src_lon,dst_lat,dst_lon,start,end,speed_kmh\n1,oops,2,3,4,5,6,7\n"
+	if _, err := ReadDriversCSV(strings.NewReader(badF)); err == nil {
+		t.Error("non-numeric field accepted")
+	}
+	short := "driver_id,src_lat\n1,2\n"
+	if _, err := ReadDriversCSV(strings.NewReader(short)); err == nil {
+		t.Error("wrong column count accepted")
+	}
+}
+
+func TestReadTasksCSVErrors(t *testing.T) {
+	if _, err := ReadTasksCSV(strings.NewReader("")); err == nil {
+		t.Error("empty input accepted")
+	}
+	bad := "task_id,publish,src_lat,src_lon,dst_lat,dst_lon,start_by,end_by,price,wtp\nxx,1,2,3,4,5,6,7,8,9\n"
+	if _, err := ReadTasksCSV(strings.NewReader(bad)); err == nil {
+		t.Error("non-numeric id accepted")
+	}
+	badF := "task_id,publish,src_lat,src_lon,dst_lat,dst_lon,start_by,end_by,price,wtp\n1,x,2,3,4,5,6,7,8,9\n"
+	if _, err := ReadTasksCSV(strings.NewReader(badF)); err == nil {
+		t.Error("non-numeric field accepted")
+	}
+}
+
+func TestReadTraceJSONError(t *testing.T) {
+	if _, err := ReadTraceJSON(strings.NewReader("{not json")); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+}
+
+func TestEmptySlicesRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteDriversCSV(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDriversCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("got %d drivers from empty write", len(got))
+	}
+}

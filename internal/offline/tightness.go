@@ -1,0 +1,110 @@
+package offline
+
+import (
+	"fmt"
+
+	"repro/internal/geo"
+	"repro/internal/model"
+)
+
+// TightnessInstance constructs the adversarial market of the paper's
+// Fig. 2 (Lemma 3), on which GA performs exactly at its approximation
+// bound: GA earns 1 while the optimum earns (D+1)(1−ε), so
+// GA/OPT = 1/((D+1)(1−ε)) → 1/(D+1) as ε → 0.
+//
+// Construction (all on one west-east line, gasoline 1 unit/km, 60 km/h):
+//
+//   - D "chain" tasks at locations P_1..P_D spaced L km apart, with
+//     consecutive hour-long windows, zero service distance (source ==
+//     destination) and price 1−ε each. Driver 0 lives at P_1
+//     (home-work-home) and is the only driver able to chain them; her
+//     round trip P_1→…→P_D→P_1 costs 2(D−1)L, and L is chosen so the
+//     chain's profit is exactly 1.
+//   - One "blocker" task at P_1 whose window spans the whole horizon,
+//     price 1−ε: only driver 0 can serve it, and serving it precludes
+//     the chain.
+//   - Drivers 1..D each live at P_i with a window covering only chain
+//     task i, each earning exactly 1−ε from it.
+//
+// GA picks driver 0's chain (profit 1, the unique maximum), which
+// removes every chain task; drivers 1..D are left with nothing and the
+// blocker is unreachable, so GA totals 1. The optimum instead gives each
+// chain task to its local driver and the blocker to driver 0, totaling
+// (D+1)(1−ε). Requires D ≥ 2 and 0 < ε < 1 − 1/D so that L > 0.
+func TightnessInstance(d int, eps float64) (model.Market, []model.Driver, []model.Task, error) {
+	if d < 2 {
+		return model.Market{}, nil, nil, fmt.Errorf("offline: tightness instance needs D ≥ 2, got %d", d)
+	}
+	if eps <= 0 || eps >= 1-1/float64(d) {
+		return model.Market{}, nil, nil, fmt.Errorf("offline: need 0 < ε < 1−1/D, got ε=%g, D=%d", eps, d)
+	}
+	mkt := model.Market{
+		Dist:     geo.Equirectangular,
+		SpeedKmh: 60,
+		GasPerKm: 1,
+	}
+
+	// Choose spacing so the chain profit is exactly 1:
+	// D(1−ε) − 2(D−1)L = 1  ⇒  L = (D(1−ε) − 1) / (2(D−1)).
+	l := (float64(d)*(1-eps) - 1) / (2 * float64(d-1))
+
+	origin := geo.Point{Lat: 41.15, Lon: -8.61}
+	locs := make([]geo.Point, d)
+	for i := range locs {
+		locs[i] = geo.Offset(origin, 90*degree, float64(i)*l) // due east
+	}
+
+	const (
+		window  = 3600.0 // chain task pitch
+		open    = 600.0  // chain task window length
+		horizon = 100 * 3600.0
+	)
+
+	price := 1 - eps
+	tasks := make([]model.Task, 0, d+1)
+	for i := 0; i < d; i++ {
+		startBy := float64(i+1) * window
+		tasks = append(tasks, model.Task{
+			ID:      i,
+			Publish: startBy - 60,
+			Source:  locs[i],
+			Dest:    locs[i],
+			StartBy: startBy,
+			EndBy:   startBy + open,
+			Price:   price,
+			WTP:     price,
+		})
+	}
+	// Blocker task at P_1, spanning the entire horizon.
+	tasks = append(tasks, model.Task{
+		ID:      d,
+		Publish: 1,
+		Source:  locs[0],
+		Dest:    locs[0],
+		StartBy: 2,
+		EndBy:   horizon,
+		Price:   price,
+		WTP:     price,
+	})
+
+	drivers := make([]model.Driver, 0, d+1)
+	// Driver 0: home-work-home at P_1, spanning everything.
+	drivers = append(drivers, model.Driver{
+		ID: 0, Source: locs[0], Dest: locs[0], Start: 0, End: horizon + 1,
+	})
+	// Drivers 1..D: local to chain task i−1, window covering only it.
+	for i := 1; i <= d; i++ {
+		t := tasks[i-1]
+		drivers = append(drivers, model.Driver{
+			ID:     i,
+			Source: t.Source,
+			Dest:   t.Source,
+			Start:  t.StartBy - 1,
+			End:    t.EndBy + 1,
+		})
+	}
+	return mkt, drivers, tasks, nil
+}
+
+// degree is π/180; geo.Offset takes bearings in radians.
+const degree = 3.14159265358979323846 / 180

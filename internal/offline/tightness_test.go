@@ -1,0 +1,108 @@
+package offline
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bound"
+	"repro/internal/taskmap"
+)
+
+func TestTightnessInstanceGreedyEarnsOne(t *testing.T) {
+	for _, d := range []int{2, 3, 5, 8} {
+		mkt, drivers, tasks, err := TightnessInstance(d, 0.01)
+		if err != nil {
+			t.Fatalf("D=%d: %v", d, err)
+		}
+		g, err := taskmap.New(mkt, drivers, tasks)
+		if err != nil {
+			t.Fatalf("D=%d: %v", d, err)
+		}
+		sol := Greedy(g)
+		if math.Abs(sol.TotalProfit-1) > 1e-6 {
+			t.Errorf("D=%d: greedy profit %.6f, want 1 (Lemma 3)", d, sol.TotalProfit)
+		}
+		if len(sol.Paths) != 1 || sol.Paths[0].Driver != 0 {
+			t.Errorf("D=%d: greedy should select only driver 0's chain, got %+v", d, sol.Paths)
+		}
+		if got := len(sol.Paths[0].Tasks); got != d {
+			t.Errorf("D=%d: chain length %d, want %d", d, got, d)
+		}
+	}
+}
+
+func TestTightnessInstanceOptimum(t *testing.T) {
+	const eps = 0.01
+	for _, d := range []int{2, 3, 4} {
+		mkt, drivers, tasks, err := TightnessInstance(d, eps)
+		if err != nil {
+			t.Fatalf("D=%d: %v", d, err)
+		}
+		g, err := taskmap.New(mkt, drivers, tasks)
+		if err != nil {
+			t.Fatalf("D=%d: %v", d, err)
+		}
+		exact, err := bound.BruteForce(g, 0)
+		if err != nil {
+			t.Fatalf("D=%d: brute force: %v", d, err)
+		}
+		want := float64(d+1) * (1 - eps)
+		if math.Abs(exact.Objective-want) > 1e-6 {
+			t.Errorf("D=%d: OPT = %.6f, want (D+1)(1−ε) = %.6f", d, exact.Objective, want)
+		}
+	}
+}
+
+func TestTightnessRatioApproachesBound(t *testing.T) {
+	// GA/OPT = 1/((D+1)(1−ε)): the paper's tight worst case.
+	const eps = 0.001
+	for _, d := range []int{2, 3, 5} {
+		mkt, drivers, tasks, err := TightnessInstance(d, eps)
+		if err != nil {
+			t.Fatalf("D=%d: %v", d, err)
+		}
+		g, err := taskmap.New(mkt, drivers, tasks)
+		if err != nil {
+			t.Fatalf("D=%d: %v", d, err)
+		}
+		ga := Greedy(g).TotalProfit
+		exact, err := bound.BruteForce(g, 0)
+		if err != nil {
+			t.Fatalf("D=%d: %v", d, err)
+		}
+		ratio := ga / exact.Objective
+		want := 1 / (float64(d+1) * (1 - eps))
+		if math.Abs(ratio-want) > 1e-6 {
+			t.Errorf("D=%d: ratio %.6f, want %.6f", d, ratio, want)
+		}
+	}
+}
+
+func TestTightnessInstanceDiameter(t *testing.T) {
+	// The instance's task-map diameter is exactly D (the chain).
+	for _, d := range []int{2, 4, 6} {
+		mkt, drivers, tasks, err := TightnessInstance(d, 0.01)
+		if err != nil {
+			t.Fatalf("D=%d: %v", d, err)
+		}
+		g, err := taskmap.New(mkt, drivers, tasks)
+		if err != nil {
+			t.Fatalf("D=%d: %v", d, err)
+		}
+		if got := g.Diameter(); got != d {
+			t.Errorf("D=%d: diameter %d", d, got)
+		}
+	}
+}
+
+func TestTightnessInstanceValidation(t *testing.T) {
+	if _, _, _, err := TightnessInstance(1, 0.01); err == nil {
+		t.Error("D=1 should be rejected")
+	}
+	if _, _, _, err := TightnessInstance(5, 0); err == nil {
+		t.Error("ε=0 should be rejected")
+	}
+	if _, _, _, err := TightnessInstance(5, 0.9); err == nil {
+		t.Error("ε ≥ 1−1/D should be rejected")
+	}
+}

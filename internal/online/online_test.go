@@ -1,0 +1,162 @@
+package online
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func cands(vals ...[2]float64) []sim.Candidate {
+	out := make([]sim.Candidate, len(vals))
+	for i, v := range vals {
+		out[i] = sim.Candidate{Driver: i, Arrival: v[0], Margin: v[1]}
+	}
+	return out
+}
+
+func TestNearestPicksEarliestArrival(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	got := Nearest{}.Choose(model.Task{}, cands([2]float64{30, 1}, [2]float64{10, -5}, [2]float64{20, 9}), rng)
+	if got != 1 {
+		t.Fatalf("Nearest chose %d, want 1 (earliest arrival, ignoring margin)", got)
+	}
+}
+
+func TestNearestTieBreaksUniformly(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	counts := make(map[int]int)
+	tied := cands([2]float64{10, 0}, [2]float64{10, 0}, [2]float64{10, 0})
+	for i := 0; i < 3000; i++ {
+		counts[Nearest{}.Choose(model.Task{}, tied, rng)]++
+	}
+	for c := 0; c < 3; c++ {
+		if counts[c] < 800 || counts[c] > 1200 {
+			t.Fatalf("tie-break counts %v not ≈ uniform", counts)
+		}
+	}
+}
+
+func TestNearestEmptyCandidates(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if got := (Nearest{}).Choose(model.Task{}, nil, rng); got != -1 {
+		t.Fatalf("empty candidates: got %d, want -1", got)
+	}
+}
+
+func TestMaxMarginPicksLargestMargin(t *testing.T) {
+	got := MaxMargin{}.Choose(model.Task{}, cands([2]float64{5, 1}, [2]float64{50, 7}, [2]float64{10, 3}), nil)
+	if got != 1 {
+		t.Fatalf("MaxMargin chose %d, want 1 (largest δ, ignoring arrival)", got)
+	}
+}
+
+func TestMaxMarginRejectsNonPositiveByDefault(t *testing.T) {
+	neg := cands([2]float64{5, -2}, [2]float64{6, -1})
+	if got := (MaxMargin{}).Choose(model.Task{}, neg, nil); got != -1 {
+		t.Fatalf("default MaxMargin accepted a negative margin: %d", got)
+	}
+	if got := (MaxMargin{AllowNegative: true}).Choose(model.Task{}, neg, nil); got != 1 {
+		t.Fatalf("unconstrained MaxMargin chose %d, want 1", got)
+	}
+}
+
+func TestMaxMarginZeroMarginRejected(t *testing.T) {
+	zero := cands([2]float64{5, 0})
+	if got := (MaxMargin{}).Choose(model.Task{}, zero, nil); got != -1 {
+		t.Fatalf("δ = 0 must be rejected under individual rationality, got %d", got)
+	}
+}
+
+func TestRandomStaysInRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	cs := cands([2]float64{1, 1}, [2]float64{2, 2})
+	for i := 0; i < 100; i++ {
+		got := Random{}.Choose(model.Task{}, cs, rng)
+		if got < 0 || got >= len(cs) {
+			t.Fatalf("Random chose %d out of range", got)
+		}
+	}
+	if got := (Random{}).Choose(model.Task{}, nil, rng); got != -1 {
+		t.Fatalf("Random on empty candidates: %d, want -1", got)
+	}
+}
+
+func TestNames(t *testing.T) {
+	for _, tc := range []struct {
+		d    sim.Dispatcher
+		want string
+	}{
+		{Nearest{}, "Nearest"},
+		{MaxMargin{}, "maxMargin"},
+		{MaxMargin{AllowNegative: true}, "maxMargin(unconstrained)"},
+		{Random{}, "Random"},
+	} {
+		if got := tc.d.Name(); got != tc.want {
+			t.Errorf("Name() = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+// TestMaxMarginBeatsNearestOnProfit is the paper's central online claim
+// (§VI-B): the maxMargin heuristic earns more total profit than Nearest
+// on realistic traces. Individual seeds are noisy, so the claim is
+// asserted on the aggregate over several seeds.
+func TestMaxMarginBeatsNearestOnProfit(t *testing.T) {
+	var mmTotal, nrTotal float64
+	const trials = 8
+	for seed := int64(0); seed < trials; seed++ {
+		cfg := trace.NewConfig(seed, 150, 20, trace.Hitchhiking)
+		tr := trace.NewGenerator(cfg).Generate(nil)
+		eng, err := sim.New(cfg.Market, tr.Drivers, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mmTotal += eng.Run(tr.Tasks, MaxMargin{}).TotalProfit
+		nrTotal += eng.Run(tr.Tasks, Nearest{}).TotalProfit
+	}
+	if mmTotal < nrTotal {
+		t.Fatalf("maxMargin aggregate profit %.1f below Nearest %.1f", mmTotal, nrTotal)
+	}
+}
+
+// TestMaxMarginNeverNegativeDriverProfit: with the IR-enforcing default,
+// no driver should end the day with negative profit.
+func TestMaxMarginNeverNegativeDriverProfit(t *testing.T) {
+	cfg := trace.NewConfig(11, 200, 25, trace.HomeWorkHome)
+	tr := trace.NewGenerator(cfg).Generate(nil)
+	eng, err := sim.New(cfg.Market, tr.Drivers, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := eng.Run(tr.Tasks, MaxMargin{})
+	for i, p := range res.PerDriverProfit {
+		if p < -1e-6 {
+			t.Fatalf("driver %d profit %.6f < 0 under IR-enforcing maxMargin", i, p)
+		}
+	}
+	if res.TotalProfit < 0 {
+		t.Fatalf("total profit %.6f < 0", res.TotalProfit)
+	}
+}
+
+// TestNearestServesAtLeastAsManyEarly: Nearest is greedy on service
+// speed; sanity-check it serves a similar task count (not profit).
+func TestNearestServeRateReasonable(t *testing.T) {
+	cfg := trace.NewConfig(21, 150, 25, trace.Hitchhiking)
+	tr := trace.NewGenerator(cfg).Generate(nil)
+	eng, err := sim.New(cfg.Market, tr.Drivers, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nr := eng.Run(tr.Tasks, Nearest{})
+	if nr.ServeRate() < 0.2 {
+		t.Fatalf("Nearest serve rate %.2f unreasonably low", nr.ServeRate())
+	}
+	if math.IsNaN(nr.TotalProfit) {
+		t.Fatal("NaN profit")
+	}
+}

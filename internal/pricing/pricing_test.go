@@ -1,0 +1,168 @@
+package pricing
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/model"
+)
+
+func mkt() model.Market { return model.DefaultMarket() }
+
+func sampleTask() model.Task {
+	return model.Task{
+		ID: 0, Publish: 0,
+		Source:  geo.Point{Lat: 41.15, Lon: -8.61},
+		Dest:    geo.Point{Lat: 41.17, Lon: -8.58},
+		StartBy: 600, EndBy: 1800,
+	}
+}
+
+func TestLinearPriceFormula(t *testing.T) {
+	m := mkt()
+	l := NewLinear(m, 1)
+	tk := sampleTask()
+	want := DefaultBeta1*m.Dist(tk.Source, tk.Dest) + DefaultBeta2*(tk.EndBy-tk.StartBy)
+	if got := l.Price(tk); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Price = %g, want %g", got, want)
+	}
+}
+
+func TestLinearAlphaScales(t *testing.T) {
+	m := mkt()
+	tk := sampleTask()
+	p1 := NewLinear(m, 1).Price(tk)
+	p2 := NewLinear(m, 2.5).Price(tk)
+	if math.Abs(p2-2.5*p1) > 1e-12 {
+		t.Fatalf("α scaling broken: %g vs %g", p2, 2.5*p1)
+	}
+}
+
+func TestSurgeNeutralWithoutObservations(t *testing.T) {
+	m := mkt()
+	grid := geo.NewGrid(geo.PortoBox, 5, 5)
+	s := NewSurge(NewLinear(m, 1), grid, 3)
+	tk := sampleTask()
+	if got, want := s.Price(tk), NewLinear(m, 1).Price(tk); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("no-demand surge price %g, want base %g", got, want)
+	}
+	if s.Multiplier(tk.Source) != 1 {
+		t.Fatalf("empty-market multiplier = %g, want 1", s.Multiplier(tk.Source))
+	}
+}
+
+func TestSurgeRisesWithDemand(t *testing.T) {
+	grid := geo.NewGrid(geo.PortoBox, 5, 5)
+	s := NewSurge(NewLinear(mkt(), 1), grid, 3)
+	p := sampleTask().Source
+	for i := 0; i < 10; i++ {
+		s.ObserveDemand(p, 1)
+	}
+	s.ObserveSupply(p, 2)
+	mult := s.Multiplier(p)
+	if mult <= 1 {
+		t.Fatalf("multiplier %g should exceed 1 under excess demand", mult)
+	}
+	if mult > 3 {
+		t.Fatalf("multiplier %g exceeds cap 3", mult)
+	}
+}
+
+func TestSurgeCapEnforced(t *testing.T) {
+	grid := geo.NewGrid(geo.PortoBox, 4, 4)
+	s := NewSurge(NewLinear(mkt(), 1), grid, 2)
+	p := sampleTask().Source
+	for i := 0; i < 1000; i++ {
+		s.ObserveDemand(p, 1)
+	}
+	if got := s.Multiplier(p); got != 2 {
+		t.Fatalf("multiplier %g, want cap 2", got)
+	}
+}
+
+func TestSurgeSupplyDampens(t *testing.T) {
+	grid := geo.NewGrid(geo.PortoBox, 4, 4)
+	s := NewSurge(NewLinear(mkt(), 1), grid, 5)
+	p := sampleTask().Source
+	for i := 0; i < 20; i++ {
+		s.ObserveDemand(p, 1)
+	}
+	high := s.Multiplier(p)
+	for i := 0; i < 40; i++ {
+		s.ObserveSupply(p, 1)
+	}
+	low := s.Multiplier(p)
+	if low >= high {
+		t.Fatalf("supply should lower surge: %g → %g", high, low)
+	}
+	if low != 1 {
+		t.Fatalf("abundant supply should restore multiplier 1, got %g", low)
+	}
+}
+
+func TestSurgeDecay(t *testing.T) {
+	grid := geo.NewGrid(geo.PortoBox, 4, 4)
+	s := NewSurge(NewLinear(mkt(), 1), grid, 5)
+	p := sampleTask().Source
+	for i := 0; i < 50; i++ {
+		s.ObserveDemand(p, 1)
+	}
+	before := s.Multiplier(p)
+	for i := 0; i < 20; i++ {
+		s.Decay(0.5)
+	}
+	after := s.Multiplier(p)
+	if after >= before || after != 1 {
+		t.Fatalf("decay should fade surge to 1: %g → %g", before, after)
+	}
+}
+
+func TestSurgeNeighborSmoothing(t *testing.T) {
+	grid := geo.NewGrid(geo.PortoBox, 5, 5)
+	s := NewSurge(NewLinear(mkt(), 1), grid, 10)
+	center := grid.CellCenter(12) // interior cell
+	for i := 0; i < 100; i++ {
+		s.ObserveDemand(center, 1)
+	}
+	// A neighboring cell should feel some of the surge.
+	nb := grid.CellCenter(13)
+	if s.Multiplier(nb) <= 1 {
+		t.Fatalf("neighbor multiplier %g should exceed 1 via smoothing", s.Multiplier(nb))
+	}
+}
+
+func TestNewSurgePanicsOnBadCap(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for maxAlpha < 1")
+		}
+	}()
+	NewSurge(NewLinear(mkt(), 1), geo.NewGrid(geo.PortoBox, 2, 2), 0.5)
+}
+
+func TestApplyPricing(t *testing.T) {
+	tasks := []model.Task{sampleTask(), sampleTask()}
+	tasks[1].ID = 1
+	ApplyPricing(tasks, NewLinear(mkt(), 1), 0.25)
+	for i, tk := range tasks {
+		if tk.Price <= 0 {
+			t.Fatalf("task %d unpriced", i)
+		}
+		if math.Abs(tk.WTP-1.25*tk.Price) > 1e-12 {
+			t.Fatalf("task %d: WTP %.4f, want 1.25 × price", i, tk.WTP)
+		}
+		if err := tk.Validate(); err != nil {
+			t.Fatalf("task %d invalid after pricing: %v", i, err)
+		}
+	}
+}
+
+func TestApplyPricingPanicsOnNegativeMarkup(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ApplyPricing(nil, NewLinear(mkt(), 1), -0.1)
+}

@@ -1,0 +1,140 @@
+package roadnet
+
+import (
+	"sync"
+
+	"repro/internal/geo"
+)
+
+// Router adapts a road graph to the framework's geo.DistanceFunc
+// contract: Dist(a, b) snaps both points to their nearest intersections,
+// routes between them, and adds the straight-line access legs. Results
+// are memoized per node pair, so the O(M²) task-map construction pays
+// each route once.
+//
+// Router is safe for concurrent use.
+type Router struct {
+	g *Graph
+
+	// snap index: grid buckets of node ids.
+	grid    *geo.Grid
+	buckets [][]int32
+
+	mu    sync.Mutex
+	cache map[[2]int32]float64
+}
+
+// NewRouter builds a router over the graph, indexing nodes into an
+// s x s snap grid covering box.
+func NewRouter(g *Graph, box geo.BoundingBox, s int) *Router {
+	if s < 1 {
+		s = 8
+	}
+	r := &Router{
+		g:     g,
+		grid:  geo.NewGrid(box, s, s),
+		cache: make(map[[2]int32]float64),
+	}
+	r.buckets = make([][]int32, r.grid.NumCells())
+	for id := 0; id < g.NumNodes(); id++ {
+		c := r.grid.CellOf(g.Point(id))
+		r.buckets[c] = append(r.buckets[c], int32(id))
+	}
+	return r
+}
+
+// NearestNode returns the graph node closest to p, searching the
+// point's snap cell and growing to its neighbors (then everything) as
+// needed.
+func (r *Router) NearestNode(p geo.Point) int {
+	cell := r.grid.CellOf(p)
+	best := int32(-1)
+	bestD := 0.0
+	consider := func(ids []int32) {
+		for _, id := range ids {
+			d := geo.Equirectangular(p, r.g.Point(int(id)))
+			if best < 0 || d < bestD {
+				best, bestD = id, d
+			}
+		}
+	}
+	consider(r.buckets[cell])
+	for _, nb := range r.grid.Neighbors(cell) {
+		consider(r.buckets[nb])
+	}
+	if best >= 0 {
+		return int(best)
+	}
+	// Sparse area: fall back to a full scan.
+	for c := range r.buckets {
+		consider(r.buckets[c])
+	}
+	return int(best)
+}
+
+// Dist computes the network distance between a and b in kilometers:
+// straight-line access to the nearest intersections plus the shortest
+// route between them. It implements geo.DistanceFunc.
+func (r *Router) Dist(a, b geo.Point) float64 {
+	u := r.NearestNode(a)
+	v := r.NearestNode(b)
+	access := geo.Equirectangular(a, r.g.Point(u)) + geo.Equirectangular(b, r.g.Point(v))
+	if u == v {
+		return access
+	}
+	return access + r.nodeDist(int32(u), int32(v))
+}
+
+func (r *Router) nodeDist(u, v int32) float64 {
+	key := [2]int32{u, v}
+	r.mu.Lock()
+	if d, ok := r.cache[key]; ok {
+		r.mu.Unlock()
+		return d
+	}
+	r.mu.Unlock()
+
+	d, _ := r.g.AStar(int(u), int(v))
+	r.mu.Lock()
+	r.cache[key] = d
+	r.mu.Unlock()
+	return d
+}
+
+// CacheSize returns the number of memoized node pairs (for tests and
+// capacity planning).
+func (r *Router) CacheSize() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.cache)
+}
+
+// Circuity estimates the network's mean circuity (network distance over
+// straight-line distance) by sampling n random node pairs with the
+// given deterministic stride. Used by tests to assert realism.
+func (r *Router) Circuity(samples int) float64 {
+	n := r.g.NumNodes()
+	if n < 2 || samples < 1 {
+		return 1
+	}
+	var sum float64
+	var count int
+	for i := 0; i < samples; i++ {
+		u := (i * 7919) % n
+		v := (i*104729 + 13) % n
+		if u == v {
+			continue
+		}
+		crow := geo.Equirectangular(r.g.Point(u), r.g.Point(v))
+		if crow < 0.2 {
+			continue
+		}
+		net := r.nodeDist(int32(u), int32(v))
+		sum += net / crow
+		count++
+	}
+	if count == 0 {
+		return 1
+	}
+	return sum / float64(count)
+}

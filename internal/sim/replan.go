@@ -1,0 +1,172 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/model"
+	"repro/internal/offline"
+	"repro/internal/taskmap"
+)
+
+// This file implements rolling-horizon re-optimization: the strongest
+// online strategy in the framework and, with batched matching, the
+// second half of the paper's "non-heuristic online algorithms" future
+// work. At every task arrival (and on a periodic flush grid of `period`
+// seconds) the platform rebuilds a task map over all *pending* tasks
+// (published, not yet assigned, pickup still reachable) with each
+// driver's current position and availability as her virtual source, runs
+// the offline greedy (Algorithm 1) on the snapshot, and commits the
+// first leg of each selected task list. Later legs stay uncommitted and
+// are re-planned as new demand arrives.
+
+// RunReplan simulates the day under rolling-horizon re-optimization.
+// period controls the flush grid that re-examines deferred tasks after
+// arrivals go quiet; re-planning itself is triggered by every arrival,
+// so accepted customers get an answer with no added latency.
+func (e *Engine) RunReplan(tasks []model.Task, period float64) Result {
+	if period <= 0 {
+		panic(fmt.Sprintf("sim: non-positive replan period %g", period))
+	}
+	e.reset()
+	res := Result{
+		PerDriverRevenue: make([]float64, len(e.Drivers)),
+		PerDriverProfit:  make([]float64, len(e.Drivers)),
+		PerDriverTasks:   make([]int, len(e.Drivers)),
+		DriverPaths:      make([][]int, len(e.Drivers)),
+		Assignment:       make(map[int]int),
+	}
+	if len(tasks) == 0 {
+		return res
+	}
+
+	order := make([]int, len(tasks))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return tasks[order[a]].Publish < tasks[order[b]].Publish })
+
+	assigned := make([]bool, len(tasks))
+	expired := make([]bool, len(tasks))
+
+	start := tasks[order[0]].Publish
+	horizon := start
+	for _, ti := range order {
+		if tasks[ti].StartBy > horizon {
+			horizon = tasks[ti].StartBy
+		}
+	}
+
+	// Re-plan at every arrival (zero added response latency) and then on
+	// a periodic grid until the horizon, so deferred tasks are flushed.
+	var rounds []float64
+	for _, ti := range order {
+		if n := len(rounds); n == 0 || tasks[ti].Publish > rounds[n-1] {
+			rounds = append(rounds, tasks[ti].Publish)
+		}
+	}
+	for now := start + period; now <= horizon+period; now += period {
+		rounds = append(rounds, now)
+	}
+	sort.Float64s(rounds)
+
+	next := 0 // next unpublished task position in order
+	for _, now := range rounds {
+		for next < len(order) && tasks[order[next]].Publish <= now {
+			next++
+		}
+		// Pending demand: published, unassigned, pickup deadline ahead.
+		var pending []int
+		for _, ti := range order[:next] {
+			if assigned[ti] || expired[ti] {
+				continue
+			}
+			if tasks[ti].StartBy < now {
+				expired[ti] = true
+				res.Rejected++
+				continue
+			}
+			pending = append(pending, ti)
+		}
+		if len(pending) == 0 {
+			continue
+		}
+
+		// Virtual market snapshot: each driver planning from her
+		// current location and availability.
+		var vdrivers []model.Driver
+		realOf := make([]int, 0, len(e.Drivers))
+		for i, d := range e.Drivers {
+			st := &e.states[i]
+			availAt := st.freeAt
+			if availAt < now {
+				availAt = now
+			}
+			if availAt >= d.End {
+				continue // shift effectively over
+			}
+			vdrivers = append(vdrivers, model.Driver{
+				ID:       len(vdrivers),
+				Source:   st.loc,
+				Dest:     d.Dest,
+				Start:    availAt,
+				End:      d.End,
+				SpeedKmh: d.SpeedKmh,
+			})
+			realOf = append(realOf, i)
+		}
+		if len(vdrivers) == 0 {
+			continue
+		}
+		vtasks := make([]model.Task, len(pending))
+		for k, ti := range pending {
+			vtasks[k] = tasks[ti]
+			vtasks[k].ID = k
+		}
+
+		g, err := taskmap.New(e.Market, vdrivers, vtasks)
+		if err != nil {
+			// Inputs were validated at engine construction; a snapshot
+			// failure is a programming error.
+			panic(fmt.Sprintf("sim: replan snapshot invalid: %v", err))
+		}
+		plan := offline.Greedy(g)
+
+		// Commit the first leg of every selected task list; later legs
+		// stay open for re-planning. Deferring even first legs keeps
+		// more options open in principle, but with short pickup notice
+		// every deferred round costs reachable candidates, which
+		// dominates in practice.
+		for _, path := range plan.Paths {
+			if path.Len() == 0 {
+				continue
+			}
+			first := path.Tasks[0]
+			ti := pending[first]
+			task := tasks[ti]
+			drv := realOf[path.Driver]
+			st := &e.states[drv]
+			depart := st.freeAt
+			if depart < now {
+				depart = now
+			}
+			arrival := depart + e.Market.DriverTravelTime(e.Drivers[drv], st.loc, task.Source)
+			if arrival > task.StartBy {
+				continue // the snapshot aged out; re-plan next round
+			}
+			e.assign(Candidate{Driver: drv, Arrival: arrival}, task)
+			assigned[ti] = true
+			res.Served++
+			res.Assignment[ti] = drv
+			res.DriverPaths[drv] = append(res.DriverPaths[drv], ti)
+		}
+	}
+
+	for ti := range tasks {
+		if !assigned[ti] && !expired[ti] {
+			res.Rejected++
+		}
+	}
+	e.settle(&res)
+	return res
+}

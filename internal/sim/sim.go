@@ -1,0 +1,314 @@
+// Package sim is the online market simulator for §V of the paper: tasks
+// arrive in publish-time order, the platform must respond instantly by
+// assigning a candidate driver or rejecting the task, and drivers move
+// through lock/unlock states as they serve assignments.
+//
+// The engine owns market state (driver positions, availability, earnings)
+// and computes the candidate set for each arriving task exactly as
+// Algorithms 3 and 4 prescribe: unlocked drivers who can reach the
+// pickup from their current location by the pickup deadline, plus locked
+// drivers who can reach it from their in-flight task's destination in
+// time. A pluggable Dispatcher chooses among candidates, which is the
+// only difference between the paper's two online heuristics.
+//
+// Driver availability is deadline-based by default, exactly as the
+// paper's algorithms prescribe: a driver assigned task m' is treated as
+// busy until the task's end deadline t̄+_m' (Algorithm 3/4 step (a) adds
+// "locked drivers who can travel from their current destination d̄_m' to
+// s̄_m during time t̄+_m' to t̄−_m"). This keeps every online assignment
+// a feasible path of the offline task map, so the offline bound Z*_f
+// applies to online runs too. Setting Engine.RealTime instead frees a
+// driver at her *actual* finish time (arrival + service) — the §III-B
+// remark that tasks may finish before t̄+_m — which gives online
+// algorithms extra capacity the offline model cannot represent; it is
+// kept as an ablation (see the bench harness).
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/geo"
+	"repro/internal/model"
+)
+
+// Candidate describes one feasible driver for an arriving task.
+type Candidate struct {
+	Driver  int     // index into the engine's driver slice
+	Arrival float64 // earliest time the driver can reach the pickup
+	Margin  float64 // δ_{n,m}, Eq. (14): marginal profit of accepting
+}
+
+// Dispatcher selects a candidate for each arriving task. Implementations
+// must not retain the candidate slice. Returning -1 rejects the task.
+type Dispatcher interface {
+	Name() string
+	Choose(task model.Task, cands []Candidate, rng *rand.Rand) int
+}
+
+// Result aggregates a full simulation run. Per-driver slices are indexed
+// like the input driver slice.
+type Result struct {
+	Served   int
+	Rejected int
+
+	Revenue     float64 // Σ p_m over served tasks (market revenue, Fig. 6)
+	TotalProfit float64 // drivers' total profit, objective Eq. (4)
+
+	PerDriverRevenue []float64
+	PerDriverProfit  []float64
+	PerDriverTasks   []int
+
+	// DriverPaths[n] lists the task indices served by driver n in
+	// service order; Assignment maps task index → driver index.
+	DriverPaths [][]int
+	Assignment  map[int]int
+}
+
+// ServeRate returns the fraction of tasks served (Fig. 7).
+func (r Result) ServeRate() float64 {
+	total := r.Served + r.Rejected
+	if total == 0 {
+		return 0
+	}
+	return float64(r.Served) / float64(total)
+}
+
+// AvgRevenuePerDriver returns mean revenue per driver (Fig. 8), over all
+// drivers in the market including idle ones, matching the paper's
+// "average payoff received by each driver".
+func (r Result) AvgRevenuePerDriver() float64 {
+	if len(r.PerDriverRevenue) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range r.PerDriverRevenue {
+		sum += v
+	}
+	return sum / float64(len(r.PerDriverRevenue))
+}
+
+// AvgTasksPerDriver returns mean served tasks per driver (Fig. 9).
+func (r Result) AvgTasksPerDriver() float64 {
+	if len(r.PerDriverTasks) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range r.PerDriverTasks {
+		sum += float64(v)
+	}
+	return sum / float64(len(r.PerDriverTasks))
+}
+
+// driverState is the engine's mutable view of one driver.
+type driverState struct {
+	freeAt  float64   // when the driver can next move (real finish time)
+	loc     geo.Point // current position (last dropoff, or source)
+	revenue float64
+	cost    float64 // travel cost incurred so far (deadhead + service)
+	ntasks  int
+}
+
+// Engine simulates one day of the online market. Construct with New.
+type Engine struct {
+	Market  model.Market
+	Drivers []model.Driver
+
+	// RealTime frees drivers at their actual finish time instead of the
+	// served task's end deadline. See the package comment.
+	RealTime bool
+
+	states []driverState
+	rng    *rand.Rand
+}
+
+// New returns an engine over the given market and drivers. It returns an
+// error if the inputs fail validation.
+func New(m model.Market, drivers []model.Driver, seed int64) (*Engine, error) {
+	if err := model.ValidateAll(m, drivers, nil); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	e := &Engine{
+		Market:  m,
+		Drivers: append([]model.Driver(nil), drivers...),
+		rng:     rand.New(rand.NewSource(seed)),
+	}
+	e.reset()
+	return e, nil
+}
+
+func (e *Engine) reset() {
+	e.states = make([]driverState, len(e.Drivers))
+	for i, d := range e.Drivers {
+		e.states[i] = driverState{freeAt: d.Start, loc: d.Source}
+	}
+}
+
+// Run processes the tasks in publish order through the dispatcher and
+// returns the aggregated result. The engine resets its state first, so
+// one engine can run several dispatchers in sequence; tasks are not
+// mutated.
+func (e *Engine) Run(tasks []model.Task, d Dispatcher) Result {
+	ordered := make([]int, len(tasks))
+	for i := range ordered {
+		ordered[i] = i
+	}
+	sort.Slice(ordered, func(a, b int) bool {
+		ta, tb := tasks[ordered[a]], tasks[ordered[b]]
+		if ta.Publish != tb.Publish {
+			return ta.Publish < tb.Publish
+		}
+		return ordered[a] < ordered[b]
+	})
+	return e.runOrder(tasks, ordered, d)
+}
+
+// RunByValue processes tasks in descending price order — the offline
+// variant of the maximum-marginal-value heuristic the paper sketches at
+// the end of §V-B ("it will be more efficient to deal with the tasks
+// which have higher values firstly").
+func (e *Engine) RunByValue(tasks []model.Task, d Dispatcher) Result {
+	ordered := make([]int, len(tasks))
+	for i := range ordered {
+		ordered[i] = i
+	}
+	sort.Slice(ordered, func(a, b int) bool {
+		ta, tb := tasks[ordered[a]], tasks[ordered[b]]
+		if ta.Price != tb.Price {
+			return ta.Price > tb.Price
+		}
+		return ordered[a] < ordered[b]
+	})
+	return e.runOrder(tasks, ordered, d)
+}
+
+func (e *Engine) runOrder(tasks []model.Task, order []int, d Dispatcher) Result {
+	e.reset()
+	res := Result{
+		PerDriverRevenue: make([]float64, len(e.Drivers)),
+		PerDriverProfit:  make([]float64, len(e.Drivers)),
+		PerDriverTasks:   make([]int, len(e.Drivers)),
+		DriverPaths:      make([][]int, len(e.Drivers)),
+		Assignment:       make(map[int]int),
+	}
+
+	var cands []Candidate
+	for _, ti := range order {
+		task := tasks[ti]
+		cands = e.candidates(task, task.Publish, cands[:0])
+		choice := -1
+		if len(cands) > 0 {
+			choice = d.Choose(task, cands, e.rng)
+			if choice >= len(cands) {
+				panic(fmt.Sprintf("sim: dispatcher %s chose %d of %d candidates", d.Name(), choice, len(cands)))
+			}
+		}
+		if choice < 0 {
+			res.Rejected++
+			continue
+		}
+		c := cands[choice]
+		e.assign(c, task)
+		res.Served++
+		res.Assignment[ti] = c.Driver
+		res.DriverPaths[c.Driver] = append(res.DriverPaths[c.Driver], ti)
+	}
+
+	e.settle(&res)
+	return res
+}
+
+// settle closes per-driver accounts: profit is revenue minus excess
+// cost, where excess cost adds the final leg home and credits the
+// baseline source→destination trip (Eq. 4).
+func (e *Engine) settle(res *Result) {
+	for i := range e.states {
+		st := &e.states[i]
+		drv := e.Drivers[i]
+		res.PerDriverRevenue[i] = st.revenue
+		res.PerDriverTasks[i] = st.ntasks
+		if st.ntasks == 0 {
+			continue
+		}
+		homeCost := e.Market.TravelCost(st.loc, drv.Dest)
+		excess := st.cost + homeCost - e.Market.BaselineCost(drv)
+		res.PerDriverProfit[i] = st.revenue - excess
+		res.TotalProfit += res.PerDriverProfit[i]
+		res.Revenue += st.revenue
+	}
+}
+
+// candidates computes the feasible driver set for the task when the
+// dispatch decision is made at time now (== task.Publish for instant
+// dispatch; later for batched dispatch), appending into buf.
+func (e *Engine) candidates(task model.Task, now float64, buf []Candidate) []Candidate {
+	service := e.Market.TravelTime(task.Source, task.Dest, 0)
+	serviceCost := e.Market.ServiceCost(task)
+
+	for i := range e.Drivers {
+		drv := e.Drivers[i]
+		st := &e.states[i]
+		loc := st.loc
+
+		depart := st.freeAt
+		if depart < now && st.ntasks > 0 {
+			// The driver has been idle at her last dropoff since
+			// freeAt; she departs when notified.
+			depart = now
+		}
+		if st.ntasks == 0 {
+			// Not yet started: she leaves her source no earlier than
+			// shift start or the task's arrival, whichever is later.
+			if depart < now {
+				depart = now
+			}
+			if depart < drv.Start {
+				depart = drv.Start
+			}
+		}
+		arrival := depart + e.Market.DriverTravelTime(drv, loc, task.Source)
+		if arrival > task.StartBy {
+			continue // cannot reach the pickup by its deadline
+		}
+		finish := arrival + service
+		if finish > task.EndBy {
+			continue // cannot complete by the dropoff deadline
+		}
+		// Return-home clause: after the task the driver must still make
+		// her own destination by shift end. In deadline mode she is held
+		// until t̄+_m, matching Eqs. (2)–(3); in real-time mode she
+		// leaves at her actual finish.
+		releasedAt := task.EndBy
+		if e.RealTime {
+			releasedAt = finish
+		}
+		if releasedAt+e.Market.DriverTravelTime(drv, task.Dest, drv.Dest) > drv.End {
+			continue
+		}
+
+		// δ_{n,m}, Eq. (14): price minus the marginal cost of inserting
+		// the task after the driver's current plan.
+		deadhead := e.Market.TravelCost(loc, task.Source)
+		newHome := e.Market.TravelCost(task.Dest, drv.Dest)
+		oldHome := e.Market.TravelCost(loc, drv.Dest)
+		margin := task.Price - (deadhead + serviceCost + newHome - oldHome)
+
+		buf = append(buf, Candidate{Driver: i, Arrival: arrival, Margin: margin})
+	}
+	return buf
+}
+
+// assign commits the task to the candidate driver.
+func (e *Engine) assign(c Candidate, task model.Task) {
+	st := &e.states[c.Driver]
+	st.cost += e.Market.TravelCost(st.loc, task.Source) + e.Market.ServiceCost(task)
+	st.revenue += task.Price
+	st.ntasks++
+	if e.RealTime {
+		st.freeAt = c.Arrival + e.Market.TravelTime(task.Source, task.Dest, 0)
+	} else {
+		st.freeAt = task.EndBy
+	}
+	st.loc = task.Dest
+}

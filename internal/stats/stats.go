@@ -1,0 +1,292 @@
+// Package stats provides the statistical primitives the evaluation
+// harness uses to reproduce the paper's distribution figures (Figs 3–4:
+// travel-time and travel-distance distributions, which exhibit power-law
+// shape) and to summarize simulation metrics.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds basic descriptive statistics of a sample.
+type Summary struct {
+	N               int
+	Min, Max        float64
+	Mean, Std       float64
+	P50, P90, P99   float64
+	Sum             float64
+	SkewIndex       float64 // mean / median, a cheap heavy-tail indicator
+	CoeffOfVariance float64 // std / mean
+}
+
+// Summarize computes descriptive statistics for xs. It returns the zero
+// Summary for an empty sample.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+
+	var sum float64
+	for _, x := range sorted {
+		sum += x
+	}
+	mean := sum / float64(len(sorted))
+	var ss float64
+	for _, x := range sorted {
+		d := x - mean
+		ss += d * d
+	}
+	std := math.Sqrt(ss / float64(len(sorted)))
+
+	s := Summary{
+		N:    len(sorted),
+		Min:  sorted[0],
+		Max:  sorted[len(sorted)-1],
+		Mean: mean,
+		Std:  std,
+		P50:  Quantile(sorted, 0.50),
+		P90:  Quantile(sorted, 0.90),
+		P99:  Quantile(sorted, 0.99),
+		Sum:  sum,
+	}
+	if s.P50 != 0 {
+		s.SkewIndex = mean / s.P50
+	}
+	if mean != 0 {
+		s.CoeffOfVariance = std / mean
+	}
+	return s
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of an ascending-sorted
+// sample using linear interpolation. It panics if sorted is empty.
+func Quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		panic("stats: quantile of empty sample")
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Bin is one histogram bucket.
+type Bin struct {
+	Lo, Hi float64 // [Lo, Hi)
+	Count  int
+	// Density is Count normalized by total count and bin width, so the
+	// histogram integrates to 1 and can be compared against a pdf.
+	Density float64
+}
+
+// Histogram bins xs into n equal-width buckets spanning [min, max].
+// Values exactly equal to max land in the last bucket.
+func Histogram(xs []float64, n int) []Bin {
+	if n <= 0 {
+		panic(fmt.Sprintf("stats: non-positive bin count %d", n))
+	}
+	if len(xs) == 0 {
+		return nil
+	}
+	lo, hi := xs[0], xs[0]
+	for _, x := range xs {
+		lo = math.Min(lo, x)
+		hi = math.Max(hi, x)
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	width := (hi - lo) / float64(n)
+	bins := make([]Bin, n)
+	for i := range bins {
+		bins[i].Lo = lo + float64(i)*width
+		bins[i].Hi = bins[i].Lo + width
+	}
+	for _, x := range xs {
+		i := int((x - lo) / width)
+		if i >= n {
+			i = n - 1
+		}
+		bins[i].Count++
+	}
+	total := float64(len(xs))
+	for i := range bins {
+		bins[i].Density = float64(bins[i].Count) / (total * width)
+	}
+	return bins
+}
+
+// LogHistogram bins positive xs into n logarithmically-spaced buckets.
+// Non-positive values are dropped. Log binning is the standard rendering
+// for power-law distributions (paper Figs 3–4).
+func LogHistogram(xs []float64, n int) []Bin {
+	if n <= 0 {
+		panic(fmt.Sprintf("stats: non-positive bin count %d", n))
+	}
+	var pos []float64
+	for _, x := range xs {
+		if x > 0 {
+			pos = append(pos, x)
+		}
+	}
+	if len(pos) == 0 {
+		return nil
+	}
+	lo, hi := pos[0], pos[0]
+	for _, x := range pos {
+		lo = math.Min(lo, x)
+		hi = math.Max(hi, x)
+	}
+	if hi == lo {
+		hi = lo * 2
+	}
+	logLo, logHi := math.Log(lo), math.Log(hi)
+	width := (logHi - logLo) / float64(n)
+	bins := make([]Bin, n)
+	for i := range bins {
+		bins[i].Lo = math.Exp(logLo + float64(i)*width)
+		bins[i].Hi = math.Exp(logLo + float64(i+1)*width)
+	}
+	for _, x := range pos {
+		i := int((math.Log(x) - logLo) / width)
+		if i >= n {
+			i = n - 1
+		}
+		if i < 0 {
+			i = 0
+		}
+		bins[i].Count++
+	}
+	total := float64(len(pos))
+	for i := range bins {
+		w := bins[i].Hi - bins[i].Lo
+		bins[i].Density = float64(bins[i].Count) / (total * w)
+	}
+	return bins
+}
+
+// CCDFPoint is one point of a complementary CDF.
+type CCDFPoint struct {
+	X float64 // value
+	P float64 // Pr[sample > X]
+}
+
+// CCDF returns the empirical complementary CDF of xs evaluated at every
+// distinct sample value, ascending in X. A straight line of the CCDF on
+// log-log axes is the signature of a power law.
+func CCDF(xs []float64) []CCDFPoint {
+	if len(xs) == 0 {
+		return nil
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	n := float64(len(sorted))
+	var out []CCDFPoint
+	for i := 0; i < len(sorted); {
+		j := i
+		for j < len(sorted) && sorted[j] == sorted[i] {
+			j++
+		}
+		out = append(out, CCDFPoint{X: sorted[i], P: float64(len(sorted)-j) / n})
+		i = j
+	}
+	return out
+}
+
+// PowerLawFit holds the result of a continuous power-law MLE fit
+// p(x) ∝ x^(−Alpha) for x ≥ XMin (the Hill estimator).
+type PowerLawFit struct {
+	Alpha float64 // fitted exponent (> 1 for a proper distribution)
+	XMin  float64 // lower cutoff used in the fit
+	N     int     // number of tail samples used
+}
+
+// FitPowerLaw fits a continuous power-law tail to the samples ≥ xmin
+// using maximum likelihood: α̂ = 1 + n / Σ ln(x_i / xmin). It returns an
+// error when fewer than two samples survive the cutoff.
+func FitPowerLaw(xs []float64, xmin float64) (PowerLawFit, error) {
+	if xmin <= 0 {
+		return PowerLawFit{}, fmt.Errorf("stats: xmin must be positive, got %g", xmin)
+	}
+	var sum float64
+	var n int
+	for _, x := range xs {
+		if x >= xmin {
+			sum += math.Log(x / xmin)
+			n++
+		}
+	}
+	if n < 2 || sum <= 0 {
+		return PowerLawFit{}, fmt.Errorf("stats: insufficient tail samples (%d) above xmin=%g", n, xmin)
+	}
+	return PowerLawFit{Alpha: 1 + float64(n)/sum, XMin: xmin, N: n}, nil
+}
+
+// TailHeaviness returns the ratio P99/P50 of the sample, a scale-free
+// indicator of heavy tails used by tests to assert that generated traces
+// exhibit the paper's power-law shape.
+func TailHeaviness(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	p50 := Quantile(sorted, 0.50)
+	if p50 == 0 {
+		return 0
+	}
+	return Quantile(sorted, 0.99) / p50
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty sample.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Gini returns the Gini coefficient of the sample (0 = perfectly equal,
+// →1 = maximally concentrated). The market-design discussion of §VI-C is
+// about congestion and participant welfare; the Gini of per-driver
+// earnings quantifies how evenly a dispatch policy spreads income.
+// Negative values are not meaningful for earnings and cause a 0 return,
+// as does an empty or all-zero sample.
+func Gini(xs []float64) float64 {
+	var total float64
+	for _, x := range xs {
+		if x < 0 {
+			return 0
+		}
+		total += x
+	}
+	if len(xs) == 0 || total == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	// G = (2 Σ_i i·x_(i) / (n Σ x)) − (n+1)/n with 1-based ranks.
+	var weighted float64
+	for i, x := range sorted {
+		weighted += float64(i+1) * x
+	}
+	n := float64(len(sorted))
+	return 2*weighted/(n*total) - (n+1)/n
+}

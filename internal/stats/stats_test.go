@@ -1,0 +1,250 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeKnownSample(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 {
+		t.Fatalf("basic fields wrong: %+v", s)
+	}
+	if math.Abs(s.Mean-3) > 1e-12 || math.Abs(s.P50-3) > 1e-12 {
+		t.Fatalf("mean/median wrong: %+v", s)
+	}
+	if math.Abs(s.Std-math.Sqrt(2)) > 1e-12 {
+		t.Fatalf("std = %g, want sqrt(2)", s.Std)
+	}
+	if math.Abs(s.Sum-15) > 1e-12 {
+		t.Fatalf("sum = %g", s.Sum)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 {
+		t.Fatalf("empty sample: %+v", s)
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Summarize(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("Summarize mutated its input")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40}
+	cases := []struct{ q, want float64 }{
+		{0, 10}, {1, 40}, {0.5, 25}, {1.0 / 3, 20},
+	}
+	for _, tc := range cases {
+		if got := Quantile(sorted, tc.q); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("Quantile(%g) = %g, want %g", tc.q, got, tc.want)
+		}
+	}
+}
+
+func TestQuantilePanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Quantile(nil, 0.5)
+}
+
+func TestHistogramCountsEverything(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = rng.Float64() * 10
+	}
+	bins := Histogram(xs, 20)
+	total := 0
+	for _, b := range bins {
+		total += b.Count
+	}
+	if total != len(xs) {
+		t.Fatalf("histogram dropped samples: %d of %d", total, len(xs))
+	}
+}
+
+func TestHistogramDensityIntegratesToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	xs := make([]float64, 5000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	var integral float64
+	for _, b := range Histogram(xs, 30) {
+		integral += b.Density * (b.Hi - b.Lo)
+	}
+	if math.Abs(integral-1) > 1e-9 {
+		t.Fatalf("density integral = %g, want 1", integral)
+	}
+}
+
+func TestHistogramDegenerateSample(t *testing.T) {
+	bins := Histogram([]float64{5, 5, 5}, 4)
+	total := 0
+	for _, b := range bins {
+		total += b.Count
+	}
+	if total != 3 {
+		t.Fatalf("degenerate histogram lost samples: %d", total)
+	}
+}
+
+func TestLogHistogramDropsNonPositive(t *testing.T) {
+	bins := LogHistogram([]float64{-1, 0, 1, 10, 100}, 5)
+	total := 0
+	for _, b := range bins {
+		total += b.Count
+	}
+	if total != 3 {
+		t.Fatalf("log histogram counted %d, want 3 positive samples", total)
+	}
+	for i := 1; i < len(bins); i++ {
+		if bins[i].Lo <= bins[i-1].Lo {
+			t.Fatal("log bins not increasing")
+		}
+	}
+}
+
+func TestLogHistogramEmpty(t *testing.T) {
+	if bins := LogHistogram([]float64{-2, 0}, 4); bins != nil {
+		t.Fatalf("expected nil bins, got %v", bins)
+	}
+}
+
+func TestCCDFProperties(t *testing.T) {
+	xs := []float64{1, 1, 2, 3, 3, 3}
+	pts := CCDF(xs)
+	if len(pts) != 3 {
+		t.Fatalf("distinct values = %d, want 3", len(pts))
+	}
+	// P[>1] = 4/6, P[>2] = 3/6, P[>3] = 0.
+	want := []float64{4.0 / 6, 3.0 / 6, 0}
+	for i, p := range pts {
+		if math.Abs(p.P-want[i]) > 1e-12 {
+			t.Errorf("CCDF[%d] = %g, want %g", i, p.P, want[i])
+		}
+	}
+}
+
+func TestCCDFMonotone(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		pts := CCDF(raw)
+		for i := 1; i < len(pts); i++ {
+			if pts[i].P > pts[i-1].P || pts[i].X <= pts[i-1].X {
+				return false
+			}
+		}
+		return pts[len(pts)-1].P == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFitPowerLawRecoversExponent(t *testing.T) {
+	// Sample from a pure Pareto with α = 2.5 and check the MLE.
+	rng := rand.New(rand.NewSource(3))
+	const alpha = 2.5
+	xs := make([]float64, 20000)
+	for i := range xs {
+		xs[i] = math.Pow(rng.Float64(), -1/(alpha-1)) // xmin = 1
+	}
+	fit, err := FitPowerLaw(xs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Alpha-alpha) > 0.1 {
+		t.Fatalf("fitted α = %.3f, want ≈ %.1f", fit.Alpha, alpha)
+	}
+	if fit.N != len(xs) {
+		t.Fatalf("tail count %d, want %d", fit.N, len(xs))
+	}
+}
+
+func TestFitPowerLawErrors(t *testing.T) {
+	if _, err := FitPowerLaw([]float64{1, 2}, 0); err == nil {
+		t.Error("xmin = 0 accepted")
+	}
+	if _, err := FitPowerLaw([]float64{0.5}, 1); err == nil {
+		t.Error("no tail samples accepted")
+	}
+}
+
+func TestTailHeaviness(t *testing.T) {
+	// A heavy-tailed sample has far higher P99/P50 than a uniform one.
+	rng := rand.New(rand.NewSource(4))
+	uniform := make([]float64, 5000)
+	pareto := make([]float64, 5000)
+	for i := range uniform {
+		uniform[i] = 1 + rng.Float64()
+		pareto[i] = math.Pow(rng.Float64(), -1/1.5)
+	}
+	hu := TailHeaviness(uniform)
+	hp := TailHeaviness(pareto)
+	if hp < 3*hu {
+		t.Fatalf("pareto heaviness %.2f not clearly above uniform %.2f", hp, hu)
+	}
+	if TailHeaviness(nil) != 0 {
+		t.Error("empty sample should report 0")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{2, 4, 6}); got != 4 {
+		t.Errorf("Mean = %g", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %g", got)
+	}
+}
+
+func TestGiniKnownValues(t *testing.T) {
+	if g := Gini([]float64{5, 5, 5, 5}); math.Abs(g) > 1e-12 {
+		t.Errorf("equal sample Gini = %g, want 0", g)
+	}
+	// One person has everything: G = (n-1)/n.
+	if g := Gini([]float64{0, 0, 0, 10}); math.Abs(g-0.75) > 1e-12 {
+		t.Errorf("concentrated Gini = %g, want 0.75", g)
+	}
+	// Textbook example: {1,2,3,4} → G = 0.25.
+	if g := Gini([]float64{4, 1, 3, 2}); math.Abs(g-0.25) > 1e-12 {
+		t.Errorf("Gini({1..4}) = %g, want 0.25", g)
+	}
+}
+
+func TestGiniDegenerate(t *testing.T) {
+	if Gini(nil) != 0 {
+		t.Error("empty sample should be 0")
+	}
+	if Gini([]float64{0, 0}) != 0 {
+		t.Error("all-zero sample should be 0")
+	}
+	if Gini([]float64{3, -1}) != 0 {
+		t.Error("negative earnings should return 0")
+	}
+}
+
+func TestGiniScaleInvariant(t *testing.T) {
+	xs := []float64{1, 4, 2, 9, 3}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = x * 1000
+	}
+	if math.Abs(Gini(xs)-Gini(ys)) > 1e-12 {
+		t.Error("Gini should be scale invariant")
+	}
+}

@@ -1,0 +1,8 @@
+package taskmap
+
+import "sort"
+
+// sortInt32s sorts xs in place using the given less function.
+func sortInt32s(xs []int32, less func(a, b int32) bool) {
+	sort.Slice(xs, func(i, j int) bool { return less(xs[i], xs[j]) })
+}

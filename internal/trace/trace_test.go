@@ -1,0 +1,266 @@
+package trace
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/model"
+	"repro/internal/pricing"
+	"repro/internal/stats"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := NewConfig(7, 50, 10, Hitchhiking)
+	a := NewGenerator(cfg).Generate(nil)
+	b := NewGenerator(cfg).Generate(nil)
+	if len(a.Tasks) != len(b.Tasks) || len(a.Drivers) != len(b.Drivers) {
+		t.Fatal("sizes differ across identical seeds")
+	}
+	for i := range a.Tasks {
+		if a.Tasks[i] != b.Tasks[i] {
+			t.Fatalf("task %d differs across identical seeds", i)
+		}
+	}
+	for i := range a.Drivers {
+		if a.Drivers[i] != b.Drivers[i] {
+			t.Fatalf("driver %d differs across identical seeds", i)
+		}
+	}
+}
+
+func TestGenerateDifferentSeedsDiffer(t *testing.T) {
+	a := NewGenerator(NewConfig(1, 20, 5, Hitchhiking)).Generate(nil)
+	b := NewGenerator(NewConfig(2, 20, 5, Hitchhiking)).Generate(nil)
+	same := true
+	for i := range a.Tasks {
+		if a.Tasks[i] != b.Tasks[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestGeneratedInstanceValidates(t *testing.T) {
+	for _, dm := range []DriverModel{HomeWorkHome, Hitchhiking} {
+		cfg := NewConfig(3, 200, 40, dm)
+		tr := NewGenerator(cfg).Generate(nil)
+		if err := model.ValidateAll(cfg.Market, tr.Drivers, tr.Tasks); err != nil {
+			t.Fatalf("%v: generated instance invalid: %v", dm, err)
+		}
+	}
+}
+
+func TestTasksSortedByPublish(t *testing.T) {
+	tr := NewGenerator(NewConfig(5, 300, 10, Hitchhiking)).Generate(nil)
+	for i := 1; i < len(tr.Tasks); i++ {
+		if tr.Tasks[i].Publish < tr.Tasks[i-1].Publish {
+			t.Fatalf("tasks not in arrival order at %d", i)
+		}
+	}
+}
+
+func TestDriverModels(t *testing.T) {
+	home := NewGenerator(NewConfig(1, 5, 30, HomeWorkHome)).GenerateDrivers()
+	for _, d := range home {
+		if d.Source != d.Dest {
+			t.Fatalf("home-work-home driver %d has distinct endpoints", d.ID)
+		}
+	}
+	hitch := NewGenerator(NewConfig(1, 5, 30, Hitchhiking)).GenerateDrivers()
+	distinct := 0
+	for _, d := range hitch {
+		if d.Source != d.Dest {
+			distinct++
+		}
+	}
+	if distinct < len(hitch)*3/4 {
+		t.Fatalf("only %d/%d hitchhiking drivers have distinct endpoints", distinct, len(hitch))
+	}
+}
+
+func TestDriverShiftsWithinBounds(t *testing.T) {
+	cfg := NewConfig(9, 5, 200, Hitchhiking)
+	for _, d := range NewGenerator(cfg).GenerateDrivers() {
+		length := d.End - d.Start
+		if length < cfg.ShiftMinLen-1e-9 || length > cfg.ShiftMaxLen+1e-9 {
+			t.Fatalf("driver %d shift %.0fs outside [%.0f, %.0f]", d.ID, length, cfg.ShiftMinLen, cfg.ShiftMaxLen)
+		}
+		if d.Start < cfg.DayStart {
+			t.Fatalf("driver %d starts before the day", d.ID)
+		}
+	}
+}
+
+func TestTripDistancesHeavyTailed(t *testing.T) {
+	// Figs 3–4: travel time/distance follow a power-law shape. The
+	// bounded-Pareto generator must produce a visibly heavy tail and an
+	// MLE exponent near the configured TripAlpha.
+	cfg := NewConfig(13, 4000, 1, Hitchhiking)
+	g := NewGenerator(cfg)
+	dists := make([]float64, 0, cfg.Tasks)
+	for range make([]struct{}, cfg.Tasks) {
+		dists = append(dists, g.boundedPareto())
+	}
+	for _, d := range dists {
+		if d < cfg.TripMinKm-1e-9 || d > cfg.TripMaxKm+1e-9 {
+			t.Fatalf("trip %.3f km outside [%g, %g]", d, cfg.TripMinKm, cfg.TripMaxKm)
+		}
+	}
+	fit, err := stats.FitPowerLaw(dists, cfg.TripMinKm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// TripAlpha is the tail (CCDF) exponent; FitPowerLaw returns the pdf
+	// exponent, which is TripAlpha+1 for a Pareto. The bounded upper
+	// cutoff adds a small upward bias.
+	want := cfg.TripAlpha + 1
+	if fit.Alpha < want-0.15 || fit.Alpha > want+0.25 {
+		t.Fatalf("fitted pdf exponent = %.3f, want ≈ %.2f", fit.Alpha, want)
+	}
+	if h := stats.TailHeaviness(dists); h < 3 {
+		t.Fatalf("tail heaviness %.2f too light for a power law", h)
+	}
+}
+
+func TestArrivalsFollowRushHours(t *testing.T) {
+	cfg := NewConfig(17, 6000, 1, Hitchhiking)
+	tasks := NewGenerator(cfg).GenerateTasks()
+	// Count arrivals in the evening rush (17:30–19:30) vs dead of night
+	// (02:00–04:00); the ratio should reflect the intensity profile.
+	var rush, night int
+	for _, tk := range tasks {
+		h := tk.Publish / 3600
+		switch {
+		case h >= 17.5 && h < 19.5:
+			rush++
+		case h >= 2 && h < 4:
+			night++
+		}
+	}
+	if rush < 4*night {
+		t.Fatalf("rush=%d night=%d: demand curve not peaked", rush, night)
+	}
+}
+
+func TestDemandIntensityShape(t *testing.T) {
+	if DemandIntensity(8.5*3600) < DemandIntensity(3*3600) {
+		t.Error("morning rush should exceed night")
+	}
+	if DemandIntensity(18.5*3600) < DemandIntensity(12*3600)*1.2 {
+		t.Error("evening rush should clearly exceed midday")
+	}
+	// Intensity must stay under the thinning majorant.
+	for h := 0.0; h <= 24; h += 0.1 {
+		if DemandIntensity(h*3600) > 2.75 {
+			t.Fatalf("intensity %.3f at hour %.1f exceeds thinning bound", DemandIntensity(h*3600), h)
+		}
+	}
+}
+
+func TestTaskGeometryInsideBox(t *testing.T) {
+	cfg := NewConfig(19, 500, 1, Hitchhiking)
+	for _, tk := range NewGenerator(cfg).GenerateTasks() {
+		if !cfg.Box.Contains(tk.Source) || !cfg.Box.Contains(tk.Dest) {
+			t.Fatalf("task %d endpoints outside the box", tk.ID)
+		}
+	}
+}
+
+func TestTaskWindowsConsistent(t *testing.T) {
+	cfg := NewConfig(23, 400, 1, Hitchhiking)
+	for _, tk := range NewGenerator(cfg).GenerateTasks() {
+		if !(tk.Publish < tk.StartBy && tk.StartBy < tk.EndBy) {
+			t.Fatalf("task %d: ordering broken: %+v", tk.ID, tk)
+		}
+		service := cfg.Market.TravelTime(tk.Source, tk.Dest, 0)
+		if tk.EndBy-tk.StartBy < service-1e-9 {
+			t.Fatalf("task %d: window shorter than direct service time", tk.ID)
+		}
+	}
+}
+
+func TestGenerateAppliesPricer(t *testing.T) {
+	cfg := NewConfig(29, 100, 5, Hitchhiking)
+	surge := pricing.NewLinear(cfg.Market, 2)
+	tr := NewGenerator(cfg).Generate(surge)
+	base := NewGenerator(cfg).Generate(pricing.NewLinear(cfg.Market, 1))
+	for i := range tr.Tasks {
+		if tr.Tasks[i].Price <= 0 {
+			t.Fatalf("task %d unpriced", i)
+		}
+		if math.Abs(tr.Tasks[i].Price-2*base.Tasks[i].Price) > 1e-9 {
+			t.Fatalf("task %d: α=2 price %.4f != 2 × α=1 price %.4f",
+				i, tr.Tasks[i].Price, base.Tasks[i].Price)
+		}
+		if tr.Tasks[i].WTP < tr.Tasks[i].Price {
+			t.Fatalf("task %d: WTP below price", i)
+		}
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := NewConfig(1, 10, 5, Hitchhiking)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"negative tasks", func(c *Config) { c.Tasks = -1 }},
+		{"bad box", func(c *Config) { c.Box.MaxLat = c.Box.MinLat }},
+		{"empty day", func(c *Config) { c.DayEnd = c.DayStart }},
+		{"alpha ≤ 1", func(c *Config) { c.TripAlpha = 1 }},
+		{"bad trip range", func(c *Config) { c.TripMaxKm = c.TripMinKm }},
+		{"bad pickup window", func(c *Config) { c.PickupWindowMax = c.PickupWindowMin - 1 }},
+		{"slack below 1", func(c *Config) { c.SlackMin = 0.5 }},
+		{"bad shift range", func(c *Config) { c.ShiftMaxLen = c.ShiftMinLen - 1 }},
+	}
+	for _, tc := range cases {
+		c := NewConfig(1, 10, 5, Hitchhiking)
+		tc.mut(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
+
+func TestNewGeneratorPanicsOnInvalid(t *testing.T) {
+	cfg := NewConfig(1, 10, 5, Hitchhiking)
+	cfg.TripAlpha = 0.5
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewGenerator(cfg)
+}
+
+func TestDriverModelString(t *testing.T) {
+	if HomeWorkHome.String() != "home-work-home" || Hitchhiking.String() != "hitchhiking" {
+		t.Error("DriverModel String values wrong")
+	}
+	if DriverModel(9).String() != "DriverModel(9)" {
+		t.Error("unknown DriverModel String wrong")
+	}
+}
+
+// TestQuickGeneratedInstancesAlwaysValid fuzzes generator parameters:
+// every emitted instance must pass full model validation (the zero-width
+// window regression found by the simulator property tests lives here).
+func TestQuickGeneratedInstancesAlwaysValid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := NewConfig(seed, 5+rng.Intn(80), rng.Intn(20), DriverModel(rng.Intn(2)))
+		tr := NewGenerator(cfg).Generate(nil)
+		return model.ValidateAll(cfg.Market, tr.Drivers, tr.Tasks) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
