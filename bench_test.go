@@ -24,6 +24,7 @@ import (
 	"repro/internal/pricing"
 	"repro/internal/roadnet"
 	"repro/internal/sim"
+	"repro/internal/spatial"
 	"repro/internal/stats"
 	"repro/internal/taskmap"
 	"repro/internal/trace"
@@ -275,6 +276,75 @@ func BenchmarkOnlineNearest(b *testing.B) {
 		eng.Run(tr.Tasks, online.Nearest{})
 	}
 }
+
+// --- Spatial index: dispatch at fleet scale ---------------------------
+
+// benchmarkDispatchScale runs a full online day at city-fleet driver
+// counts, with and without the grid-indexed candidate source. The scan
+// engine pays O(N) per task; the indexed engine only examines drivers
+// inside the pickup's reachability radius, which is what lets the same
+// simulator serve 10k–50k-driver markets. Both paths produce identical
+// results (asserted by the sim differential tests); the "served" metric
+// is reported so a divergence would also be visible here.
+func benchmarkDispatchScale(b *testing.B, drivers int, indexed bool) {
+	cfg := trace.NewConfig(27, 1000, drivers, trace.Hitchhiking)
+	tr := trace.NewGenerator(cfg).Generate(nil)
+	eng, err := sim.New(cfg.Market, tr.Drivers, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if indexed {
+		eng.SetCandidateSource(sim.NewGridSource(nil))
+	}
+	var served int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		served = eng.Run(tr.Tasks, online.MaxMargin{}).Served
+	}
+	b.ReportMetric(float64(served), "served")
+}
+
+func BenchmarkOnlineMaxMarginScan10k(b *testing.B) { benchmarkDispatchScale(b, 10_000, false) }
+func BenchmarkOnlineMaxMarginGrid10k(b *testing.B) { benchmarkDispatchScale(b, 10_000, true) }
+func BenchmarkOnlineMaxMarginScan50k(b *testing.B) { benchmarkDispatchScale(b, 50_000, false) }
+func BenchmarkOnlineMaxMarginGrid50k(b *testing.B) { benchmarkDispatchScale(b, 50_000, true) }
+
+// BenchmarkSpatialIndexNear measures one radius query against a 10k-point
+// index — the per-task cost floor of grid-indexed dispatch.
+func BenchmarkSpatialIndexNear(b *testing.B) {
+	rng := trace.NewGenerator(trace.NewConfig(29, 10_000, 1, trace.Hitchhiking))
+	tasks := rng.GenerateTasks()
+	pts := make([]geo.Point, len(tasks))
+	for i, tk := range tasks {
+		pts[i] = tk.Source
+	}
+	grid := geo.NewGrid(geo.PortoBox, 64, 64)
+	ix := spatial.NewIndex(grid, pts)
+	var visited int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		visited = 0
+		ix.Near(pts[i%len(pts)], 2.5, func(int) { visited++ })
+	}
+	b.ReportMetric(float64(visited), "visited")
+}
+
+// BenchmarkDensitySweepSerial vs ...Parallel measures the worker-pool
+// speedup of the Figs 6–9 sweep (identical series either way; the win
+// scales with core count).
+func benchmarkDensitySweep(b *testing.B, workers int) {
+	cfg := experiments.Default()
+	cfg.Workers = workers
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunDensitySweep(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDensitySweepSerial(b *testing.B)   { benchmarkDensitySweep(b, 1) }
+func BenchmarkDensitySweepParallel(b *testing.B) { benchmarkDensitySweep(b, 0) }
 
 func BenchmarkSurgePricer(b *testing.B) {
 	m := model.DefaultMarket()

@@ -147,6 +147,7 @@ func cmdSimulate(args []string) error {
 	batchWindow := fs.Float64("batchwindow", 30, "batch window in seconds (batched dispatcher only)")
 	replanPeriod := fs.Float64("replanperiod", 60, "flush period in seconds (replan dispatcher only)")
 	seed := fs.Int64("seed", 1, "random seed for tie-breaking")
+	indexed := fs.Bool("indexed", false, "use the grid-indexed candidate source (identical results, faster on large fleets)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -162,6 +163,9 @@ func cmdSimulate(args []string) error {
 		return err
 	}
 	eng.RealTime = *realTime
+	if *indexed {
+		eng.SetCandidateSource(sim.NewGridSource(nil))
+	}
 
 	var res sim.Result
 	name := ""
@@ -205,6 +209,8 @@ func cmdExperiments(args []string) error {
 	fig := fs.String("fig", "all", "figure to regenerate: 3-9, welfare, surge, dispatch, or all")
 	scale := fs.String("scale", "bench", "bench (scaled-down, fast) or paper (full §VI scale)")
 	seed := fs.Int64("seed", 1, "trace seed")
+	workers := fs.Int("workers", 0, "concurrent sweep workers (0 = one per CPU core)")
+	reps := fs.Int("reps", 1, "replications averaged per sweep point (consecutive seeds)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -218,6 +224,8 @@ func cmdExperiments(args []string) error {
 		return fmt.Errorf("experiments: unknown scale %q", *scale)
 	}
 	cfg.Seed = *seed
+	cfg.Workers = *workers
+	cfg.Replications = *reps
 	return runExperiments(os.Stdout, cfg, *fig)
 }
 

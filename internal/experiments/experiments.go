@@ -37,6 +37,25 @@ type Config struct {
 
 	// DistSamples is the trip count used for the distribution figures.
 	DistSamples int
+
+	// Workers bounds the number of concurrent workers evaluating sweep
+	// points; 0 means one per CPU core. Every (density, seed) point owns
+	// its generator, engine and RNG, so the series are identical for any
+	// worker count.
+	Workers int
+
+	// Replications averages each sweep point of Fig. 5 and the density
+	// study over this many consecutive seeds (Seed, Seed+1, …); 0 or 1
+	// reproduces the single-seed sweep.
+	Replications int
+}
+
+// replications normalizes the Replications field.
+func (c Config) replications() int {
+	if c.Replications < 1 {
+		return 1
+	}
+	return c.Replications
 }
 
 // Default returns the benchmark-scale configuration: 250 tasks and a
@@ -145,19 +164,37 @@ func Fig5PerformanceRatio(cfg Config, dm trace.DriverModel) (Figure, error) {
 		series[i] = Series{Name: name}
 	}
 
-	for _, n := range cfg.Sweep {
-		p, err := buildProblem(cfg, n, dm)
+	// Fan the (density, seed) grid out over the worker pool; ratios[k]
+	// belongs to sweep point k/reps, replication k%reps.
+	reps := cfg.replications()
+	ratios := make([][3]float64, len(cfg.Sweep)*reps)
+	err := forEachIndex(cfg.Workers, len(ratios), func(k int) error {
+		n, seed := cfg.Sweep[k/reps], cfg.Seed+int64(k%reps)
+		p, err := buildProblem(cfg, seed, n, dm)
 		if err != nil {
-			return Figure{}, err
+			return err
 		}
-		sols, err := solveAll(p, cfg.Seed)
+		sols, err := solveAll(p, seed)
 		if err != nil {
-			return Figure{}, err
+			return err
 		}
 		ub := upperBound(p, sols[0].Profit, cfg)
 		for i := range names {
+			ratios[k][i] = core.PerformanceRatio(sols[i].Profit, ub)
+		}
+		return nil
+	})
+	if err != nil {
+		return Figure{}, err
+	}
+	for pi, n := range cfg.Sweep {
+		for i := range names {
+			var sum float64
+			for r := 0; r < reps; r++ {
+				sum += ratios[pi*reps+r][i]
+			}
 			series[i].X = append(series[i].X, float64(n))
-			series[i].Y = append(series[i].Y, core.PerformanceRatio(sols[i].Profit, ub))
+			series[i].Y = append(series[i].Y, sum/float64(reps))
 		}
 	}
 	return Figure{
@@ -165,7 +202,8 @@ func Fig5PerformanceRatio(cfg Config, dm trace.DriverModel) (Figure, error) {
 		Title:  fmt.Sprintf("Performance Ratio (%v model)", dm),
 		XLabel: "number of drivers", YLabel: "profit / Z*_f",
 		Series: series,
-		Notes:  fmt.Sprintf("%d tasks; bound: colgen (small) / Lagrangian %d iters (large)", cfg.Tasks, cfg.BoundIters),
+		Notes: fmt.Sprintf("%d tasks; %d replication(s); bound: colgen (small) / Lagrangian %d iters (large)",
+			cfg.Tasks, reps, cfg.BoundIters),
 	}, nil
 }
 
@@ -182,7 +220,10 @@ type DensityMetrics struct {
 }
 
 // RunDensitySweep executes the Figs 6–9 sweep on the hitchhiking model
-// (the paper's §VI-C uses "the general hitchhiking model").
+// (the paper's §VI-C uses "the general hitchhiking model"). The
+// (density, seed) points run concurrently on cfg.Workers workers; each
+// point owns its trace generator and simulation engines, so the returned
+// series are identical for any worker count.
 func RunDensitySweep(cfg Config) (DensityMetrics, error) {
 	names := []string{"Greedy", "maxMargin", "Nearest"}
 	m := DensityMetrics{
@@ -192,21 +233,44 @@ func RunDensitySweep(cfg Config) (DensityMetrics, error) {
 		AvgRev:    make([][]float64, len(names)),
 		AvgTasks:  make([][]float64, len(names)),
 	}
-	for _, n := range cfg.Sweep {
-		p, err := buildProblem(cfg, n, trace.Hitchhiking)
+	reps := cfg.replications()
+	type point struct {
+		revenue, served [3]float64
+	}
+	pts := make([]point, len(cfg.Sweep)*reps)
+	err := forEachIndex(cfg.Workers, len(pts), func(k int) error {
+		n, seed := cfg.Sweep[k/reps], cfg.Seed+int64(k%reps)
+		p, err := buildProblem(cfg, seed, n, trace.Hitchhiking)
 		if err != nil {
-			return DensityMetrics{}, err
+			return err
 		}
-		sols, err := solveAll(p, cfg.Seed)
+		sols, err := solveAll(p, seed)
 		if err != nil {
-			return DensityMetrics{}, err
+			return err
 		}
-		m.Drivers = append(m.Drivers, n)
 		for i, s := range sols {
-			m.Revenue[i] = append(m.Revenue[i], s.Revenue)
-			m.ServeRate[i] = append(m.ServeRate[i], float64(s.Served)/float64(cfg.Tasks))
-			m.AvgRev[i] = append(m.AvgRev[i], s.Revenue/float64(n))
-			m.AvgTasks[i] = append(m.AvgTasks[i], float64(s.Served)/float64(n))
+			pts[k].revenue[i] = s.Revenue
+			pts[k].served[i] = float64(s.Served)
+		}
+		return nil
+	})
+	if err != nil {
+		return DensityMetrics{}, err
+	}
+	for pi, n := range cfg.Sweep {
+		m.Drivers = append(m.Drivers, n)
+		for i := range names {
+			var revenue, served float64
+			for r := 0; r < reps; r++ {
+				revenue += pts[pi*reps+r].revenue[i]
+				served += pts[pi*reps+r].served[i]
+			}
+			revenue /= float64(reps)
+			served /= float64(reps)
+			m.Revenue[i] = append(m.Revenue[i], revenue)
+			m.ServeRate[i] = append(m.ServeRate[i], served/float64(cfg.Tasks))
+			m.AvgRev[i] = append(m.AvgRev[i], revenue/float64(n))
+			m.AvgTasks[i] = append(m.AvgTasks[i], served/float64(n))
 		}
 	}
 	return m, nil
@@ -233,12 +297,12 @@ func (m DensityMetrics) Figures() []Figure {
 	}
 }
 
-// buildProblem generates the trace for one sweep point. The task set is
-// held fixed across driver counts (same seed), as in the paper: "We
-// select 1000 records during one day ... by gradually increasing the
-// number of drivers".
-func buildProblem(cfg Config, drivers int, dm trace.DriverModel) (*core.Problem, error) {
-	tcfg := trace.NewConfig(cfg.Seed, cfg.Tasks, drivers, dm)
+// buildProblem generates the trace for one (seed, density) sweep point.
+// The task set is held fixed across driver counts (same seed), as in the
+// paper: "We select 1000 records during one day ... by gradually
+// increasing the number of drivers".
+func buildProblem(cfg Config, seed int64, drivers int, dm trace.DriverModel) (*core.Problem, error) {
+	tcfg := trace.NewConfig(seed, cfg.Tasks, drivers, dm)
 	tr := trace.NewGenerator(tcfg).Generate(nil)
 	return core.NewProblem(tcfg.Market, tr.Drivers, tr.Tasks)
 }

@@ -2,7 +2,10 @@ package experiments
 
 import (
 	"bytes"
+	"errors"
+	"reflect"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/trace"
@@ -16,6 +19,18 @@ func testConfig() Config {
 		Sweep:       []int{5, 15, 30},
 		BoundIters:  40,
 		DistSamples: 3000,
+	}
+}
+
+// shortConfig shrinks the sweep for -short runs: fewer points, fewer
+// tasks and far fewer bound-refinement iterations (the dominant cost).
+func shortConfig() Config {
+	return Config{
+		Seed:        1,
+		Tasks:       40,
+		Sweep:       []int{5, 12},
+		BoundIters:  10,
+		DistSamples: 1500,
 	}
 }
 
@@ -59,6 +74,9 @@ func TestFig4Shape(t *testing.T) {
 
 func TestFig5OrderingMatchesPaper(t *testing.T) {
 	cfg := testConfig()
+	if testing.Short() {
+		cfg = shortConfig()
+	}
 	fig, err := Fig5PerformanceRatio(cfg, trace.Hitchhiking)
 	if err != nil {
 		t.Fatal(err)
@@ -93,6 +111,9 @@ func TestFig5OrderingMatchesPaper(t *testing.T) {
 }
 
 func TestFig5HitchhikingBeatsHomeWorkHome(t *testing.T) {
+	if testing.Short() {
+		t.Skip("directional §VI-B claim needs the full test scale; run without -short")
+	}
 	// §VI-B: "almost all our algorithms achieve better performance
 	// ratio in the hitchhiking model". Compare greedy's aggregate.
 	cfg := testConfig()
@@ -160,6 +181,127 @@ func TestDensitySweepShapes(t *testing.T) {
 		if len(f.Series) != 3 {
 			t.Errorf("%s: series = %d, want 3", f.ID, len(f.Series))
 		}
+	}
+}
+
+// TestSweepsDeterministicAcrossWorkers pins the parallelization
+// contract: every sweep yields identical series no matter how many
+// workers evaluate it, because each (density, seed) point owns its
+// generator, engines and RNG.
+func TestSweepsDeterministicAcrossWorkers(t *testing.T) {
+	cfg := shortConfig()
+	cfg.Replications = 2
+
+	serial, parallel := cfg, cfg
+	serial.Workers = 1
+	parallel.Workers = 4
+
+	ms, err := RunDensitySweep(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp, err := RunDensitySweep(parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ms, mp) {
+		t.Errorf("density sweep differs across worker counts:\nserial   %+v\nparallel %+v", ms, mp)
+	}
+
+	fs, err := Fig5PerformanceRatio(serial, trace.Hitchhiking)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := Fig5PerformanceRatio(parallel, trace.Hitchhiking)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fs, fp) {
+		t.Errorf("fig5 differs across worker counts:\nserial   %+v\nparallel %+v", fs, fp)
+	}
+
+	ws, err := WelfareComparison(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wp, err := WelfareComparison(parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ws, wp) {
+		t.Errorf("welfare comparison differs across worker counts:\nserial   %+v\nparallel %+v", ws, wp)
+	}
+}
+
+// TestReplicationsAverage checks that multi-seed averaging keeps the
+// series well-formed and actually mixes in the extra seeds.
+func TestReplicationsAverage(t *testing.T) {
+	cfg := shortConfig()
+	single, err := RunDensitySweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Replications = 3
+	avg, err := RunDensitySweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(avg.Drivers) != len(cfg.Sweep) {
+		t.Fatalf("averaged sweep has %d points, want %d", len(avg.Drivers), len(cfg.Sweep))
+	}
+	var moved bool
+	for a := range avg.Names {
+		for i := range avg.Drivers {
+			if s := avg.ServeRate[a][i]; s < 0 || s > 1 {
+				t.Fatalf("averaged serve rate %.3f outside [0,1]", s)
+			}
+			if avg.Revenue[a][i] != single.Revenue[a][i] {
+				moved = true
+			}
+		}
+	}
+	if !moved {
+		t.Error("3-replication averages identical to the single seed on every point; extra seeds unused")
+	}
+}
+
+// TestForEachIndexErrors pins the pool's error contract: a failing
+// index surfaces its error on both the serial and concurrent paths, an
+// empty range is a no-op, and a failure stops the pool from dispatching
+// the rest of the range.
+func TestForEachIndexErrors(t *testing.T) {
+	errBoom := errors.New("boom")
+	for _, workers := range []int{1, 3} {
+		err := forEachIndex(workers, 8, func(i int) error {
+			if i == 2 {
+				return errBoom
+			}
+			return nil
+		})
+		if err != errBoom {
+			t.Errorf("workers=%d: error = %v, want %v", workers, err, errBoom)
+		}
+		if err := forEachIndex(workers, 0, func(int) error { return errBoom }); err != nil {
+			t.Errorf("workers=%d: empty range returned %v", workers, err)
+		}
+	}
+
+	// Early abort: with the very first index failing, the feeder must
+	// stop long before the end of a large range (in-flight work is
+	// bounded by the worker count).
+	var executed atomic.Int64
+	err := forEachIndex(2, 4096, func(i int) error {
+		executed.Add(1)
+		if i == 0 {
+			return errBoom
+		}
+		return nil
+	})
+	if err != errBoom {
+		t.Fatalf("abort run returned %v, want %v", err, errBoom)
+	}
+	if n := executed.Load(); n >= 4096 {
+		t.Errorf("pool executed all %d indices despite an index-0 failure", n)
 	}
 }
 

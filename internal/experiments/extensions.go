@@ -40,22 +40,24 @@ type WelfareRow struct {
 }
 
 // WelfareComparison runs the greedy algorithm under both objectives of
-// §III across the driver sweep (hitchhiking model).
+// §III across the driver sweep (hitchhiking model). Sweep points run
+// concurrently on cfg.Workers workers.
 func WelfareComparison(cfg Config) ([]WelfareRow, error) {
-	var rows []WelfareRow
-	for _, n := range cfg.Sweep {
-		p, err := buildProblem(cfg, n, trace.Hitchhiking)
+	rows := make([]WelfareRow, len(cfg.Sweep))
+	err := forEachIndex(cfg.Workers, len(cfg.Sweep), func(pi int) error {
+		n := cfg.Sweep[pi]
+		p, err := buildProblem(cfg, cfg.Seed, n, trace.Hitchhiking)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		profitSol, err := core.GreedySolver{}.Solve(p)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		w := p.WelfareProblem()
 		welfareSol, err := core.GreedySolver{}.Solve(w)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		// Evaluate the welfare solution's true profit on the original
 		// problem (its Profit field is the b_m objective value).
@@ -64,17 +66,21 @@ func WelfareComparison(cfg Config) ([]WelfareRow, error) {
 		for _, path := range welfareSol.Paths {
 			pr, err := g.PathProfit(path.Driver, path.Tasks)
 			if err != nil {
-				return nil, fmt.Errorf("experiments: welfare path invalid on profit view: %w", err)
+				return fmt.Errorf("experiments: welfare path invalid on profit view: %w", err)
 			}
 			welfareObjProfit += pr
 		}
-		rows = append(rows, WelfareRow{
+		rows[pi] = WelfareRow{
 			Drivers:           n,
 			ProfitObjProfit:   profitSol.Profit,
 			ProfitObjWelfare:  profitSol.Welfare(p),
 			WelfareObjProfit:  welfareObjProfit,
 			WelfareObjWelfare: welfareSol.Profit, // Eq. (6) value
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -191,7 +197,7 @@ type DispatchRow struct {
 // re-optimization, and the offline greedy as the full-information
 // reference.
 func DispatchComparison(cfg Config, drivers int) ([]DispatchRow, error) {
-	p, err := buildProblem(cfg, drivers, trace.Hitchhiking)
+	p, err := buildProblem(cfg, cfg.Seed, drivers, trace.Hitchhiking)
 	if err != nil {
 		return nil, err
 	}

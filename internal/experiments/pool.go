@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// forEachIndex evaluates fn(0) … fn(n-1) on a bounded pool of goroutines
+// and returns the lowest-index recorded error, or nil. workers ≤ 0 means
+// one per CPU core; workers == 1 degenerates to a plain serial loop that
+// stops at the first error. The parallel path aborts promptly too: once
+// any invocation fails, no further indices are dispatched or started
+// (in-flight ones finish), so a paper-scale sweep does not grind through
+// the remaining points after an early failure. Each index must be
+// self-contained (own generator, engine, RNG), which makes successful
+// results identical for every worker count — the sweep tests assert that
+// equivalence, and `go test -race` guards the fan-out.
+func forEachIndex(workers, n int, fn func(i int) error) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var failed atomic.Bool
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if failed.Load() {
+					continue
+				}
+				if err := fn(i); err != nil {
+					errs[i] = err
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	for i := 0; i < n && !failed.Load(); i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

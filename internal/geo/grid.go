@@ -1,6 +1,9 @@
 package geo
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // Grid partitions a bounding box into Rows x Cols rectangular cells.
 // The surge-pricing engine (§VI-A, Eq. 15) computes per-zone demand/supply
@@ -49,6 +52,21 @@ func (g *Grid) rowColOf(p Point) (row, col int) {
 		col = g.Cols - 1
 	}
 	return row, col
+}
+
+// CellSpanKm returns a conservative (never over-) estimate of one cell's
+// north-south and east-west extent in kilometers. The width is measured
+// at the latitude extreme of the box where meridians are closest, so for
+// any two points in cells r rows / c cols apart the equirectangular
+// distance between them is at least (r-1)*height and (c-1)*width
+// respectively. Spatial indexes rely on this bound to prune cells during
+// radius queries without ever dropping an in-range point.
+func (g *Grid) CellSpanKm() (heightKm, widthKm float64) {
+	heightKm = g.Box.HeightKm() / float64(g.Rows)
+	minCos := math.Min(math.Abs(math.Cos(degToRad(g.Box.MinLat))), math.Abs(math.Cos(degToRad(g.Box.MaxLat))))
+	lonSpan := degToRad(g.Box.MaxLon-g.Box.MinLon) / float64(g.Cols)
+	widthKm = EarthRadiusKm * lonSpan * minCos
+	return heightKm, widthKm
 }
 
 // CellCenter returns the center point of the cell with the given flat

@@ -94,3 +94,24 @@ func TestGridPanicsOnBadCellIndex(t *testing.T) {
 	}()
 	g.CellCenter(-1)
 }
+
+func TestCellSpanKmIsConservative(t *testing.T) {
+	g := NewGrid(PortoBox, 5, 8)
+	h, w := g.CellSpanKm()
+	if h <= 0 || w <= 0 {
+		t.Fatalf("degenerate cell span %.4f x %.4f", h, w)
+	}
+	wantH := PortoBox.HeightKm() / 5
+	if diff := h - wantH; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("height per cell %.6f, want %.6f", h, wantH)
+	}
+	// The width estimate must never exceed the true east-west separation
+	// of two points one cell column apart, at any latitude of the box.
+	for _, fLat := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		a := PortoBox.Lerp(fLat, 0)
+		b := PortoBox.Lerp(fLat, 1.0/8)
+		if d := Equirectangular(a, b); w > d+1e-9 {
+			t.Errorf("cell width %.6f exceeds true separation %.6f at fLat=%.2f", w, d, fLat)
+		}
+	}
+}

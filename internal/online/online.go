@@ -11,6 +11,12 @@
 // Both are applicable online and offline: pair MaxMargin with
 // sim.Engine.RunByValue for the offline sorted variant the paper
 // sketches at the end of §V-B.
+//
+// Dispatchers are candidate-source-agnostic: the engine hands them the
+// same candidate slice (ascending driver order — a sim.CandidateSource
+// contract) whether candidates came from the exact linear scan or the
+// grid-indexed pre-filter, so tie-breaking and RNG consumption, and
+// therefore results, are identical under either source.
 package online
 
 import (

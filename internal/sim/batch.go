@@ -96,7 +96,7 @@ func (e *Engine) RunBatched(tasks []model.Task, window float64, algo BatchAlgori
 			for c := range w[bi] {
 				w[bi][c] = matching.Forbidden
 			}
-			cands = e.candidates(tasks[ti], decisionAt, cands[:0])
+			cands = e.source.Candidates(tasks[ti], decisionAt, cands[:0])
 			for _, c := range cands {
 				w[bi][c.Driver] = c.Margin
 				arrivals[bi][c.Driver] = c.Arrival

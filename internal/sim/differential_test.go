@@ -1,0 +1,237 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/model"
+	"repro/internal/trace"
+)
+
+// Local stand-ins for the online package's dispatchers (which cannot be
+// imported here without a cycle). They replicate the order- and
+// RNG-sensitivity that makes candidate-set identity observable: maxMargin
+// keeps the first best under strict comparison, nearest breaks arrival
+// ties through the engine RNG, random consumes one draw per task.
+
+type diffMaxMargin struct{}
+
+func (diffMaxMargin) Name() string { return "maxMargin" }
+func (diffMaxMargin) Choose(_ model.Task, cands []Candidate, _ *rand.Rand) int {
+	best := -1
+	for i, c := range cands {
+		if best < 0 || c.Margin > cands[best].Margin {
+			best = i
+		}
+	}
+	if best >= 0 && cands[best].Margin <= 0 {
+		return -1
+	}
+	return best
+}
+
+type diffNearest struct{}
+
+func (diffNearest) Name() string { return "nearest" }
+func (diffNearest) Choose(_ model.Task, cands []Candidate, rng *rand.Rand) int {
+	best, ties := -1, 0
+	for i, c := range cands {
+		switch {
+		case best < 0 || c.Arrival < cands[best].Arrival:
+			best, ties = i, 1
+		case c.Arrival == cands[best].Arrival:
+			ties++
+			if rng.Intn(ties) == 0 {
+				best = i
+			}
+		}
+	}
+	return best
+}
+
+type diffRandom struct{}
+
+func (diffRandom) Name() string { return "random" }
+func (diffRandom) Choose(_ model.Task, cands []Candidate, rng *rand.Rand) int {
+	if len(cands) == 0 {
+		return -1
+	}
+	return rng.Intn(len(cands))
+}
+
+// These differential tests are the correctness contract of the spatial
+// candidate index: on randomized markets — varying grid granularity,
+// driver counts, working models and both availability modes — the
+// grid-indexed engine must produce the *identical* Result (serve counts,
+// revenue, every per-driver assignment sequence, bit-for-bit floats) as
+// the linear-scan engine, for every Run* entry point. The pre-filter may
+// only ever shrink the work, never the candidate set.
+
+// runPair runs the same simulation on a scan engine and a grid engine
+// built from identical inputs and returns both results.
+func runPair(t *testing.T, mkt model.Market, drivers []model.Driver, seed int64,
+	realTime bool, grid *geo.Grid, run func(e *Engine) Result) (scan, indexed Result) {
+	t.Helper()
+	se, err := New(mkt, drivers, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	se.RealTime = realTime
+	ge, err := New(mkt, drivers, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ge.RealTime = realTime
+	ge.SetCandidateSource(NewGridSource(grid))
+	return run(se), run(ge)
+}
+
+func diffResults(t *testing.T, label string, scan, indexed Result) {
+	t.Helper()
+	if reflect.DeepEqual(scan, indexed) {
+		return
+	}
+	t.Errorf("%s: grid-indexed result diverges from linear scan", label)
+	if scan.Served != indexed.Served || scan.Rejected != indexed.Rejected {
+		t.Errorf("%s: served/rejected %d/%d vs %d/%d",
+			label, scan.Served, scan.Rejected, indexed.Served, indexed.Rejected)
+	}
+	if scan.Revenue != indexed.Revenue || scan.TotalProfit != indexed.TotalProfit {
+		t.Errorf("%s: revenue/profit %.9f/%.9f vs %.9f/%.9f",
+			label, scan.Revenue, scan.TotalProfit, indexed.Revenue, indexed.TotalProfit)
+	}
+	for ti, d := range scan.Assignment {
+		if indexed.Assignment[ti] != d {
+			t.Errorf("%s: task %d assigned to driver %d by scan, %d by index",
+				label, ti, d, indexed.Assignment[ti])
+		}
+	}
+	for ti := range indexed.Assignment {
+		if _, ok := scan.Assignment[ti]; !ok {
+			t.Errorf("%s: task %d served only by the indexed engine", label, ti)
+		}
+	}
+}
+
+// TestGridSourceMatchesScan sweeps randomized markets and asserts
+// identical results for instant dispatch under both heuristics.
+func TestGridSourceMatchesScan(t *testing.T) {
+	seeds := []int64{1, 2, 3, 4, 5, 6, 7, 8}
+	if testing.Short() {
+		seeds = seeds[:3]
+	}
+	grids := map[string]func() *geo.Grid{
+		"auto":   func() *geo.Grid { return nil },
+		"coarse": func() *geo.Grid { return geo.NewGrid(geo.PortoBox, 2, 3) },
+		"fine":   func() *geo.Grid { return geo.NewGrid(geo.PortoBox, 48, 48) },
+	}
+	dispatchers := []Dispatcher{diffMaxMargin{}, diffNearest{}, diffRandom{}}
+
+	for _, seed := range seeds {
+		for _, nDrivers := range []int{3, 25, 120} {
+			for _, dm := range []trace.DriverModel{trace.Hitchhiking, trace.HomeWorkHome} {
+				cfg := trace.NewConfig(seed, 150, nDrivers, dm)
+				tr := trace.NewGenerator(cfg).Generate(nil)
+				for _, realTime := range []bool{false, true} {
+					for gname, mk := range grids {
+						for _, d := range dispatchers {
+							label := fmt.Sprintf("seed=%d n=%d model=%v rt=%v grid=%s disp=%s",
+								seed, nDrivers, dm, realTime, gname, d.Name())
+							scan, indexed := runPair(t, cfg.Market, tr.Drivers, seed, realTime, mk(),
+								func(e *Engine) Result { return e.Run(tr.Tasks, d) })
+							diffResults(t, label, scan, indexed)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestGridSourceMatchesScanByValueAndBatched covers the remaining entry
+// points: descending-price processing and batched matching (whose
+// candidate queries happen at the batch close, after the publish time).
+func TestGridSourceMatchesScanByValueAndBatched(t *testing.T) {
+	seeds := []int64{11, 12, 13, 14}
+	if testing.Short() {
+		seeds = seeds[:2]
+	}
+	for _, seed := range seeds {
+		cfg := trace.NewConfig(seed, 120, 40, trace.Hitchhiking)
+		cfg.PickupWindowMin = 8 * 60 // give batches room to form
+		cfg.PickupWindowMax = 16 * 60
+		tr := trace.NewGenerator(cfg).Generate(nil)
+
+		scan, indexed := runPair(t, cfg.Market, tr.Drivers, seed, false, nil,
+			func(e *Engine) Result { return e.RunByValue(tr.Tasks, diffMaxMargin{}) })
+		diffResults(t, fmt.Sprintf("seed=%d by-value", seed), scan, indexed)
+
+		for _, algo := range []BatchAlgorithm{BatchHungarian, BatchAuction} {
+			scan, indexed = runPair(t, cfg.Market, tr.Drivers, seed, false, nil,
+				func(e *Engine) Result { return e.RunBatched(tr.Tasks, 30, algo) })
+			diffResults(t, fmt.Sprintf("seed=%d %v", seed, algo), scan, indexed)
+		}
+	}
+}
+
+// TestGridSourceMatchesScanWithSpeedOverrides exercises fleets with
+// per-driver speeds: the reachability radius must follow the fastest
+// driver, not the market default.
+func TestGridSourceMatchesScanWithSpeedOverrides(t *testing.T) {
+	for _, seed := range []int64{21, 22, 23} {
+		cfg := trace.NewConfig(seed, 120, 60, trace.Hitchhiking)
+		tr := trace.NewGenerator(cfg).Generate(nil)
+		for i := range tr.Drivers {
+			switch i % 3 {
+			case 0:
+				tr.Drivers[i].SpeedKmh = 55 // faster than the 30 km/h market
+			case 1:
+				tr.Drivers[i].SpeedKmh = 18
+			}
+		}
+		scan, indexed := runPair(t, cfg.Market, tr.Drivers, seed, false, nil,
+			func(e *Engine) Result { return e.Run(tr.Tasks, diffMaxMargin{}) })
+		diffResults(t, fmt.Sprintf("seed=%d speed-overrides", seed), scan, indexed)
+	}
+}
+
+// TestGridSourcePanicsOnFarGrid: a static grid whose latitude band is
+// nowhere near the fleet would silently void the conservative
+// pre-filtering guarantee; Bind must reject it loudly instead.
+func TestGridSourcePanicsOnFarGrid(t *testing.T) {
+	cfg := trace.NewConfig(41, 10, 5, trace.Hitchhiking)
+	tr := trace.NewGenerator(cfg).Generate(nil)
+	e, err := New(cfg.Market, tr.Drivers, 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	equatorial := geo.NewGrid(geo.BoundingBox{MinLat: -1, MinLon: -8.7, MaxLat: 1, MaxLon: -8.5}, 8, 8)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("binding an equatorial grid to a Porto fleet did not panic")
+		}
+	}()
+	e.SetCandidateSource(NewGridSource(equatorial))
+}
+
+// TestSetCandidateSourceNilRestoresScan guards the seam's default.
+func TestSetCandidateSourceNilRestoresScan(t *testing.T) {
+	cfg := trace.NewConfig(31, 60, 10, trace.Hitchhiking)
+	tr := trace.NewGenerator(cfg).Generate(nil)
+	e, err := New(cfg.Market, tr.Drivers, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetCandidateSource(NewGridSource(nil))
+	e.SetCandidateSource(nil)
+	if _, ok := e.source.(*ScanSource); !ok {
+		t.Fatalf("source after SetCandidateSource(nil) is %T, want *ScanSource", e.source)
+	}
+	res := e.Run(tr.Tasks, diffMaxMargin{})
+	if res.Served+res.Rejected != len(tr.Tasks) {
+		t.Fatalf("run after source swap lost tasks: %d+%d != %d", res.Served, res.Rejected, len(tr.Tasks))
+	}
+}

@@ -47,6 +47,31 @@ type Dispatcher interface {
 	Choose(task model.Task, cands []Candidate, rng *rand.Rand) int
 }
 
+// CandidateSource enumerates the feasible drivers for an arriving task.
+// It is the engine's pluggable answer to "who can serve this?": the
+// linear scan evaluates every driver (exact, O(N) per task) while the
+// grid-indexed source pre-filters with a spatial index and runs the same
+// exact feasibility checks on the survivors, so both produce identical
+// candidate sets and therefore bit-identical simulation results.
+//
+// Implementations must append candidates in ascending driver order: the
+// dispatchers' tie-breaking (and their consumption of the engine's RNG)
+// is order-sensitive, and reproducibility across sources depends on a
+// canonical order.
+type CandidateSource interface {
+	Name() string
+	// Bind attaches the source to an engine and rebuilds any internal
+	// state from the engine's current driver states. The engine calls it
+	// once per Run* entry point, right after resetting driver state.
+	Bind(e *Engine)
+	// Candidates appends every feasible candidate for task into buf when
+	// the dispatch decision happens at time now, and returns buf.
+	Candidates(task model.Task, now float64, buf []Candidate) []Candidate
+	// Moved notifies the source that driver i's engine state (location,
+	// availability) changed after an assignment.
+	Moved(i int)
+}
+
 // Result aggregates a full simulation run. Per-driver slices are indexed
 // like the input driver slice.
 type Result struct {
@@ -121,6 +146,7 @@ type Engine struct {
 
 	states []driverState
 	rng    *rand.Rand
+	source CandidateSource
 }
 
 // New returns an engine over the given market and drivers. It returns an
@@ -133,9 +159,21 @@ func New(m model.Market, drivers []model.Driver, seed int64) (*Engine, error) {
 		Market:  m,
 		Drivers: append([]model.Driver(nil), drivers...),
 		rng:     rand.New(rand.NewSource(seed)),
+		source:  &ScanSource{},
 	}
 	e.reset()
 	return e, nil
+}
+
+// SetCandidateSource swaps the engine's candidate generation strategy.
+// Passing nil restores the default linear scan. The source is rebound at
+// the start of every Run*, so it may be set at any time between runs.
+func (e *Engine) SetCandidateSource(src CandidateSource) {
+	if src == nil {
+		src = &ScanSource{}
+	}
+	e.source = src
+	e.source.Bind(e)
 }
 
 func (e *Engine) reset() {
@@ -143,6 +181,7 @@ func (e *Engine) reset() {
 	for i, d := range e.Drivers {
 		e.states[i] = driverState{freeAt: d.Start, loc: d.Source}
 	}
+	e.source.Bind(e)
 }
 
 // Run processes the tasks in publish order through the dispatcher and
@@ -196,7 +235,7 @@ func (e *Engine) runOrder(tasks []model.Task, order []int, d Dispatcher) Result 
 	var cands []Candidate
 	for _, ti := range order {
 		task := tasks[ti]
-		cands = e.candidates(task, task.Publish, cands[:0])
+		cands = e.source.Candidates(task, task.Publish, cands[:0])
 		choice := -1
 		if len(cands) > 0 {
 			choice = d.Choose(task, cands, e.rng)
@@ -241,62 +280,71 @@ func (e *Engine) settle(res *Result) {
 
 // candidates computes the feasible driver set for the task when the
 // dispatch decision is made at time now (== task.Publish for instant
-// dispatch; later for batched dispatch), appending into buf.
+// dispatch; later for batched dispatch), appending into buf. It is the
+// exact linear scan that ScanSource exposes.
 func (e *Engine) candidates(task model.Task, now float64, buf []Candidate) []Candidate {
 	service := e.Market.TravelTime(task.Source, task.Dest, 0)
 	serviceCost := e.Market.ServiceCost(task)
-
 	for i := range e.Drivers {
-		drv := e.Drivers[i]
-		st := &e.states[i]
-		loc := st.loc
-
-		depart := st.freeAt
-		if depart < now && st.ntasks > 0 {
-			// The driver has been idle at her last dropoff since
-			// freeAt; she departs when notified.
-			depart = now
+		if c, ok := e.candidateFor(i, task, now, service, serviceCost); ok {
+			buf = append(buf, c)
 		}
-		if st.ntasks == 0 {
-			// Not yet started: she leaves her source no earlier than
-			// shift start or the task's arrival, whichever is later.
-			if depart < now {
-				depart = now
-			}
-			if depart < drv.Start {
-				depart = drv.Start
-			}
-		}
-		arrival := depart + e.Market.DriverTravelTime(drv, loc, task.Source)
-		if arrival > task.StartBy {
-			continue // cannot reach the pickup by its deadline
-		}
-		finish := arrival + service
-		if finish > task.EndBy {
-			continue // cannot complete by the dropoff deadline
-		}
-		// Return-home clause: after the task the driver must still make
-		// her own destination by shift end. In deadline mode she is held
-		// until t̄+_m, matching Eqs. (2)–(3); in real-time mode she
-		// leaves at her actual finish.
-		releasedAt := task.EndBy
-		if e.RealTime {
-			releasedAt = finish
-		}
-		if releasedAt+e.Market.DriverTravelTime(drv, task.Dest, drv.Dest) > drv.End {
-			continue
-		}
-
-		// δ_{n,m}, Eq. (14): price minus the marginal cost of inserting
-		// the task after the driver's current plan.
-		deadhead := e.Market.TravelCost(loc, task.Source)
-		newHome := e.Market.TravelCost(task.Dest, drv.Dest)
-		oldHome := e.Market.TravelCost(loc, drv.Dest)
-		margin := task.Price - (deadhead + serviceCost + newHome - oldHome)
-
-		buf = append(buf, Candidate{Driver: i, Arrival: arrival, Margin: margin})
 	}
 	return buf
+}
+
+// candidateFor runs the exact feasibility checks of Algorithms 3–4 for
+// one driver; service and serviceCost are the task-only terms hoisted out
+// of the per-driver loop.
+func (e *Engine) candidateFor(i int, task model.Task, now, service, serviceCost float64) (Candidate, bool) {
+	drv := e.Drivers[i]
+	st := &e.states[i]
+	loc := st.loc
+
+	depart := st.freeAt
+	if depart < now && st.ntasks > 0 {
+		// The driver has been idle at her last dropoff since
+		// freeAt; she departs when notified.
+		depart = now
+	}
+	if st.ntasks == 0 {
+		// Not yet started: she leaves her source no earlier than
+		// shift start or the task's arrival, whichever is later.
+		if depart < now {
+			depart = now
+		}
+		if depart < drv.Start {
+			depart = drv.Start
+		}
+	}
+	arrival := depart + e.Market.DriverTravelTime(drv, loc, task.Source)
+	if arrival > task.StartBy {
+		return Candidate{}, false // cannot reach the pickup by its deadline
+	}
+	finish := arrival + service
+	if finish > task.EndBy {
+		return Candidate{}, false // cannot complete by the dropoff deadline
+	}
+	// Return-home clause: after the task the driver must still make
+	// her own destination by shift end. In deadline mode she is held
+	// until t̄+_m, matching Eqs. (2)–(3); in real-time mode she
+	// leaves at her actual finish.
+	releasedAt := task.EndBy
+	if e.RealTime {
+		releasedAt = finish
+	}
+	if releasedAt+e.Market.DriverTravelTime(drv, task.Dest, drv.Dest) > drv.End {
+		return Candidate{}, false
+	}
+
+	// δ_{n,m}, Eq. (14): price minus the marginal cost of inserting
+	// the task after the driver's current plan.
+	deadhead := e.Market.TravelCost(loc, task.Source)
+	newHome := e.Market.TravelCost(task.Dest, drv.Dest)
+	oldHome := e.Market.TravelCost(loc, drv.Dest)
+	margin := task.Price - (deadhead + serviceCost + newHome - oldHome)
+
+	return Candidate{Driver: i, Arrival: arrival, Margin: margin}, true
 }
 
 // assign commits the task to the candidate driver.
@@ -311,4 +359,5 @@ func (e *Engine) assign(c Candidate, task model.Task) {
 		st.freeAt = task.EndBy
 	}
 	st.loc = task.Dest
+	e.source.Moved(c.Driver)
 }
