@@ -280,21 +280,26 @@ func BenchmarkOnlineNearest(b *testing.B) {
 // --- Spatial index: dispatch at fleet scale ---------------------------
 
 // benchmarkDispatchScale runs a full online day at city-fleet driver
-// counts, with and without the grid-indexed candidate source. The scan
-// engine pays O(N) per task; the indexed engine only examines drivers
-// inside the pickup's reachability radius, which is what lets the same
-// simulator serve 10k–50k-driver markets. Both paths produce identical
-// results (asserted by the sim differential tests); the "served" metric
-// is reported so a divergence would also be visible here.
-func benchmarkDispatchScale(b *testing.B, drivers int, indexed bool) {
+// counts under one candidate source. The scan engine pays O(N) per
+// task; the grid-indexed engine only examines drivers inside the
+// pickup's reachability radius; the zone-sharded engine additionally
+// partitions that radius across per-zone indexes queried concurrently.
+// All paths produce identical results (asserted by the sim differential
+// tests); the "served" metric is reported so a divergence would also be
+// visible here. `rideshare bench` records the same measurements as the
+// machine-readable BENCH_2.json trajectory.
+func benchmarkDispatchScale(b *testing.B, drivers int, src func() sim.CandidateSource) {
+	if testing.Short() {
+		b.Skip("full-day city-scale dispatch is seconds per op; skipped in -short smoke runs")
+	}
 	cfg := trace.NewConfig(27, 1000, drivers, trace.Hitchhiking)
 	tr := trace.NewGenerator(cfg).Generate(nil)
 	eng, err := sim.New(cfg.Market, tr.Drivers, 1)
 	if err != nil {
 		b.Fatal(err)
 	}
-	if indexed {
-		eng.SetCandidateSource(sim.NewGridSource(nil))
+	if s := src(); s != nil {
+		eng.SetCandidateSource(s)
 	}
 	var served int
 	b.ResetTimer()
@@ -304,10 +309,53 @@ func benchmarkDispatchScale(b *testing.B, drivers int, indexed bool) {
 	b.ReportMetric(float64(served), "served")
 }
 
-func BenchmarkOnlineMaxMarginScan10k(b *testing.B) { benchmarkDispatchScale(b, 10_000, false) }
-func BenchmarkOnlineMaxMarginGrid10k(b *testing.B) { benchmarkDispatchScale(b, 10_000, true) }
-func BenchmarkOnlineMaxMarginScan50k(b *testing.B) { benchmarkDispatchScale(b, 50_000, false) }
-func BenchmarkOnlineMaxMarginGrid50k(b *testing.B) { benchmarkDispatchScale(b, 50_000, true) }
+func scanSrc() sim.CandidateSource { return nil }
+func gridSrc() sim.CandidateSource { return sim.NewGridSource(nil) }
+func shardedSrc(n int) func() sim.CandidateSource {
+	return func() sim.CandidateSource { return sim.NewShardedSource(n) }
+}
+
+func BenchmarkOnlineMaxMarginScan10k(b *testing.B) { benchmarkDispatchScale(b, 10_000, scanSrc) }
+func BenchmarkOnlineMaxMarginGrid10k(b *testing.B) { benchmarkDispatchScale(b, 10_000, gridSrc) }
+func BenchmarkOnlineMaxMarginScan50k(b *testing.B) { benchmarkDispatchScale(b, 50_000, scanSrc) }
+func BenchmarkOnlineMaxMarginGrid50k(b *testing.B) { benchmarkDispatchScale(b, 50_000, gridSrc) }
+
+func BenchmarkOnlineMaxMarginSharded1x50k(b *testing.B) {
+	benchmarkDispatchScale(b, 50_000, shardedSrc(1))
+}
+func BenchmarkOnlineMaxMarginSharded4x50k(b *testing.B) {
+	benchmarkDispatchScale(b, 50_000, shardedSrc(4))
+}
+func BenchmarkOnlineMaxMarginSharded8x50k(b *testing.B) {
+	benchmarkDispatchScale(b, 50_000, shardedSrc(8))
+}
+
+// BenchmarkScenarioChurn measures the event-driven engine on the
+// dynamic workload the batch replayer could not express: a 10k-driver
+// day with mid-day joins, early retirements and rider cancellations,
+// dispatched through the sharded source.
+func BenchmarkScenarioChurn10k(b *testing.B) {
+	if testing.Short() {
+		b.Skip("city-scale scenario day; skipped in -short smoke runs")
+	}
+	cfg := trace.NewConfig(27, 1000, 10_000, trace.Hitchhiking)
+	tr := trace.NewGenerator(cfg).Generate(nil)
+	events := trace.WithChurn(tr, trace.ChurnConfig{
+		Seed: 31, JoinFraction: 0.25, RetireFraction: 0.2, CancelFraction: 0.15,
+	})
+	eng, err := sim.New(cfg.Market, tr.Drivers, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng.SetCandidateSource(sim.NewShardedSource(4))
+	var res sim.Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res = eng.RunScenario(tr.Tasks, events, online.MaxMargin{})
+	}
+	b.ReportMetric(float64(res.Served), "served")
+	b.ReportMetric(float64(res.Cancelled), "cancelled")
+}
 
 // BenchmarkSpatialIndexNear measures one radius query against a 10k-point
 // index — the per-task cost floor of grid-indexed dispatch.

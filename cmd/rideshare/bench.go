@@ -1,0 +1,170 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/online"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// cmdBench is the repository's perf trajectory recorder: it times one
+// full online day of maxMargin dispatch at city-fleet driver counts
+// under every candidate source — the sequential linear scan (what
+// -shards=1 runs), the grid index, and the zone-sharded engine at each
+// shard count — and writes the measurements as machine-readable JSON so
+// future changes have a baseline to diff against. Every configuration
+// must produce identical market outcomes; the harness errors out if any
+// diverges, doubling as an end-to-end differential check.
+
+// benchResult is one timed configuration in the JSON output.
+type benchResult struct {
+	Name        string  `json:"name"`
+	Drivers     int     `json:"drivers"`
+	Tasks       int     `json:"tasks"`
+	Source      string  `json:"source"`
+	Shards      int     `json:"shards,omitempty"`
+	Seconds     float64 `json:"seconds"` // median over -reps runs
+	TasksPerSec float64 `json:"tasks_per_sec"`
+	Served      int     `json:"served"`
+	Speedup     float64 `json:"speedup_vs_scan"`
+}
+
+// benchReport is the top-level JSON document.
+type benchReport struct {
+	Schema     string        `json:"schema"`
+	Command    string        `json:"command"`
+	GoMaxProcs int           `json:"go_maxprocs"`
+	Reps       int           `json:"reps"`
+	Results    []benchResult `json:"results"`
+}
+
+func parseIntList(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad list entry %q: %w", part, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func cmdBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
+	out := fs.String("out", "BENCH_2.json", "output JSON file (- for stdout)")
+	tasks := fs.Int("tasks", 1000, "orders per simulated day")
+	driversList := fs.String("drivers", "10000,50000", "comma-separated fleet sizes")
+	shardsList := fs.String("shards", "1,2,4,8", "comma-separated shard counts to time")
+	reps := fs.Int("reps", 3, "runs per configuration (median reported)")
+	seed := fs.Int64("seed", 27, "trace seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	driverCounts, err := parseIntList(*driversList)
+	if err != nil {
+		return fmt.Errorf("bench: -drivers: %w", err)
+	}
+	shardCounts, err := parseIntList(*shardsList)
+	if err != nil {
+		return fmt.Errorf("bench: -shards: %w", err)
+	}
+
+	report := benchReport{
+		Schema:     "rideshare-bench/v1",
+		Command:    "rideshare bench",
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Reps:       *reps,
+	}
+
+	for _, drivers := range driverCounts {
+		cfg := trace.NewConfig(*seed, *tasks, drivers, trace.Hitchhiking)
+		tr := trace.NewGenerator(cfg).Generate(nil)
+
+		type config struct {
+			source string
+			shards int
+			mk     func() sim.CandidateSource
+		}
+		configs := []config{
+			{"scan", 0, func() sim.CandidateSource { return nil }},
+			{"grid", 0, func() sim.CandidateSource { return sim.NewGridSource(nil) }},
+		}
+		for _, s := range shardCounts {
+			s := s
+			configs = append(configs, config{"sharded", s,
+				func() sim.CandidateSource { return sim.NewShardedSource(s) }})
+		}
+
+		baseline := -1.0
+		var baselineServed int
+		for _, c := range configs {
+			eng, err := sim.New(cfg.Market, tr.Drivers, 1)
+			if err != nil {
+				return err
+			}
+			if src := c.mk(); src != nil {
+				eng.SetCandidateSource(src)
+			}
+			times := make([]float64, 0, *reps)
+			var res sim.Result
+			for r := 0; r < *reps; r++ {
+				start := time.Now()
+				res = eng.Run(tr.Tasks, online.MaxMargin{})
+				times = append(times, time.Since(start).Seconds())
+			}
+			sort.Float64s(times)
+			median := times[len(times)/2]
+
+			if c.source == "scan" {
+				baseline = median
+				baselineServed = res.Served
+			} else if res.Served != baselineServed {
+				return fmt.Errorf("bench: %s served %d, scan served %d — results diverged, this is a bug",
+					c.source, res.Served, baselineServed)
+			}
+			name := fmt.Sprintf("dispatch/drivers=%d/%s", drivers, c.source)
+			if c.shards > 0 {
+				name = fmt.Sprintf("%s-%d", name, c.shards)
+			}
+			report.Results = append(report.Results, benchResult{
+				Name: name, Drivers: drivers, Tasks: *tasks,
+				Source: c.source, Shards: c.shards,
+				Seconds:     median,
+				TasksPerSec: float64(*tasks) / median,
+				Served:      res.Served,
+				Speedup:     baseline / median,
+			})
+			fmt.Fprintf(os.Stderr, "%-40s %8.3fs  %8.0f tasks/s  %.2fx vs scan\n",
+				name, median, float64(*tasks)/median, baseline/median)
+		}
+	}
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		return err
+	}
+	if *out != "-" {
+		fmt.Fprintf(os.Stderr, "wrote %s (%d results)\n", *out, len(report.Results))
+	}
+	return nil
+}

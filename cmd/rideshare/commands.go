@@ -36,6 +36,8 @@ func cmdGen(args []string) error {
 	modelName := fs.String("model", "hitchhiking", "driver model: hitchhiking or home")
 	seed := fs.Int64("seed", 1, "random seed")
 	out := fs.String("out", "", "output file (default stdout); .json or .csv prefix pair")
+	churn := fs.Float64("churn", 0, "driver churn rate: this fraction retires early and half joins mid-day")
+	cancel := fs.Float64("cancel", 0, "fraction of tasks cancelled by their rider before pickup")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -45,6 +47,9 @@ func cmdGen(args []string) error {
 	}
 	cfg := trace.NewConfig(*seed, *tasks, *drivers, dm)
 	tr := trace.NewGenerator(cfg).Generate(nil)
+	if *churn > 0 || *cancel > 0 {
+		tr.Events = trace.WithChurn(tr, trace.DefaultChurn(*seed, *churn, *cancel))
+	}
 
 	if *out == "" {
 		return model.WriteTraceJSON(os.Stdout, tr)
@@ -62,6 +67,9 @@ func cmdGen(args []string) error {
 		return f.Close()
 	}
 	// CSV pair: <out>_drivers.csv and <out>_tasks.csv.
+	if len(tr.Events) > 0 {
+		fmt.Fprintln(os.Stderr, "gen: warning: the CSV format carries no churn/cancel events; use a .json output to keep them")
+	}
 	base := strings.TrimSuffix(*out, ".csv")
 	df, err := os.Create(base + "_drivers.csv")
 	if err != nil {
@@ -148,6 +156,9 @@ func cmdSimulate(args []string) error {
 	replanPeriod := fs.Float64("replanperiod", 60, "flush period in seconds (replan dispatcher only)")
 	seed := fs.Int64("seed", 1, "random seed for tie-breaking")
 	indexed := fs.Bool("indexed", false, "use the grid-indexed candidate source (identical results, faster on large fleets)")
+	shards := fs.Int("shards", 1, "zone shards for candidate generation; 1 reproduces the sequential engine exactly, higher counts give identical results faster")
+	churn := fs.Float64("churn", 0, "override the trace's events: this fraction of drivers retires early (half also joins mid-day)")
+	cancel := fs.Float64("cancel", 0, "override the trace's events: this fraction of tasks is cancelled before pickup")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -158,12 +169,22 @@ func cmdSimulate(args []string) error {
 	if err != nil {
 		return err
 	}
+	events := tr.Events
+	if *churn > 0 || *cancel > 0 {
+		events = trace.WithChurn(tr, trace.DefaultChurn(*seed, *churn, *cancel))
+	}
+	if err := model.ValidateEvents(events, tr.Drivers, tr.Tasks); err != nil {
+		return fmt.Errorf("simulate: %w", err)
+	}
 	eng, err := sim.New(model.DefaultMarket(), tr.Drivers, *seed)
 	if err != nil {
 		return err
 	}
 	eng.RealTime = *realTime
-	if *indexed {
+	switch {
+	case *shards > 1:
+		eng.SetCandidateSource(sim.NewShardedSource(*shards))
+	case *indexed:
 		eng.SetCandidateSource(sim.NewGridSource(nil))
 	}
 
@@ -171,10 +192,10 @@ func cmdSimulate(args []string) error {
 	name := ""
 	switch strings.ToLower(*algo) {
 	case "batched":
-		res = eng.RunBatched(tr.Tasks, *batchWindow, sim.BatchHungarian)
+		res = eng.RunBatchedScenario(tr.Tasks, events, *batchWindow, sim.BatchHungarian)
 		name = fmt.Sprintf("%v window=%gs", sim.BatchHungarian, *batchWindow)
 	case "replan":
-		res = eng.RunReplan(tr.Tasks, *replanPeriod)
+		res = eng.RunReplanScenario(tr.Tasks, events, *replanPeriod)
 		name = fmt.Sprintf("replan period=%gs", *replanPeriod)
 	default:
 		var d sim.Dispatcher
@@ -189,14 +210,20 @@ func cmdSimulate(args []string) error {
 			return fmt.Errorf("simulate: unknown dispatcher %q", *algo)
 		}
 		if *byValue {
+			if len(events) > 0 {
+				return fmt.Errorf("simulate: -byvalue processes tasks out of time order and cannot replay churn/cancel events")
+			}
 			res = eng.RunByValue(tr.Tasks, d)
 		} else {
-			res = eng.Run(tr.Tasks, d)
+			res = eng.RunScenario(tr.Tasks, events, d)
 		}
 		name = d.Name()
 	}
 	fmt.Printf("dispatcher        %s\n", name)
 	fmt.Printf("served            %d / %d (%.1f%%)\n", res.Served, res.Served+res.Rejected, 100*res.ServeRate())
+	if len(events) > 0 {
+		fmt.Printf("events            %d (cancelled before pickup: %d)\n", len(events), res.Cancelled)
+	}
 	fmt.Printf("revenue           %.2f\n", res.Revenue)
 	fmt.Printf("drivers' profit   %.2f\n", res.TotalProfit)
 	fmt.Printf("avg revenue/drv   %.2f\n", res.AvgRevenuePerDriver())
@@ -206,11 +233,12 @@ func cmdSimulate(args []string) error {
 
 func cmdExperiments(args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
-	fig := fs.String("fig", "all", "figure to regenerate: 3-9, welfare, surge, dispatch, or all")
+	fig := fs.String("fig", "all", "figure to regenerate: 3-9, welfare, surge, dispatch, churn, or all")
 	scale := fs.String("scale", "bench", "bench (scaled-down, fast) or paper (full §VI scale)")
 	seed := fs.Int64("seed", 1, "trace seed")
 	workers := fs.Int("workers", 0, "concurrent sweep workers (0 = one per CPU core)")
 	reps := fs.Int("reps", 1, "replications averaged per sweep point (consecutive seeds)")
+	shards := fs.Int("shards", 1, "zone shards for the online simulations (identical series, faster engine)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -226,6 +254,7 @@ func cmdExperiments(args []string) error {
 	cfg.Seed = *seed
 	cfg.Workers = *workers
 	cfg.Replications = *reps
+	cfg.Shards = *shards
 	return runExperiments(os.Stdout, cfg, *fig)
 }
 
@@ -283,6 +312,16 @@ func runExperiments(w io.Writer, cfg experiments.Config, fig string) error {
 			return err
 		}
 		if err := experiments.RenderText(w, experiments.SurgeFigure(rows)); err != nil {
+			return err
+		}
+	}
+	if want("churn") {
+		mid := cfg.Sweep[len(cfg.Sweep)/2]
+		rows, err := experiments.ChurnSweep(cfg, mid, []float64{0, 0.1, 0.2, 0.35, 0.5, 0.75})
+		if err != nil {
+			return err
+		}
+		if err := experiments.RenderText(w, experiments.ChurnFigure(rows)); err != nil {
 			return err
 		}
 	}

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -154,6 +155,81 @@ func TestRunExperimentsRendersRequestedFigures(t *testing.T) {
 	for _, id := range []string{"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9"} {
 		if !strings.Contains(out, id) {
 			t.Errorf("%s missing from -fig all output", id)
+		}
+	}
+}
+
+func TestCmdGenChurnAndSimulateSharded(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "churnday.json")
+	if err := cmdGen([]string{"-tasks", "60", "-drivers", "12", "-seed", "5",
+		"-churn", "0.4", "-cancel", "0.3", "-out", out}); err != nil {
+		t.Fatalf("gen with churn: %v", err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := model.ReadTraceJSON(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Events) == 0 {
+		t.Fatal("gen -churn/-cancel wrote a trace without events")
+	}
+	// The embedded events replay through every dispatcher and shard count.
+	for _, algo := range []string{"maxmargin", "batched", "replan"} {
+		for _, shards := range []string{"1", "4"} {
+			if err := cmdSimulate([]string{"-trace", out, "-algo", algo, "-shards", shards}); err != nil {
+				t.Fatalf("simulate %s -shards=%s: %v", algo, shards, err)
+			}
+		}
+	}
+	// By-value runs cannot replay time-ordered events.
+	if err := cmdSimulate([]string{"-trace", out, "-algo", "maxmargin", "-byvalue"}); err == nil {
+		t.Fatal("simulate -byvalue accepted a trace with events")
+	}
+	// Flag override replaces the embedded events.
+	if err := cmdSimulate([]string{"-trace", out, "-churn", "0.1", "-cancel", "0.1"}); err != nil {
+		t.Fatalf("simulate churn override: %v", err)
+	}
+}
+
+func TestCmdBenchWritesJSON(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "bench.json")
+	if err := cmdBench([]string{"-drivers", "120", "-shards", "1,2", "-tasks", "50",
+		"-reps", "1", "-out", out}); err != nil {
+		t.Fatalf("bench: %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report struct {
+		Schema  string `json:"schema"`
+		Results []struct {
+			Name        string  `json:"name"`
+			Source      string  `json:"source"`
+			Seconds     float64 `json:"seconds"`
+			TasksPerSec float64 `json:"tasks_per_sec"`
+			Served      int     `json:"served"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("bench output is not valid JSON: %v", err)
+	}
+	if report.Schema != "rideshare-bench/v1" {
+		t.Fatalf("schema = %q", report.Schema)
+	}
+	// scan + grid + two shard counts.
+	if len(report.Results) != 4 {
+		t.Fatalf("results = %d, want 4", len(report.Results))
+	}
+	for _, r := range report.Results {
+		if r.Seconds <= 0 || r.TasksPerSec <= 0 {
+			t.Fatalf("%s: non-positive timing %v", r.Name, r)
 		}
 	}
 }

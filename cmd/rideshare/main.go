@@ -1,10 +1,15 @@
 // Command rideshare is the CLI front end of the ride-sharing market
 // optimization framework. Subcommands:
 //
-//	gen          generate a synthetic Porto-like trace (CSV or JSON)
+//	gen          generate a synthetic Porto-like trace (CSV or JSON),
+//	             optionally with churn/cancellation events
 //	solve        run the offline greedy algorithm on a trace
-//	simulate     run an online dispatcher over a trace
-//	experiments  regenerate the paper's evaluation figures (3–9)
+//	simulate     run an online dispatcher over a trace (optionally
+//	             sharded, with driver churn and rider cancellations)
+//	experiments  regenerate the paper's evaluation figures (3–9) and
+//	             the extension studies (welfare, surge, dispatch, churn)
+//	bench        time full-day dispatch across candidate sources and
+//	             shard counts, writing a machine-readable JSON baseline
 //	tightness    demonstrate the greedy algorithm's tight 1/(D+1) bound
 //
 // Run `rideshare <subcommand> -h` for per-command flags.
@@ -31,6 +36,8 @@ func main() {
 		err = cmdSimulate(os.Args[2:])
 	case "experiments":
 		err = cmdExperiments(os.Args[2:])
+	case "bench":
+		err = cmdBench(os.Args[2:])
 	case "tightness":
 		err = cmdTightness(os.Args[2:])
 	case "-h", "--help", "help":
@@ -53,10 +60,11 @@ func usage() {
 	fmt.Fprint(os.Stderr, `rideshare — online ride-sharing market optimization framework
 
 Usage:
-  rideshare gen         -tasks N -drivers N [-model hitchhiking|home] [-seed S] [-out trace.json]
+  rideshare gen         -tasks N -drivers N [-model hitchhiking|home] [-seed S] [-churn R] [-cancel R] [-out trace.json]
   rideshare solve       -trace trace.json [-bound] [-naive]
-  rideshare simulate    -trace trace.json [-algo maxmargin|nearest|random] [-byvalue] [-realtime]
-  rideshare experiments [-fig 3|4|5|6|7|8|9|all] [-scale bench|paper] [-seed S]
+  rideshare simulate    -trace trace.json [-algo maxmargin|nearest|random|batched|replan] [-shards N] [-churn R] [-cancel R] [-byvalue] [-realtime]
+  rideshare experiments [-fig 3|4|5|6|7|8|9|welfare|surge|dispatch|churn|all] [-scale bench|paper] [-seed S] [-shards N]
+  rideshare bench       [-drivers 10000,50000] [-shards 1,2,4,8] [-out BENCH_2.json]
   rideshare tightness   [-d D] [-eps E]
 `)
 }

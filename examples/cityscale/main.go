@@ -1,10 +1,12 @@
 // Cityscale runs one online day at a fleet size the paper's evaluation
 // never reaches (its §VI sweep tops out at 300 drivers): ten thousand
-// drivers against a day of orders, dispatched twice — once with the
-// exact linear-scan candidate generation of Algorithms 3–4, once through
-// the grid-indexed candidate source — to show that the spatial index
-// changes the wall-clock, not the market outcome. It finishes with the
-// parallel experiment sweep that regenerates Figs 6–9 using every core.
+// drivers against a day of orders, dispatched through every candidate
+// source — the exact linear scan of Algorithms 3–4, the grid-indexed
+// pre-filter, and the zone-sharded engine — to show that indexing and
+// sharding change the wall-clock, never the market outcome. It then
+// replays the same day under driver churn and rider cancellations (the
+// dynamics the paper's static fleet could not express) and finishes
+// with the parallel experiment sweep that regenerates Figs 6–9.
 //
 // Run with:
 //
@@ -42,11 +44,34 @@ func main() {
 	}
 
 	scan := run("linear scan", nil)
-	indexed := run("grid-indexed", sim.NewGridSource(nil))
-	if scan.Served != indexed.Served || scan.Revenue != indexed.Revenue || scan.TotalProfit != indexed.TotalProfit {
-		log.Fatal("cityscale: indexed run diverged from the scan — this is a bug")
+	for _, alt := range []struct {
+		label string
+		src   sim.CandidateSource
+	}{
+		{"grid-indexed", sim.NewGridSource(nil)},
+		{"sharded(4)", sim.NewShardedSource(4)},
+	} {
+		res := run(alt.label, alt.src)
+		if scan.Served != res.Served || scan.Revenue != res.Revenue || scan.TotalProfit != res.TotalProfit {
+			log.Fatalf("cityscale: %s run diverged from the scan — this is a bug", alt.label)
+		}
 	}
-	fmt.Println("\nidentical outcomes; the index only changes who gets examined, not who gets picked")
+	fmt.Println("\nidentical outcomes; indexing and sharding only change who gets examined, not who gets picked")
+
+	// The same day as a two-sided market really experiences it: part of
+	// the fleet joins mid-day, part retires early, some riders cancel.
+	events := trace.WithChurn(tr, trace.ChurnConfig{
+		Seed: 99, JoinFraction: 0.25, RetireFraction: 0.2, CancelFraction: 0.15,
+	})
+	eng, err := sim.New(cfg.Market, tr.Drivers, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng.SetCandidateSource(sim.NewShardedSource(4))
+	churnStart := time.Now()
+	churned := eng.RunScenario(tr.Tasks, events, online.MaxMargin{})
+	fmt.Printf("\nchurned day (%d events): served %d (static day: %d), %d rides cancelled before pickup, in %v\n",
+		len(events), churned.Served, scan.Served, churned.Cancelled, time.Since(churnStart).Round(time.Millisecond))
 
 	// The §VI density sweep, fanned out over all cores. Each (density,
 	// seed) point owns its engines, so the series match a serial run.

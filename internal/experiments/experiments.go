@@ -48,6 +48,12 @@ type Config struct {
 	// study over this many consecutive seeds (Seed, Seed+1, …); 0 or 1
 	// reproduces the single-seed sweep.
 	Replications int
+
+	// Shards > 1 runs every online simulation through the zone-sharded
+	// candidate source. Series are bit-identical for any value (the sim
+	// differential tests prove it); the knob exists so large sweeps can
+	// use the faster engine.
+	Shards int
 }
 
 // replications normalizes the Replications field.
@@ -174,7 +180,7 @@ func Fig5PerformanceRatio(cfg Config, dm trace.DriverModel) (Figure, error) {
 		if err != nil {
 			return err
 		}
-		sols, err := solveAll(p, seed)
+		sols, err := solveAll(p, seed, cfg.Shards)
 		if err != nil {
 			return err
 		}
@@ -244,7 +250,7 @@ func RunDensitySweep(cfg Config) (DensityMetrics, error) {
 		if err != nil {
 			return err
 		}
-		sols, err := solveAll(p, seed)
+		sols, err := solveAll(p, seed, cfg.Shards)
 		if err != nil {
 			return err
 		}
@@ -309,11 +315,11 @@ func buildProblem(cfg Config, seed int64, drivers int, dm trace.DriverModel) (*c
 
 // solveAll runs the three algorithms of Fig. 5 in the canonical order
 // Greedy, maxMargin, Nearest.
-func solveAll(p *core.Problem, seed int64) ([]core.Solution, error) {
+func solveAll(p *core.Problem, seed int64, shards int) ([]core.Solution, error) {
 	solvers := []core.Solver{
 		core.GreedySolver{},
-		core.OnlineSolver{Dispatcher: online.MaxMargin{}, Seed: seed},
-		core.OnlineSolver{Dispatcher: online.Nearest{}, Seed: seed},
+		core.OnlineSolver{Dispatcher: online.MaxMargin{}, Seed: seed, Shards: shards},
+		core.OnlineSolver{Dispatcher: online.Nearest{}, Seed: seed, Shards: shards},
 	}
 	out := make([]core.Solution, len(solvers))
 	for i, s := range solvers {

@@ -26,6 +26,10 @@ import (
 //   - DispatchComparison lines up every dispatch strategy in the
 //     framework (the paper's two heuristics plus batched matching and
 //     rolling-horizon re-optimization) against the bound on one market.
+//   - ChurnSweep opens the two workloads the paper's static-fleet
+//     evaluation could not express: driver churn (mid-day joins, early
+//     retirements) and rider cancellations, swept over increasing
+//     rates on the event-driven engine.
 
 // WelfareRow is one line of the welfare-objective comparison.
 type WelfareRow struct {
@@ -251,5 +255,100 @@ func DispatchFigure(rows []DispatchRow) Figure {
 		notes += fmt.Sprintf("[%d]=%s ", i, r.Name)
 	}
 	fig.Notes = notes
+	return fig
+}
+
+// ChurnRow is one churn rate's outcome in the churn/cancellation study.
+type ChurnRow struct {
+	Rate      float64 // retirement and cancellation fraction applied
+	ServeRate float64 // served / published tasks
+	Cancelled float64 // mean cancellations honored per day
+	Profit    float64 // drivers' total profit
+	Revenue   float64
+}
+
+// ChurnSweep runs the driver-churn and rider-cancellation workload: for
+// each rate r, a fraction r of drivers retires early, a fraction r of
+// riders cancels between publish and pickup, and r/2 of the fleet is
+// announced mid-day rather than upfront (a joiner cannot be
+// pre-assigned demand published before her announcement, so all three
+// knobs shrink what the dispatcher can do). Each rate averages over
+// cfg.Replications consecutive seeds and every (rate, seed) point runs
+// concurrently on cfg.Workers workers, simulated with maxMargin
+// dispatch on the event-driven engine (sharded per cfg.Shards).
+//
+// Rate 0 reproduces the static Figs 6–9 market exactly, which anchors
+// the curves: everything the sweep shows beyond the first point is
+// dynamics the paper's evaluation never reached.
+func ChurnSweep(cfg Config, drivers int, rates []float64) ([]ChurnRow, error) {
+	reps := cfg.replications()
+	type point struct {
+		served, cancelled int
+		profit, revenue   float64
+	}
+	pts := make([]point, len(rates)*reps)
+	err := forEachIndex(cfg.Workers, len(pts), func(k int) error {
+		rate, seed := rates[k/reps], cfg.Seed+int64(k%reps)
+		tcfg := trace.NewConfig(seed, cfg.Tasks, drivers, trace.Hitchhiking)
+		tr := trace.NewGenerator(tcfg).Generate(nil)
+		events := trace.WithChurn(tr, trace.DefaultChurn(seed, rate, rate))
+		eng, err := sim.New(tcfg.Market, tr.Drivers, seed)
+		if err != nil {
+			return err
+		}
+		if cfg.Shards > 1 {
+			eng.SetCandidateSource(sim.NewShardedSource(cfg.Shards))
+		}
+		res := eng.RunScenario(tr.Tasks, events, online.MaxMargin{})
+		pts[k] = point{res.Served, res.Cancelled, res.TotalProfit, res.Revenue}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]ChurnRow, len(rates))
+	for ri, rate := range rates {
+		row := ChurnRow{Rate: rate}
+		for r := 0; r < reps; r++ {
+			p := pts[ri*reps+r]
+			row.ServeRate += float64(p.served)
+			row.Cancelled += float64(p.cancelled)
+			row.Profit += p.profit
+			row.Revenue += p.revenue
+		}
+		row.ServeRate /= float64(reps * cfg.Tasks)
+		row.Cancelled /= float64(reps)
+		row.Profit /= float64(reps)
+		row.Revenue /= float64(reps)
+		rows[ri] = row
+	}
+	return rows, nil
+}
+
+// ChurnFigure renders the churn study: serve rate and profit (relative
+// to the churn-free day) as the churn/cancellation rate rises.
+func ChurnFigure(rows []ChurnRow) Figure {
+	fig := Figure{
+		ID:     "ext-churn",
+		Title:  "Driver churn and rider cancellations",
+		XLabel: "churn / cancellation rate", YLabel: "fraction of the static day",
+		Series: make([]Series, 3),
+	}
+	fig.Series[0].Name = "serve rate"
+	fig.Series[1].Name = "profit / no-churn profit"
+	fig.Series[2].Name = "cancelled (count)"
+	base := 1.0
+	if len(rows) > 0 && rows[0].Profit != 0 {
+		base = rows[0].Profit
+	}
+	for _, r := range rows {
+		fig.Series[0].X = append(fig.Series[0].X, r.Rate)
+		fig.Series[0].Y = append(fig.Series[0].Y, r.ServeRate)
+		fig.Series[1].X = append(fig.Series[1].X, r.Rate)
+		fig.Series[1].Y = append(fig.Series[1].Y, r.Profit/base)
+		fig.Series[2].X = append(fig.Series[2].X, r.Rate)
+		fig.Series[2].Y = append(fig.Series[2].Y, r.Cancelled)
+	}
+	fig.Notes = "rate 0 = the static-fleet market of Figs 6-9; cancelled series is absolute counts"
 	return fig
 }

@@ -99,3 +99,50 @@ func TestDispatchComparison(t *testing.T) {
 		t.Fatalf("bad figure")
 	}
 }
+
+func TestChurnSweepShapes(t *testing.T) {
+	cfg := testConfig()
+	cfg.Replications = 2
+	rates := []float64{0, 0.25, 0.6}
+	rows, err := ChurnSweep(cfg, 15, rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(rates) {
+		t.Fatalf("rows = %d, want %d", len(rows), len(rates))
+	}
+	if rows[0].Cancelled != 0 {
+		t.Fatalf("rate 0 cancelled %.1f tasks", rows[0].Cancelled)
+	}
+	last := rows[len(rows)-1]
+	if last.Cancelled == 0 {
+		t.Fatal("heavy churn honored no cancellations")
+	}
+	// Retiring drivers and cancelling riders can only shrink served work.
+	if last.ServeRate >= rows[0].ServeRate {
+		t.Errorf("serve rate did not fall under churn: %.3f → %.3f", rows[0].ServeRate, last.ServeRate)
+	}
+	for _, r := range rows {
+		if r.ServeRate < 0 || r.ServeRate > 1 {
+			t.Errorf("rate %.2f: serve rate %.3f outside [0,1]", r.Rate, r.ServeRate)
+		}
+	}
+
+	// Sharded engine: identical rows (the sweep is an experiments-layer
+	// restatement of the sim differential guarantee).
+	cfg.Shards = 4
+	sharded, err := ChurnSweep(cfg, 15, rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rows {
+		if rows[i] != sharded[i] {
+			t.Errorf("rate %.2f: sharded row %+v != scan row %+v", rates[i], sharded[i], rows[i])
+		}
+	}
+
+	fig := ChurnFigure(rows)
+	if fig.ID != "ext-churn" || len(fig.Series) != 3 {
+		t.Fatal("bad churn figure")
+	}
+}

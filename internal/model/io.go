@@ -140,10 +140,13 @@ func ReadTasksCSV(r io.Reader) ([]Task, error) {
 	return tasks, nil
 }
 
-// Trace bundles a full market instance for JSON serialization.
+// Trace bundles a full market instance for JSON serialization. Events
+// is optional: a trace without it replays as the paper's static-fleet,
+// no-cancellation day.
 type Trace struct {
-	Drivers []Driver `json:"drivers"`
-	Tasks   []Task   `json:"tasks"`
+	Drivers []Driver      `json:"drivers"`
+	Tasks   []Task        `json:"tasks"`
+	Events  []MarketEvent `json:"events,omitempty"`
 }
 
 // WriteTraceJSON writes the instance as indented JSON.

@@ -100,6 +100,63 @@ func (t Task) Window() float64 { return t.EndBy - t.StartBy }
 // the task is served.
 func (t Task) Surplus() float64 { return t.WTP - t.Price }
 
+// EventKind tags one dynamic market event in a trace.
+type EventKind string
+
+// The market event vocabulary. The paper's online model (§V) fixes the
+// fleet for the whole day and assumes every published task is served or
+// rejected once; these events extend traces with the dynamics a real
+// two-sided market faces between those decisions.
+const (
+	// EventJoin announces a driver mid-day: before At she is invisible
+	// to dispatch (the platform does not yet know she exists). Join
+	// events normally carry At == the driver's shift start.
+	EventJoin EventKind = "join"
+	// EventRetire removes a driver from the market at At: she accepts no
+	// further tasks (an in-flight task is still completed).
+	EventRetire EventKind = "retire"
+	// EventCancel is a rider cancellation at At, after the task's
+	// publish time. A cancellation that lands before the assigned
+	// driver's pickup revokes the assignment; after pickup it is too
+	// late and the ride proceeds.
+	EventCancel EventKind = "cancel"
+)
+
+// MarketEvent is one dynamic event in a trace. Driver and Task are
+// indices into the owning Trace's Drivers and Tasks slices (not IDs),
+// matching how the simulator addresses both.
+type MarketEvent struct {
+	At     float64   `json:"at"`
+	Kind   EventKind `json:"kind"`
+	Driver int       `json:"driver,omitempty"` // join, retire
+	Task   int       `json:"task,omitempty"`   // cancel
+}
+
+// ValidateEvents checks every event against the trace it belongs to:
+// known kind, indices in range, and cancellations strictly after their
+// task's publish time (a task cancelled before publication would simply
+// never be published).
+func ValidateEvents(events []MarketEvent, drivers []Driver, tasks []Task) error {
+	for i, ev := range events {
+		switch ev.Kind {
+		case EventJoin, EventRetire:
+			if ev.Driver < 0 || ev.Driver >= len(drivers) {
+				return fmt.Errorf("event %d (%s): driver index %d out of range [0,%d)", i, ev.Kind, ev.Driver, len(drivers))
+			}
+		case EventCancel:
+			if ev.Task < 0 || ev.Task >= len(tasks) {
+				return fmt.Errorf("event %d (cancel): task index %d out of range [0,%d)", i, ev.Task, len(tasks))
+			}
+			if ev.At <= tasks[ev.Task].Publish {
+				return fmt.Errorf("event %d (cancel): at %.1f not after task %d publish %.1f", i, ev.At, ev.Task, tasks[ev.Task].Publish)
+			}
+		default:
+			return fmt.Errorf("event %d: unknown kind %q", i, ev.Kind)
+		}
+	}
+	return nil
+}
+
 // Market holds the market-wide physical and economic constants used to
 // estimate travel times and costs (§III-B). The zero value is not usable;
 // construct with DefaultMarket or fill every field.

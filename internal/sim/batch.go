@@ -2,7 +2,7 @@ package sim
 
 import (
 	"fmt"
-	"sort"
+	"math"
 
 	"repro/internal/matching"
 	"repro/internal/model"
@@ -16,6 +16,15 @@ import (
 // batch and the candidate drivers. Each batch trades a bounded increase
 // in response time for globally better matches than the per-task greedy
 // heuristics of §V.
+//
+// Over the event loop, the first arrival with no close pending opens a
+// batch and schedules an internal batch-close event window seconds
+// later; arrivals accumulate until it fires. The close event sorts
+// before any arrival at the same instant, so a batch spans exactly
+// [head, head+window) of publish time. Rider cancellations landing
+// inside the window remove the order from the open batch before it is
+// matched; the window stays anchored at the order that opened it, so a
+// cancellation never changes when other orders are decided.
 
 // BatchAlgorithm selects the assignment solver used per batch.
 type BatchAlgorithm int
@@ -49,86 +58,96 @@ func (a BatchAlgorithm) String() string {
 // rationality), and tasks that found no driver are rejected — they are
 // real-time orders and cannot wait for the next batch.
 func (e *Engine) RunBatched(tasks []model.Task, window float64, algo BatchAlgorithm) Result {
+	return e.RunBatchedScenario(tasks, nil, window, algo)
+}
+
+// RunBatchedScenario is RunBatched with dynamic market events (driver
+// churn, rider cancellations) interleaved into the arrival stream, with
+// the same event semantics as RunScenario.
+func (e *Engine) RunBatchedScenario(tasks []model.Task, events []model.MarketEvent, window float64, algo BatchAlgorithm) Result {
 	if window <= 0 {
 		panic(fmt.Sprintf("sim: non-positive batch window %g", window))
 	}
-	e.reset()
-	res := Result{
-		PerDriverRevenue: make([]float64, len(e.Drivers)),
-		PerDriverProfit:  make([]float64, len(e.Drivers)),
-		PerDriverTasks:   make([]int, len(e.Drivers)),
-		DriverPaths:      make([][]int, len(e.Drivers)),
-		Assignment:       make(map[int]int),
+	r := e.newEventRun(tasks, events, true)
+
+	// closeAt tracks the pending batch-close event (NaN when none): the
+	// window is anchored at the arrival that opened the batch and stays
+	// anchored even if cancellations empty the batch before it closes —
+	// otherwise a stale close would fire early on the next batch.
+	var batch []int
+	closeAt := math.NaN()
+	r.onArrival = func(ev event) {
+		if math.IsNaN(closeAt) {
+			closeAt = ev.at + window
+			r.push(event{key: closeAt, kind: evBatchClose, at: closeAt})
+		}
+		batch = append(batch, ev.idx)
+	}
+	r.onBatchClose = func(ev event) {
+		e.closeBatch(r, batch, ev.at, algo)
+		batch = batch[:0]
+		closeAt = math.NaN()
+	}
+	r.cancelPending = func(ti int) bool {
+		for k, b := range batch {
+			if b == ti {
+				batch = append(batch[:k], batch[k+1:]...)
+				return true
+			}
+		}
+		return false
 	}
 
-	order := make([]int, len(tasks))
-	for i := range order {
-		order[i] = i
+	for i := range tasks {
+		r.add(event{key: tasks[i].Publish, kind: evArrival, seq: i, at: tasks[i].Publish, idx: i})
 	}
-	sort.Slice(order, func(a, b int) bool {
-		ta, tb := tasks[order[a]], tasks[order[b]]
-		if ta.Publish != tb.Publish {
-			return ta.Publish < tb.Publish
-		}
-		return order[a] < order[b]
-	})
+	r.drain()
+	e.settle(&r.res)
+	return r.res
+}
 
-	var cands []Candidate
-	for start := 0; start < len(order); {
-		// Collect one batch: all tasks published within `window` of the
-		// batch head. Decisions happen at the window's close.
-		head := tasks[order[start]].Publish
-		end := start
-		for end < len(order) && tasks[order[end]].Publish < head+window {
-			end++
+// closeBatch solves the maximum-weight assignment for one batch at its
+// decision time and commits the matches.
+func (e *Engine) closeBatch(r *eventRun, batch []int, decisionAt float64, algo BatchAlgorithm) {
+	if len(batch) == 0 {
+		return // every order of the window was cancelled
+	}
+	// Weight matrix: rows = batch tasks, cols = drivers; margins
+	// δ_{n,m} at decision time, Forbidden where infeasible.
+	w := make([][]float64, len(batch))
+	arrivals := make([][]float64, len(batch))
+	for bi, ti := range batch {
+		w[bi] = make([]float64, len(e.Drivers))
+		arrivals[bi] = make([]float64, len(e.Drivers))
+		for c := range w[bi] {
+			w[bi][c] = matching.Forbidden
 		}
-		decisionAt := head + window
-		batch := order[start:end]
-		start = end
-
-		// Weight matrix: rows = batch tasks, cols = drivers; margins
-		// δ_{n,m} at decision time, Forbidden where infeasible.
-		w := make([][]float64, len(batch))
-		arrivals := make([][]float64, len(batch))
-		for bi, ti := range batch {
-			w[bi] = make([]float64, len(e.Drivers))
-			arrivals[bi] = make([]float64, len(e.Drivers))
-			for c := range w[bi] {
-				w[bi][c] = matching.Forbidden
-			}
-			cands = e.source.Candidates(tasks[ti], decisionAt, cands[:0])
-			for _, c := range cands {
-				w[bi][c.Driver] = c.Margin
-				arrivals[bi][c.Driver] = c.Arrival
-			}
-		}
-
-		var asg matching.Assignment
-		var err error
-		switch algo {
-		case BatchAuction:
-			asg, err = matching.Auction(w, 1e-9)
-		default:
-			asg, err = matching.Hungarian(w)
-		}
-		if err != nil {
-			// The matrix is rectangular by construction.
-			panic(fmt.Sprintf("sim: batch matching failed: %v", err))
-		}
-
-		for bi, ti := range batch {
-			drv := asg.ColOf[bi]
-			if drv < 0 {
-				res.Rejected++
-				continue
-			}
-			e.assign(Candidate{Driver: drv, Arrival: arrivals[bi][drv], Margin: w[bi][drv]}, tasks[ti])
-			res.Served++
-			res.Assignment[ti] = drv
-			res.DriverPaths[drv] = append(res.DriverPaths[drv], ti)
+		r.cands = e.source.Candidates(r.tasks[ti], decisionAt, r.cands[:0])
+		for _, c := range r.cands {
+			w[bi][c.Driver] = c.Margin
+			arrivals[bi][c.Driver] = c.Arrival
 		}
 	}
 
-	e.settle(&res)
-	return res
+	var asg matching.Assignment
+	var err error
+	switch algo {
+	case BatchAuction:
+		asg, err = matching.Auction(w, 1e-9)
+	default:
+		asg, err = matching.Hungarian(w)
+	}
+	if err != nil {
+		// The matrix is rectangular by construction.
+		panic(fmt.Sprintf("sim: batch matching failed: %v", err))
+	}
+
+	for bi, ti := range batch {
+		drv := asg.ColOf[bi]
+		if drv < 0 {
+			r.res.Rejected++
+			continue
+		}
+		r.assignTask(ti, Candidate{Driver: drv, Arrival: arrivals[bi][drv], Margin: w[bi][drv]}, r.tasks[ti])
+	}
 }

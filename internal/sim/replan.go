@@ -14,89 +14,78 @@ import (
 // second half of the paper's "non-heuristic online algorithms" future
 // work. At every task arrival (and on a periodic flush grid of `period`
 // seconds) the platform rebuilds a task map over all *pending* tasks
-// (published, not yet assigned, pickup still reachable) with each
-// driver's current position and availability as her virtual source, runs
-// the offline greedy (Algorithm 1) on the snapshot, and commits the
-// first leg of each selected task list. Later legs stay uncommitted and
-// are re-planned as new demand arrives.
+// (published, not yet assigned, not cancelled, pickup still reachable)
+// with each present driver's current position and availability as her
+// virtual source, runs the offline greedy (Algorithm 1) on the
+// snapshot, and commits the first leg of each selected task list. Later
+// legs stay uncommitted and are re-planned as new demand arrives.
+//
+// Over the event loop, replan rounds are explicit events: one per
+// distinct arrival time plus the periodic flush grid. A round at time t
+// sorts after every arrival at t, so it always sees the full demand
+// published up to and including t.
 
 // RunReplan simulates the day under rolling-horizon re-optimization.
 // period controls the flush grid that re-examines deferred tasks after
 // arrivals go quiet; re-planning itself is triggered by every arrival,
 // so accepted customers get an answer with no added latency.
 func (e *Engine) RunReplan(tasks []model.Task, period float64) Result {
+	return e.RunReplanScenario(tasks, nil, period)
+}
+
+// RunReplanScenario is RunReplan with dynamic market events: retired
+// drivers drop out of every subsequent snapshot, mid-day joiners enter
+// it from their join time, and cancelled pending tasks leave the pool
+// (an assigned-but-not-picked-up cancellation frees the driver for the
+// next round, with the same revocation semantics as RunScenario).
+func (e *Engine) RunReplanScenario(tasks []model.Task, events []model.MarketEvent, period float64) Result {
 	if period <= 0 {
 		panic(fmt.Sprintf("sim: non-positive replan period %g", period))
 	}
-	e.reset()
-	res := Result{
-		PerDriverRevenue: make([]float64, len(e.Drivers)),
-		PerDriverProfit:  make([]float64, len(e.Drivers)),
-		PerDriverTasks:   make([]int, len(e.Drivers)),
-		DriverPaths:      make([][]int, len(e.Drivers)),
-		Assignment:       make(map[int]int),
+	r := e.newEventRun(tasks, events, true)
+	if len(tasks) == 0 && len(events) == 0 {
+		return r.res
 	}
-	if len(tasks) == 0 {
-		return res
-	}
-
-	order := make([]int, len(tasks))
-	for i := range order {
-		order[i] = i
-	}
-	sort.Slice(order, func(a, b int) bool { return tasks[order[a]].Publish < tasks[order[b]].Publish })
 
 	assigned := make([]bool, len(tasks))
 	expired := make([]bool, len(tasks))
+	var published []int // task indices in arrival order
 
-	start := tasks[order[0]].Publish
-	horizon := start
-	for _, ti := range order {
-		if tasks[ti].StartBy > horizon {
-			horizon = tasks[ti].StartBy
-		}
+	r.onArrival = func(ev event) { published = append(published, ev.idx) }
+	r.cancelPending = func(ti int) bool {
+		// Published (cancellations are strictly after publish) and not
+		// yet decided: drop it from the pool. Decided tasks fall through
+		// to the generic assigned/too-late handling.
+		return !assigned[ti] && !expired[ti]
 	}
-
-	// Re-plan at every arrival (zero added response latency) and then on
-	// a periodic grid until the horizon, so deferred tasks are flushed.
-	var rounds []float64
-	for _, ti := range order {
-		if n := len(rounds); n == 0 || tasks[ti].Publish > rounds[n-1] {
-			rounds = append(rounds, tasks[ti].Publish)
-		}
-	}
-	for now := start + period; now <= horizon+period; now += period {
-		rounds = append(rounds, now)
-	}
-	sort.Float64s(rounds)
-
-	next := 0 // next unpublished task position in order
-	for _, now := range rounds {
-		for next < len(order) && tasks[order[next]].Publish <= now {
-			next++
-		}
-		// Pending demand: published, unassigned, pickup deadline ahead.
+	r.onReplan = func(ev event) {
+		now := ev.at
+		// Pending demand: published, unassigned, uncancelled, pickup
+		// deadline ahead.
 		var pending []int
-		for _, ti := range order[:next] {
-			if assigned[ti] || expired[ti] {
+		for _, ti := range published {
+			if assigned[ti] || expired[ti] || r.isCancelled(ti) {
 				continue
 			}
-			if tasks[ti].StartBy < now {
+			if r.tasks[ti].StartBy < now {
 				expired[ti] = true
-				res.Rejected++
+				r.res.Rejected++
 				continue
 			}
 			pending = append(pending, ti)
 		}
 		if len(pending) == 0 {
-			continue
+			return
 		}
 
-		// Virtual market snapshot: each driver planning from her
+		// Virtual market snapshot: each present driver planning from her
 		// current location and availability.
 		var vdrivers []model.Driver
 		realOf := make([]int, 0, len(e.Drivers))
 		for i, d := range e.Drivers {
+			if !e.present[i] {
+				continue // not yet joined, or retired
+			}
 			st := &e.states[i]
 			availAt := st.freeAt
 			if availAt < now {
@@ -116,11 +105,11 @@ func (e *Engine) RunReplan(tasks []model.Task, period float64) Result {
 			realOf = append(realOf, i)
 		}
 		if len(vdrivers) == 0 {
-			continue
+			return
 		}
 		vtasks := make([]model.Task, len(pending))
 		for k, ti := range pending {
-			vtasks[k] = tasks[ti]
+			vtasks[k] = r.tasks[ti]
 			vtasks[k].ID = k
 		}
 
@@ -143,7 +132,7 @@ func (e *Engine) RunReplan(tasks []model.Task, period float64) Result {
 			}
 			first := path.Tasks[0]
 			ti := pending[first]
-			task := tasks[ti]
+			task := r.tasks[ti]
 			drv := realOf[path.Driver]
 			st := &e.states[drv]
 			depart := st.freeAt
@@ -154,19 +143,53 @@ func (e *Engine) RunReplan(tasks []model.Task, period float64) Result {
 			if arrival > task.StartBy {
 				continue // the snapshot aged out; re-plan next round
 			}
-			e.assign(Candidate{Driver: drv, Arrival: arrival}, task)
+			r.assignTask(ti, Candidate{Driver: drv, Arrival: arrival}, task)
 			assigned[ti] = true
-			res.Served++
-			res.Assignment[ti] = drv
-			res.DriverPaths[drv] = append(res.DriverPaths[drv], ti)
 		}
 	}
 
-	for ti := range tasks {
-		if !assigned[ti] && !expired[ti] {
-			res.Rejected++
+	// Arrivals, then one replan round per distinct arrival time, then
+	// the periodic flush grid out to the horizon.
+	start, horizon := 0.0, 0.0
+	for i := range tasks {
+		r.add(event{key: tasks[i].Publish, kind: evArrival, seq: i, at: tasks[i].Publish, idx: i})
+		if i == 0 || tasks[i].Publish < start {
+			start = tasks[i].Publish
+		}
+		if i == 0 || tasks[i].StartBy > horizon {
+			horizon = tasks[i].StartBy
 		}
 	}
-	e.settle(&res)
-	return res
+	if len(tasks) > 0 {
+		roundTimes := make([]float64, 0, len(tasks))
+		for i := range tasks {
+			roundTimes = append(roundTimes, tasks[i].Publish)
+		}
+		sort.Float64s(roundTimes)
+		seq := 0
+		for k, at := range roundTimes {
+			if k > 0 && at == roundTimes[k-1] {
+				continue
+			}
+			r.add(event{key: at, kind: evReplan, seq: seq, at: at})
+			seq++
+		}
+		for now := start + period; now <= horizon+period; now += period {
+			r.add(event{key: now, kind: evReplan, seq: seq, at: now})
+			seq++
+		}
+	}
+
+	r.drain()
+
+	// Cancellation revocations can strand a task as unassigned again
+	// only by marking it cancelled, so the final sweep stays simple:
+	// everything never decided is rejected.
+	for ti := range tasks {
+		if !assigned[ti] && !expired[ti] && !r.isCancelled(ti) {
+			r.res.Rejected++
+		}
+	}
+	e.settle(&r.res)
+	return r.res
 }

@@ -3,6 +3,15 @@
 // assigning a candidate driver or rejecting the task, and drivers move
 // through lock/unlock states as they serve assignments.
 //
+// The engine is event-driven: every entry point enqueues its work —
+// task arrivals, driver joins and retirements, rider cancellations —
+// onto one priority queue (see event.go) drained through a pluggable
+// Clock, with a total, documented merge order for same-timestamp
+// events. Candidate generation is pluggable too (CandidateSource):
+// the exact linear scan, a grid-indexed pre-filter, and a zone-sharded
+// source that queries per-zone spatial indexes concurrently all yield
+// bit-identical results; only the wall-clock changes.
+//
 // The engine owns market state (driver positions, availability, earnings)
 // and computes the candidate set for each arriving task exactly as
 // Algorithms 3 and 4 prescribe: unlocked drivers who can reach the
@@ -27,7 +36,6 @@ package sim
 import (
 	"fmt"
 	"math/rand"
-	"sort"
 
 	"repro/internal/geo"
 	"repro/internal/model"
@@ -49,10 +57,12 @@ type Dispatcher interface {
 
 // CandidateSource enumerates the feasible drivers for an arriving task.
 // It is the engine's pluggable answer to "who can serve this?": the
-// linear scan evaluates every driver (exact, O(N) per task) while the
-// grid-indexed source pre-filters with a spatial index and runs the same
-// exact feasibility checks on the survivors, so both produce identical
-// candidate sets and therefore bit-identical simulation results.
+// linear scan evaluates every driver (exact, O(N) per task), the
+// grid-indexed source pre-filters with a spatial index, and the sharded
+// source partitions the fleet into concurrent per-zone indexes — all
+// running the same exact feasibility checks on the survivors, so every
+// source produces identical candidate sets and therefore bit-identical
+// simulation results.
 //
 // Implementations must append candidates in ascending driver order: the
 // dispatchers' tie-breaking (and their consumption of the engine's RNG)
@@ -61,15 +71,21 @@ type Dispatcher interface {
 type CandidateSource interface {
 	Name() string
 	// Bind attaches the source to an engine and rebuilds any internal
-	// state from the engine's current driver states. The engine calls it
-	// once per Run* entry point, right after resetting driver state.
+	// state from the engine's current driver states and presence flags.
+	// The engine calls it once per Run* entry point, right after
+	// resetting driver state.
 	Bind(e *Engine)
 	// Candidates appends every feasible candidate for task into buf when
 	// the dispatch decision happens at time now, and returns buf.
 	Candidates(task model.Task, now float64, buf []Candidate) []Candidate
 	// Moved notifies the source that driver i's engine state (location,
-	// availability) changed after an assignment.
+	// availability) changed after an assignment or a revocation.
 	Moved(i int)
+	// Presence notifies the source that driver i entered (mid-day join)
+	// or left (retirement) the market. Absent drivers are never
+	// candidates — the engine's exact feasibility check enforces that
+	// regardless, so sources may treat this purely as a pruning hint.
+	Presence(i int, present bool)
 }
 
 // Result aggregates a full simulation run. Per-driver slices are indexed
@@ -77,6 +93,11 @@ type CandidateSource interface {
 type Result struct {
 	Served   int
 	Rejected int
+
+	// Cancelled counts tasks withdrawn by their rider before pickup —
+	// dropped from a pending pool, or revoked after assignment (revoked
+	// tasks are not double-counted in Served). Zero for event-free runs.
+	Cancelled int
 
 	Revenue     float64 // Σ p_m over served tasks (market revenue, Fig. 6)
 	TotalProfit float64 // drivers' total profit, objective Eq. (4)
@@ -144,9 +165,14 @@ type Engine struct {
 	// served task's end deadline. See the package comment.
 	RealTime bool
 
-	states []driverState
-	rng    *rand.Rand
-	source CandidateSource
+	// Clock paces the event drain of time-keyed runs; nil runs at full
+	// speed (InstantClock).
+	Clock Clock
+
+	states  []driverState
+	present []bool // false: not yet joined, or retired
+	rng     *rand.Rand
+	source  CandidateSource
 }
 
 // New returns an engine over the given market and drivers. It returns an
@@ -177,9 +203,21 @@ func (e *Engine) SetCandidateSource(src CandidateSource) {
 }
 
 func (e *Engine) reset() {
+	e.resetAbsent(nil)
+}
+
+// resetAbsent rebuilds driver state for a fresh run, marking the listed
+// drivers absent (they join mid-run via events) before the candidate
+// source rebuilds its indexes from the presence flags.
+func (e *Engine) resetAbsent(absent []int) {
 	e.states = make([]driverState, len(e.Drivers))
+	e.present = make([]bool, len(e.Drivers))
 	for i, d := range e.Drivers {
 		e.states[i] = driverState{freeAt: d.Start, loc: d.Source}
+		e.present[i] = true
+	}
+	for _, i := range absent {
+		e.present[i] = false
 	}
 	e.source.Bind(e)
 }
@@ -187,75 +225,46 @@ func (e *Engine) reset() {
 // Run processes the tasks in publish order through the dispatcher and
 // returns the aggregated result. The engine resets its state first, so
 // one engine can run several dispatchers in sequence; tasks are not
-// mutated.
+// mutated. It is RunScenario with no dynamic events.
 func (e *Engine) Run(tasks []model.Task, d Dispatcher) Result {
-	ordered := make([]int, len(tasks))
-	for i := range ordered {
-		ordered[i] = i
+	return e.RunScenario(tasks, nil, d)
+}
+
+// RunScenario simulates the day under instant dispatch with dynamic
+// market events interleaved into the arrival stream: drivers joining
+// and retiring mid-day, riders cancelling before pickup. Events are
+// validated against the inputs (indices are positions in the slices,
+// as in model.Trace); invalid scenarios panic, as they are static
+// test/experiment inputs. A nil or empty event slice reproduces Run
+// exactly.
+func (e *Engine) RunScenario(tasks []model.Task, events []model.MarketEvent, d Dispatcher) Result {
+	r := e.newEventRun(tasks, events, true)
+	r.d = d
+	r.onArrival = r.instantArrival
+	for i := range tasks {
+		r.add(event{key: tasks[i].Publish, kind: evArrival, seq: i, at: tasks[i].Publish, idx: i})
 	}
-	sort.Slice(ordered, func(a, b int) bool {
-		ta, tb := tasks[ordered[a]], tasks[ordered[b]]
-		if ta.Publish != tb.Publish {
-			return ta.Publish < tb.Publish
-		}
-		return ordered[a] < ordered[b]
-	})
-	return e.runOrder(tasks, ordered, d)
+	r.drain()
+	e.settle(&r.res)
+	return r.res
 }
 
 // RunByValue processes tasks in descending price order — the offline
 // variant of the maximum-marginal-value heuristic the paper sketches at
 // the end of §V-B ("it will be more efficient to deal with the tasks
-// which have higher values firstly").
+// which have higher values firstly"). Each dispatch decision still
+// happens at the task's own publish time; only the drain order changes,
+// so the run is keyed by price, not time, and supports no churn events.
 func (e *Engine) RunByValue(tasks []model.Task, d Dispatcher) Result {
-	ordered := make([]int, len(tasks))
-	for i := range ordered {
-		ordered[i] = i
+	r := e.newEventRun(tasks, nil, false)
+	r.d = d
+	r.onArrival = r.instantArrival
+	for i := range tasks {
+		r.add(event{key: -tasks[i].Price, kind: evArrival, seq: i, at: tasks[i].Publish, idx: i})
 	}
-	sort.Slice(ordered, func(a, b int) bool {
-		ta, tb := tasks[ordered[a]], tasks[ordered[b]]
-		if ta.Price != tb.Price {
-			return ta.Price > tb.Price
-		}
-		return ordered[a] < ordered[b]
-	})
-	return e.runOrder(tasks, ordered, d)
-}
-
-func (e *Engine) runOrder(tasks []model.Task, order []int, d Dispatcher) Result {
-	e.reset()
-	res := Result{
-		PerDriverRevenue: make([]float64, len(e.Drivers)),
-		PerDriverProfit:  make([]float64, len(e.Drivers)),
-		PerDriverTasks:   make([]int, len(e.Drivers)),
-		DriverPaths:      make([][]int, len(e.Drivers)),
-		Assignment:       make(map[int]int),
-	}
-
-	var cands []Candidate
-	for _, ti := range order {
-		task := tasks[ti]
-		cands = e.source.Candidates(task, task.Publish, cands[:0])
-		choice := -1
-		if len(cands) > 0 {
-			choice = d.Choose(task, cands, e.rng)
-			if choice >= len(cands) {
-				panic(fmt.Sprintf("sim: dispatcher %s chose %d of %d candidates", d.Name(), choice, len(cands)))
-			}
-		}
-		if choice < 0 {
-			res.Rejected++
-			continue
-		}
-		c := cands[choice]
-		e.assign(c, task)
-		res.Served++
-		res.Assignment[ti] = c.Driver
-		res.DriverPaths[c.Driver] = append(res.DriverPaths[c.Driver], ti)
-	}
-
-	e.settle(&res)
-	return res
+	r.drain()
+	e.settle(&r.res)
+	return r.res
 }
 
 // settle closes per-driver accounts: profit is revenue minus excess
@@ -297,6 +306,9 @@ func (e *Engine) candidates(task model.Task, now float64, buf []Candidate) []Can
 // one driver; service and serviceCost are the task-only terms hoisted out
 // of the per-driver loop.
 func (e *Engine) candidateFor(i int, task model.Task, now, service, serviceCost float64) (Candidate, bool) {
+	if !e.present[i] {
+		return Candidate{}, false // not yet joined, or retired
+	}
 	drv := e.Drivers[i]
 	st := &e.states[i]
 	loc := st.loc

@@ -41,6 +41,10 @@ func (s *ScanSource) Candidates(task model.Task, now float64, buf []Candidate) [
 // Moved implements CandidateSource.
 func (s *ScanSource) Moved(int) {}
 
+// Presence implements CandidateSource. The scan has no index to prune;
+// the engine's exact feasibility check skips absent drivers.
+func (s *ScanSource) Presence(int, bool) {}
+
 // GridSource enumerates candidates through a bucketed spatial index over
 // grid cells that tracks every driver's location and availability window
 // as assignments mutate state. A task with pickup deadline t̄− dispatched
@@ -103,7 +107,13 @@ func (s *GridSource) Bind(e *Engine) {
 		}
 		// freeAt starts at shift start (the engine resets states that
 		// way); the window narrows as assignments lock the driver.
-		s.ix.SetSpan(i, e.states[i].freeAt, d.End)
+		// Drivers that join mid-run start with the empty span and are
+		// restored by Presence when their join event fires.
+		if e.present[i] {
+			s.ix.SetSpan(i, e.states[i].freeAt, d.End)
+		} else {
+			s.ix.SetSpan(i, math.Inf(1), math.Inf(-1))
+		}
 	}
 }
 
@@ -143,6 +153,19 @@ func (s *GridSource) Moved(i int) {
 	s.ix.SetSpan(i, s.e.states[i].freeAt, s.e.Drivers[i].End)
 }
 
+// Presence implements CandidateSource. The dense index keeps every
+// driver bucketed; absent drivers are pruned by collapsing their
+// availability window to the empty span (and restored from engine
+// state on a join). Correctness never depends on this — the engine's
+// exact check is the arbiter — it only keeps retired fleets cheap.
+func (s *GridSource) Presence(i int, present bool) {
+	if present {
+		s.ix.SetSpan(i, s.e.states[i].freeAt, s.e.Drivers[i].End)
+	} else {
+		s.ix.SetSpan(i, math.Inf(1), math.Inf(-1))
+	}
+}
+
 // checkGridCoversFleet verifies the precondition of the index's planar
 // pre-filter: its longitude scale uses the smallest cosine over the grid
 // box's latitudes, which lower-bounds true east-west distances only for
@@ -169,14 +192,13 @@ func checkGridCoversFleet(grid *geo.Grid, drivers []model.Driver) {
 	}
 }
 
-// autoGrid sizes a grid over the fleet's start/end positions, targeting
-// roughly two drivers per cell so ring queries touch small buckets. The
-// box is padded so boundary drivers do not all clamp into edge cells;
-// points outside it (e.g. pickups of far-out tasks) stay correct via
-// clamping, merely a little slower.
-func autoGrid(drivers []model.Driver) *geo.Grid {
+// fleetBox bounds the fleet's start/end positions, padded so boundary
+// drivers do not all clamp into edge cells; points outside it (e.g.
+// pickups of far-out tasks) stay correct via clamping, merely a little
+// slower. An empty fleet gets the Porto box.
+func fleetBox(drivers []model.Driver) geo.BoundingBox {
 	if len(drivers) == 0 {
-		return geo.NewGrid(geo.PortoBox, 1, 1)
+		return geo.PortoBox
 	}
 	box := geo.BoundingBox{
 		MinLat: math.Inf(1), MinLon: math.Inf(1),
@@ -197,7 +219,12 @@ func autoGrid(drivers []model.Driver) *geo.Grid {
 	box.MinLon = math.Max(box.MinLon-padDeg, -180)
 	box.MaxLat = math.Min(box.MaxLat+padDeg, 90)
 	box.MaxLon = math.Min(box.MaxLon+padDeg, 180)
+	return box
+}
 
+// autoGrid sizes a grid over the fleet's bounding box, targeting
+// roughly two drivers per cell so ring queries touch small buckets.
+func autoGrid(drivers []model.Driver) *geo.Grid {
 	dim := int(math.Ceil(math.Sqrt(float64(len(drivers)) / 2)))
 	if dim < 1 {
 		dim = 1
@@ -205,5 +232,5 @@ func autoGrid(drivers []model.Driver) *geo.Grid {
 	if dim > 512 {
 		dim = 512
 	}
-	return geo.NewGrid(box, dim, dim)
+	return geo.NewGrid(fleetBox(drivers), dim, dim)
 }

@@ -45,7 +45,10 @@ import (
 const Safety = 0.9
 
 // Index is a driver-over-grid-cells bucket index. Construct with
-// NewIndex; it is not safe for concurrent mutation.
+// NewIndex (every point present) or NewSparseIndex (membership managed
+// with Add and Remove — the shape zone shards need, where each shard
+// indexes only the drivers currently inside its zone). It is not safe
+// for concurrent mutation.
 //
 // Besides its location, every point carries an availability window
 // [freeAt, retireAt) — for a driver: when she can next depart (shift
@@ -60,14 +63,19 @@ type Index struct {
 	px, py   []float64   // id -> planar km coordinates (see project)
 	freeAt   []float64   // id -> earliest departure time
 	retireAt []float64   // id -> end of availability
-	cell     []int       // id -> current cell
+	cell     []int       // id -> current cell, or absentCell when removed
 	slot     []int       // id -> position inside bucket[cell[id]]
 
-	bucket [][]int // cell -> ids (unordered)
+	bucket  [][]int // cell -> ids (unordered)
+	members int     // number of present points
 
 	minSpanKm float64 // conservative one-cell extent for ring bounds
 	kmPerLon  float64 // km per degree of longitude at the box's widest-cos latitude
 }
+
+// absentCell marks an id that is allocated but not currently indexed
+// (removed, or never added on a sparse index).
+const absentCell = -1
 
 // kmPerLat converts degrees of latitude to kilometers.
 const kmPerLat = geo.EarthRadiusKm * math.Pi / 180
@@ -87,6 +95,19 @@ func (ix *Index) project(p geo.Point) (x, y float64) {
 // addressed as id i in every other method. Every availability window
 // starts as (-Inf, +Inf), i.e. always available; narrow it with SetSpan.
 func NewIndex(grid *geo.Grid, locs []geo.Point) *Index {
+	ix := NewSparseIndex(grid, len(locs))
+	for id, p := range locs {
+		ix.Add(id, p)
+	}
+	return ix
+}
+
+// NewSparseIndex allocates an index with id space [0, n) over grid in
+// which every id starts absent: queries visit nothing until points are
+// inserted with Add. Zone shards use this shape — each shard allocates
+// the full fleet id space but only ever inserts the drivers currently
+// located in its zone.
+func NewSparseIndex(grid *geo.Grid, n int) *Index {
 	h, w := grid.CellSpanKm()
 	// Derive the longitude scale from the same conservative cell width
 	// the ring-pruning bound uses, so the two can never drift apart: one
@@ -94,45 +115,96 @@ func NewIndex(grid *geo.Grid, locs []geo.Point) *Index {
 	kmPerLon := w * float64(grid.Cols) / (grid.Box.MaxLon - grid.Box.MinLon)
 	ix := &Index{
 		grid:      grid,
-		loc:       append([]geo.Point(nil), locs...),
-		px:        make([]float64, len(locs)),
-		py:        make([]float64, len(locs)),
-		freeAt:    make([]float64, len(locs)),
-		retireAt:  make([]float64, len(locs)),
-		cell:      make([]int, len(locs)),
-		slot:      make([]int, len(locs)),
+		loc:       make([]geo.Point, n),
+		px:        make([]float64, n),
+		py:        make([]float64, n),
+		freeAt:    make([]float64, n),
+		retireAt:  make([]float64, n),
+		cell:      make([]int, n),
+		slot:      make([]int, n),
 		bucket:    make([][]int, grid.NumCells()),
 		minSpanKm: min(h, w),
 		kmPerLon:  kmPerLon,
 	}
-	for id, p := range ix.loc {
-		ix.px[id], ix.py[id] = ix.project(p)
+	for id := 0; id < n; id++ {
 		ix.freeAt[id] = math.Inf(-1)
 		ix.retireAt[id] = math.Inf(1)
-		c := grid.CellOf(p)
-		ix.cell[id] = c
-		ix.slot[id] = len(ix.bucket[c])
-		ix.bucket[c] = append(ix.bucket[c], id)
+		ix.cell[id] = absentCell
 	}
 	return ix
 }
 
-// Len returns the number of indexed points.
+// Len returns the size of the id space (present or not).
 func (ix *Index) Len() int { return len(ix.loc) }
+
+// Members returns the number of currently present points.
+func (ix *Index) Members() int { return ix.members }
+
+// Contains reports whether id is currently present in the index.
+func (ix *Index) Contains(id int) bool {
+	ix.checkID(id)
+	return ix.cell[id] != absentCell
+}
 
 // Location returns the current location of id.
 func (ix *Index) Location(id int) geo.Point { return ix.loc[id] }
 
-// Move updates id's location, rebucketing it if it crossed a cell
-// boundary.
-func (ix *Index) Move(id int, p geo.Point) {
+func (ix *Index) checkID(id int) {
 	if id < 0 || id >= len(ix.loc) {
 		panic(fmt.Sprintf("spatial: id %d out of range [0,%d)", id, len(ix.loc)))
+	}
+}
+
+// Add inserts the absent id at location p. The id's availability window
+// is preserved across Remove/Add cycles. It panics if id is already
+// present — membership bugs (a driver indexed by two zone shards at
+// once) must not pass silently.
+func (ix *Index) Add(id int, p geo.Point) {
+	ix.checkID(id)
+	if ix.cell[id] != absentCell {
+		panic(fmt.Sprintf("spatial: Add of already-present id %d", id))
 	}
 	ix.loc[id] = p
 	ix.px[id], ix.py[id] = ix.project(p)
 	c := ix.grid.CellOf(p)
+	ix.cell[id] = c
+	ix.slot[id] = len(ix.bucket[c])
+	ix.bucket[c] = append(ix.bucket[c], id)
+	ix.members++
+}
+
+// Remove detaches id from the index (driver retirement, or migration to
+// another zone shard): subsequent queries never visit it. The id keeps
+// its slot in the id space and may be re-inserted with Add. It panics if
+// id is absent.
+func (ix *Index) Remove(id int) {
+	ix.checkID(id)
 	old := ix.cell[id]
+	if old == absentCell {
+		panic(fmt.Sprintf("spatial: Remove of absent id %d", id))
+	}
+	// Swap-remove from the bucket.
+	b := ix.bucket[old]
+	s := ix.slot[id]
+	last := len(b) - 1
+	b[s] = b[last]
+	ix.slot[b[s]] = s
+	ix.bucket[old] = b[:last]
+	ix.cell[id] = absentCell
+	ix.members--
+}
+
+// Move updates id's location, rebucketing it if it crossed a cell
+// boundary. It panics if id is absent.
+func (ix *Index) Move(id int, p geo.Point) {
+	ix.checkID(id)
+	old := ix.cell[id]
+	if old == absentCell {
+		panic(fmt.Sprintf("spatial: Move of absent id %d", id))
+	}
+	ix.loc[id] = p
+	ix.px[id], ix.py[id] = ix.project(p)
+	c := ix.grid.CellOf(p)
 	if c == old {
 		return
 	}
@@ -152,6 +224,7 @@ func (ix *Index) Move(id int, p geo.Point) {
 // SetSpan sets id's availability window: freeAt is the earliest time the
 // point can start moving, retireAt the time it stops being available.
 func (ix *Index) SetSpan(id int, freeAt, retireAt float64) {
+	ix.checkID(id)
 	ix.freeAt[id] = freeAt
 	ix.retireAt[id] = retireAt
 }

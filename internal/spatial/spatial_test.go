@@ -184,6 +184,111 @@ func TestNearDegenerate(t *testing.T) {
 	}
 }
 
+// TestRemoveAndAdd: removed points disappear from every query, re-added
+// points reappear, and a churned index answers exactly like a fresh
+// index over the surviving membership.
+func TestRemoveAndAdd(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	pts := randomPoints(rng, 200, geo.PortoBox)
+	ix := NewIndex(geo.NewGrid(geo.PortoBox, 10, 10), pts)
+
+	present := make([]bool, len(pts))
+	for i := range present {
+		present[i] = true
+	}
+	// Churn: random removes, re-adds (sometimes at a new location) and
+	// moves, then compare against a fresh sparse index of the survivors.
+	for step := 0; step < 3000; step++ {
+		id := rng.Intn(len(pts))
+		switch {
+		case present[id] && rng.Float64() < 0.5:
+			ix.Remove(id)
+			present[id] = false
+		case !present[id]:
+			pts[id] = geo.PortoBox.Lerp(rng.Float64(), rng.Float64())
+			ix.Add(id, pts[id])
+			present[id] = true
+		default:
+			pts[id] = geo.PortoBox.Lerp(rng.Float64(), rng.Float64())
+			ix.Move(id, pts[id])
+		}
+	}
+	fresh := NewSparseIndex(geo.NewGrid(geo.PortoBox, 10, 10), len(pts))
+	want := 0
+	for id, ok := range present {
+		if ok {
+			fresh.Add(id, pts[id])
+			want++
+		}
+	}
+	if ix.Members() != want {
+		t.Fatalf("Members() = %d after churn, want %d", ix.Members(), want)
+	}
+	for q := 0; q < 60; q++ {
+		query := geo.PortoBox.Lerp(rng.Float64(), rng.Float64())
+		radius := rng.Float64() * 6
+		got, exp := collect(ix, query, radius), collect(fresh, query, radius)
+		if len(got) != len(exp) {
+			t.Fatalf("query %d: churned index returned %d ids, fresh %d", q, len(got), len(exp))
+		}
+		for i := range got {
+			if got[i] != exp[i] {
+				t.Fatalf("query %d: id sets diverge: %v vs %v", q, got, exp)
+			}
+			if !present[got[i]] {
+				t.Fatalf("query %d: visited removed id %d", q, got[i])
+			}
+		}
+	}
+	for id, ok := range present {
+		if ix.Contains(id) != ok {
+			t.Fatalf("Contains(%d) = %v, want %v", id, ix.Contains(id), ok)
+		}
+	}
+}
+
+// TestSpanSurvivesRemoveAdd: availability windows are per-id state, not
+// per-membership — a driver migrating between zone shards keeps hers.
+func TestSpanSurvivesRemoveAdd(t *testing.T) {
+	ix := NewSparseIndex(geo.NewGrid(geo.PortoBox, 4, 4), 2)
+	p := geo.PortoBox.Center()
+	ix.Add(0, p)
+	ix.SetSpan(0, 100, 200)
+	ix.Remove(0)
+	ix.Add(0, p)
+	seen := 0
+	// Window [100, 200): reachable for a dispatch at now=150, byTime=160.
+	ix.NearReachable(p, 30, 160, 150, 200, func(int) { seen++ })
+	if seen != 1 {
+		t.Fatalf("point with preserved span visited %d times, want 1", seen)
+	}
+	seen = 0
+	// retireAt 200 < minRetire 300: pruned.
+	ix.NearReachable(p, 30, 160, 150, 300, func(int) { seen++ })
+	if seen != 0 {
+		t.Fatalf("retired point visited %d times, want 0", seen)
+	}
+}
+
+func TestSparseMembershipPanics(t *testing.T) {
+	ix := NewSparseIndex(geo.NewGrid(geo.PortoBox, 2, 2), 3)
+	p := geo.PortoBox.Center()
+	ix.Add(1, p)
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("double Add", func() { ix.Add(1, p) })
+	mustPanic("Remove of absent id", func() { ix.Remove(0) })
+	mustPanic("Move of absent id", func() { ix.Move(2, p) })
+	mustPanic("Remove out of range", func() { ix.Remove(7) })
+}
+
 func TestMovePanicsOutOfRange(t *testing.T) {
 	ix := NewIndex(geo.NewGrid(geo.PortoBox, 2, 2), randomPoints(rand.New(rand.NewSource(4)), 3, geo.PortoBox))
 	defer func() {

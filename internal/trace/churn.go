@@ -1,0 +1,103 @@
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/model"
+)
+
+// This file derives dynamic market events — driver churn and rider
+// cancellations — from an already-generated trace. Churn is sampled by
+// a dedicated RNG seeded independently of the trace generator, so
+// adding events to a trace never perturbs the tasks and drivers it was
+// generated with: the same (trace seed, churn config) pair always
+// yields the same scenario, and a zero-rate config yields no events.
+
+// ChurnConfig parameterizes WithChurn. All fractions are in [0, 1];
+// the zero value produces no events.
+type ChurnConfig struct {
+	Seed int64
+
+	// JoinFraction of drivers are announced mid-day instead of being
+	// known upfront: each gets a join event at her shift start. Before
+	// the join the platform does not know the driver exists, so a task
+	// published earlier can never be pre-assigned to her — upfront
+	// rosters allow exactly that (Algorithms 3–4 admit a driver whose
+	// shift starts before the pickup deadline), so joins genuinely
+	// shrink the information the dispatcher acts on.
+	JoinFraction float64
+
+	// RetireFraction of drivers retire early, at a uniformly random
+	// point inside their shift; from then on they accept no new tasks.
+	RetireFraction float64
+
+	// CancelFraction of tasks are cancelled by their rider at a
+	// uniformly random time between publication and the pickup deadline.
+	CancelFraction float64
+}
+
+// DefaultChurn is the convention shared by the CLI flags and the
+// experiment harness: a churn rate retires that fraction of drivers
+// early and announces half of it mid-day, a cancel rate withdraws that
+// fraction of tasks, and the sampling seed is offset from the trace
+// seed (by an arbitrary prime) so churn never perturbs the trace
+// stream it decorates.
+func DefaultChurn(seed int64, churn, cancel float64) ChurnConfig {
+	return ChurnConfig{
+		Seed:           seed + 7919,
+		JoinFraction:   churn / 2,
+		RetireFraction: churn,
+		CancelFraction: cancel,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c ChurnConfig) Validate() error {
+	check := func(name string, v float64) error {
+		if v < 0 || v > 1 {
+			return fmt.Errorf("trace: churn %s fraction %g outside [0,1]", name, v)
+		}
+		return nil
+	}
+	if err := check("join", c.JoinFraction); err != nil {
+		return err
+	}
+	if err := check("retire", c.RetireFraction); err != nil {
+		return err
+	}
+	return check("cancel", c.CancelFraction)
+}
+
+// WithChurn samples churn and cancellation events for the trace and
+// returns them sorted by time (ties by sampling order). The trace
+// itself is not modified; stamp the result onto Trace.Events. A driver
+// may be both a mid-day joiner and an early retiree — that is exactly
+// what a part-time driver dropping in for two hours looks like.
+func WithChurn(tr model.Trace, cfg ChurnConfig) []model.MarketEvent {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var events []model.MarketEvent
+	for i, d := range tr.Drivers {
+		if rng.Float64() < cfg.JoinFraction {
+			events = append(events, model.MarketEvent{At: d.Start, Kind: model.EventJoin, Driver: i})
+		}
+		if rng.Float64() < cfg.RetireFraction {
+			at := d.Start + rng.Float64()*(d.End-d.Start)
+			events = append(events, model.MarketEvent{At: at, Kind: model.EventRetire, Driver: i})
+		}
+	}
+	for i, t := range tr.Tasks {
+		if rng.Float64() < cfg.CancelFraction {
+			// Strictly after publish: cancellations race the dispatch
+			// decision only through the pickup, never the publication.
+			at := t.Publish + (0.05+0.95*rng.Float64())*(t.StartBy-t.Publish)
+			events = append(events, model.MarketEvent{At: at, Kind: model.EventCancel, Task: i})
+		}
+	}
+	sort.SliceStable(events, func(a, b int) bool { return events[a].At < events[b].At })
+	return events
+}

@@ -1,0 +1,97 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/model"
+)
+
+func TestWithChurnDeterministicAndValid(t *testing.T) {
+	cfg := NewConfig(3, 120, 40, Hitchhiking)
+	tr := NewGenerator(cfg).Generate(nil)
+	cc := ChurnConfig{Seed: 9, JoinFraction: 0.3, RetireFraction: 0.25, CancelFraction: 0.2}
+
+	evs := WithChurn(tr, cc)
+	if len(evs) == 0 {
+		t.Fatal("churn config with positive rates produced no events")
+	}
+	if again := WithChurn(tr, cc); !reflect.DeepEqual(evs, again) {
+		t.Fatal("WithChurn is not deterministic for a fixed seed")
+	}
+	if err := model.ValidateEvents(evs, tr.Drivers, tr.Tasks); err != nil {
+		t.Fatalf("generated events fail validation: %v", err)
+	}
+	var joins, retires, cancels int
+	for i, ev := range evs {
+		if i > 0 && ev.At < evs[i-1].At {
+			t.Fatalf("events not sorted by time: %v after %v", ev, evs[i-1])
+		}
+		switch ev.Kind {
+		case model.EventJoin:
+			joins++
+			if ev.At != tr.Drivers[ev.Driver].Start {
+				t.Fatalf("join event at %.1f, want driver %d shift start %.1f", ev.At, ev.Driver, tr.Drivers[ev.Driver].Start)
+			}
+		case model.EventRetire:
+			retires++
+			d := tr.Drivers[ev.Driver]
+			if ev.At < d.Start || ev.At > d.End {
+				t.Fatalf("retire event at %.1f outside driver %d shift [%.1f, %.1f]", ev.At, ev.Driver, d.Start, d.End)
+			}
+		case model.EventCancel:
+			cancels++
+			tk := tr.Tasks[ev.Task]
+			if ev.At <= tk.Publish || ev.At > tk.StartBy {
+				t.Fatalf("cancel event at %.1f outside task %d window (%.1f, %.1f]", ev.At, ev.Task, tk.Publish, tk.StartBy)
+			}
+		}
+	}
+	if joins == 0 || retires == 0 || cancels == 0 {
+		t.Fatalf("expected all three kinds, got joins=%d retires=%d cancels=%d", joins, retires, cancels)
+	}
+
+	if evs := WithChurn(tr, ChurnConfig{Seed: 9}); len(evs) != 0 {
+		t.Fatalf("zero-rate churn produced %d events", len(evs))
+	}
+}
+
+func TestWithChurnRejectsBadFractions(t *testing.T) {
+	tr := NewGenerator(NewConfig(3, 5, 2, Hitchhiking)).Generate(nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("WithChurn with a negative fraction did not panic")
+		}
+	}()
+	WithChurn(tr, ChurnConfig{CancelFraction: -0.1})
+}
+
+// TestEventsJSONRoundTrip: traces carry their events through the JSON
+// format unchanged, and event-free traces stay byte-compatible.
+func TestEventsJSONRoundTrip(t *testing.T) {
+	cfg := NewConfig(5, 30, 10, HomeWorkHome)
+	tr := NewGenerator(cfg).Generate(nil)
+	tr.Events = WithChurn(tr, ChurnConfig{Seed: 2, RetireFraction: 0.5, CancelFraction: 0.5})
+
+	var buf bytes.Buffer
+	if err := model.WriteTraceJSON(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	back, err := model.ReadTraceJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tr, back) {
+		t.Fatal("trace with events did not survive a JSON round trip")
+	}
+
+	buf.Reset()
+	plain := model.Trace{Drivers: tr.Drivers, Tasks: tr.Tasks}
+	if err := model.WriteTraceJSON(&buf, plain); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(buf.Bytes(), []byte(`"events"`)) {
+		t.Fatal("event-free trace serialized an events field")
+	}
+}

@@ -1,0 +1,11 @@
+#!/usr/bin/env sh
+# Records the repository's dispatch-throughput baseline: one full online
+# day of maxMargin dispatch at city-fleet sizes under every candidate
+# source (sequential scan, grid index, zone shards), written as
+# machine-readable JSON so perf changes diff against a fixed trajectory.
+#
+# Usage: scripts/bench.sh [extra `rideshare bench` flags]
+# Output: BENCH_2.json at the repository root (override with -out).
+set -eu
+cd "$(dirname "$0")/.."
+exec go run ./cmd/rideshare bench -out BENCH_2.json "$@"
