@@ -10,6 +10,7 @@
 package repro_test
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/bound"
@@ -76,7 +77,7 @@ func benchmarkFig5(b *testing.B, dm trace.DriverModel) {
 	var fig experiments.Figure
 	for i := 0; i < b.N; i++ {
 		var err error
-		fig, err = experiments.Fig5PerformanceRatio(cfg, dm)
+		fig, err = experiments.Fig5PerformanceRatio(context.Background(), cfg, dm)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -103,7 +104,7 @@ func densitySweep(b *testing.B) experiments.DensityMetrics {
 	var m experiments.DensityMetrics
 	for i := 0; i < b.N; i++ {
 		var err error
-		m, err = experiments.RunDensitySweep(cfg)
+		m, err = experiments.RunDensitySweep(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -385,7 +386,7 @@ func benchmarkDensitySweep(b *testing.B, workers int) {
 	cfg.Workers = workers
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.RunDensitySweep(cfg); err != nil {
+		if _, err := experiments.RunDensitySweep(context.Background(), cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -690,7 +691,7 @@ func BenchmarkExtWelfareGap(b *testing.B) {
 	var rows []experiments.WelfareRow
 	for i := 0; i < b.N; i++ {
 		var err error
-		rows, err = experiments.WelfareComparison(cfg)
+		rows, err = experiments.WelfareComparison(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -706,7 +707,7 @@ func BenchmarkExtSurgeSweep(b *testing.B) {
 	var rows []experiments.SurgeRow
 	for i := 0; i < b.N; i++ {
 		var err error
-		rows, err = experiments.SurgeSweep(cfg, 40, []float64{1, 3})
+		rows, err = experiments.SurgeSweep(context.Background(), cfg, 40, []float64{1, 3})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -722,7 +723,7 @@ func BenchmarkExtDispatchComparison(b *testing.B) {
 	var rows []experiments.DispatchRow
 	for i := 0; i < b.N; i++ {
 		var err error
-		rows, err = experiments.DispatchComparison(cfg, 60)
+		rows, err = experiments.DispatchComparison(context.Background(), cfg, 60)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -11,6 +12,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/dispatch"
 	"repro/internal/online"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -32,10 +34,14 @@ type benchResult struct {
 	Tasks       int     `json:"tasks"`
 	Source      string  `json:"source"`
 	Shards      int     `json:"shards,omitempty"`
-	Seconds     float64 `json:"seconds"` // median over -reps runs
+	Mode        string  `json:"mode,omitempty"` // batch | streaming (streaming suite only)
+	Seconds     float64 `json:"seconds"`        // median over -reps runs
 	TasksPerSec float64 `json:"tasks_per_sec"`
 	Served      int     `json:"served"`
-	Speedup     float64 `json:"speedup_vs_scan"`
+	Speedup     float64 `json:"speedup_vs_scan,omitempty"`
+	// Overhead is the streaming replay's extra wall time over the batch
+	// drain of the same day and source: seconds/batchSeconds − 1.
+	Overhead float64 `json:"overhead_vs_batch,omitempty"`
 }
 
 // benchReport is the top-level JSON document.
@@ -61,13 +67,17 @@ func parseIntList(s string) ([]int, error) {
 
 func cmdBench(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
-	out := fs.String("out", "BENCH_2.json", "output JSON file (- for stdout)")
+	out := fs.String("out", "", "output JSON file (- for stdout; default BENCH_2.json, or BENCH_3.json with -streaming)")
 	tasks := fs.Int("tasks", 1000, "orders per simulated day")
 	driversList := fs.String("drivers", "10000,50000", "comma-separated fleet sizes")
 	shardsList := fs.String("shards", "1,2,4,8", "comma-separated shard counts to time")
 	reps := fs.Int("reps", 3, "runs per configuration (median reported)")
 	seed := fs.Int64("seed", 27, "trace seed")
+	streaming := fs.Bool("streaming", false, "measure streaming overhead: batch drain vs dispatch.Service replay of the same day")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := checkPositive("bench", map[string]int{"-tasks": *tasks, "-reps": *reps}); err != nil {
 		return err
 	}
 	driverCounts, err := parseIntList(*driversList)
@@ -77,6 +87,25 @@ func cmdBench(args []string) error {
 	shardCounts, err := parseIntList(*shardsList)
 	if err != nil {
 		return fmt.Errorf("bench: -shards: %w", err)
+	}
+	for _, v := range driverCounts {
+		if v < 1 {
+			return fmt.Errorf("bench: -drivers entries must be ≥ 1, got %d", v)
+		}
+	}
+	for _, v := range shardCounts {
+		if v < 1 {
+			return fmt.Errorf("bench: -shards entries must be ≥ 1, got %d", v)
+		}
+	}
+	if *out == "" {
+		*out = "BENCH_2.json"
+		if *streaming {
+			*out = "BENCH_3.json"
+		}
+	}
+	if *streaming {
+		return benchStreaming(*out, *tasks, driverCounts, shardCounts, *reps, *seed)
 	}
 
 	report := benchReport{
@@ -149,9 +178,15 @@ func cmdBench(args []string) error {
 		}
 	}
 
+	return writeBenchReport(*out, report)
+}
+
+// writeBenchReport encodes the report to the output file ("-" for
+// stdout).
+func writeBenchReport(out string, report benchReport) error {
 	w := os.Stdout
-	if *out != "-" {
-		f, err := os.Create(*out)
+	if out != "-" {
+		f, err := os.Create(out)
 		if err != nil {
 			return err
 		}
@@ -163,8 +198,145 @@ func cmdBench(args []string) error {
 	if err := enc.Encode(report); err != nil {
 		return err
 	}
-	if *out != "-" {
-		fmt.Fprintf(os.Stderr, "wrote %s (%d results)\n", *out, len(report.Results))
+	if out != "-" {
+		fmt.Fprintf(os.Stderr, "wrote %s (%d results)\n", out, len(report.Results))
 	}
 	return nil
+}
+
+// benchStreaming measures what promoting the engine to an open-loop
+// service costs: the same full day of maxMargin dispatch is timed as a
+// batch drain (Engine.RunScenario) and as an event-by-event replay
+// through the public dispatch.Service, per candidate source. The two
+// must serve identical task counts (the streaming differential
+// guarantee, checked here end to end); the interesting number is the
+// overhead column, which prices the Service's per-event costs — heap
+// pushes, ID mapping, feed publication, locking — against the batch
+// drain's.
+func benchStreaming(out string, tasks int, driverCounts, shardCounts []int, reps int, seed int64) error {
+	report := benchReport{
+		Schema:     "rideshare-bench/v1",
+		Command:    "rideshare bench -streaming",
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Reps:       reps,
+	}
+	ctx := context.Background()
+	for _, drivers := range driverCounts {
+		cfg := trace.NewConfig(seed, tasks, drivers, trace.Hitchhiking)
+		tr := trace.NewGenerator(cfg).Generate(nil)
+
+		// Public-typed view of the same day, tasks in publish order —
+		// the canonical streaming feed for an event-free trace.
+		market := dispatch.Market{}
+		for i, d := range tr.Drivers {
+			market.Drivers = append(market.Drivers, toDispatchDriver(i, d))
+		}
+		feed := make([]dispatch.Task, len(tr.Tasks))
+		for i, t := range tr.Tasks {
+			feed[i] = toDispatchTask(i, t)
+		}
+		sort.SliceStable(feed, func(a, b int) bool { return feed[a].Publish < feed[b].Publish })
+
+		type config struct {
+			source string
+			shards int
+		}
+		// Shard count 1 is the engine default on both sides (the public
+		// WithShards(1) selects the plain scan), so a sharded-1 pair
+		// would time two different candidate sources against each other
+		// and contaminate the overhead column; the scan pair already
+		// covers that configuration.
+		configs := []config{{"scan", 0}}
+		for _, s := range shardCounts {
+			if s < 2 {
+				fmt.Fprintf(os.Stderr, "bench: -streaming skips shard count %d (identical to the scan pair)\n", s)
+				continue
+			}
+			configs = append(configs, config{"sharded", s})
+		}
+		for _, c := range configs {
+			mkSource := func() sim.CandidateSource {
+				if c.shards > 0 {
+					return sim.NewShardedSource(c.shards)
+				}
+				return nil
+			}
+			// Batch drain.
+			eng, err := sim.New(cfg.Market, tr.Drivers, 1)
+			if err != nil {
+				return err
+			}
+			if src := mkSource(); src != nil {
+				eng.SetCandidateSource(src)
+			}
+			var batchRes sim.Result
+			batchTimes := make([]float64, 0, reps)
+			for r := 0; r < reps; r++ {
+				start := time.Now()
+				batchRes = eng.RunScenario(tr.Tasks, nil, online.MaxMargin{})
+				batchTimes = append(batchTimes, time.Since(start).Seconds())
+			}
+			sort.Float64s(batchTimes)
+			batchSec := batchTimes[len(batchTimes)/2]
+
+			// Streaming replay. The timed region is the whole service
+			// transaction — construction, every submission, Close — so
+			// the overhead includes everything a real front end pays.
+			opts := []dispatch.Option{
+				dispatch.WithDispatcher(dispatch.MaxMargin),
+				dispatch.WithSeed(1), dispatch.WithStrictTimes(),
+			}
+			if c.shards > 1 {
+				opts = append(opts, dispatch.WithShards(c.shards))
+			}
+			var streamStats dispatch.Stats
+			streamTimes := make([]float64, 0, reps)
+			for r := 0; r < reps; r++ {
+				start := time.Now()
+				svc, err := dispatch.New(market, opts...)
+				if err != nil {
+					return fmt.Errorf("bench: streaming service: %w", err)
+				}
+				for i := range feed {
+					if _, err := svc.SubmitTask(ctx, feed[i]); err != nil {
+						return fmt.Errorf("bench: streaming submit %d: %w", feed[i].ID, err)
+					}
+				}
+				streamStats, err = svc.Close()
+				if err != nil {
+					return err
+				}
+				streamTimes = append(streamTimes, time.Since(start).Seconds())
+			}
+			sort.Float64s(streamTimes)
+			streamSec := streamTimes[len(streamTimes)/2]
+
+			if streamStats.Served != batchRes.Served {
+				return fmt.Errorf("bench: streaming served %d, batch served %d — replay diverged, this is a bug",
+					streamStats.Served, batchRes.Served)
+			}
+
+			base := fmt.Sprintf("streaming/drivers=%d/%s", drivers, c.source)
+			if c.shards > 0 {
+				base = fmt.Sprintf("%s-%d", base, c.shards)
+			}
+			overhead := streamSec/batchSec - 1
+			report.Results = append(report.Results,
+				benchResult{
+					Name: base + "/batch", Drivers: drivers, Tasks: tasks,
+					Source: c.source, Shards: c.shards, Mode: "batch",
+					Seconds: batchSec, TasksPerSec: float64(tasks) / batchSec,
+					Served: batchRes.Served,
+				},
+				benchResult{
+					Name: base + "/service", Drivers: drivers, Tasks: tasks,
+					Source: c.source, Shards: c.shards, Mode: "streaming",
+					Seconds: streamSec, TasksPerSec: float64(tasks) / streamSec,
+					Served: streamStats.Served, Overhead: overhead,
+				})
+			fmt.Fprintf(os.Stderr, "%-44s batch %7.3fs  service %7.3fs  overhead %+.1f%%\n",
+				base, batchSec, streamSec, 100*overhead)
+		}
+	}
+	return writeBenchReport(out, report)
 }

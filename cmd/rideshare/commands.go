@@ -1,11 +1,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"runtime"
 	"strings"
+	"syscall"
 
 	"repro/internal/bound"
 	"repro/internal/core"
@@ -17,6 +21,28 @@ import (
 	"repro/internal/taskmap"
 	"repro/internal/trace"
 )
+
+// checkPositive rejects non-positive values for flags where zero or a
+// negative count would silently misbehave (or panic) deep inside the
+// engine instead of failing at the boundary.
+func checkPositive(cmd string, vals map[string]int) error {
+	for _, name := range []string{"-shards", "-workers", "-reps", "-tasks", "-drivers"} {
+		if v, ok := vals[name]; ok && v < 1 {
+			return fmt.Errorf("%s: %s must be ≥ 1, got %d", cmd, name, v)
+		}
+	}
+	return nil
+}
+
+// checkFraction rejects rate flags outside [0, 1].
+func checkFraction(cmd string, vals map[string]float64) error {
+	for name, v := range vals {
+		if v < 0 || v > 1 {
+			return fmt.Errorf("%s: %s must be in [0,1], got %g", cmd, name, v)
+		}
+	}
+	return nil
+}
 
 func parseModel(s string) (trace.DriverModel, error) {
 	switch strings.ToLower(s) {
@@ -39,6 +65,12 @@ func cmdGen(args []string) error {
 	churn := fs.Float64("churn", 0, "driver churn rate: this fraction retires early and half joins mid-day")
 	cancel := fs.Float64("cancel", 0, "fraction of tasks cancelled by their rider before pickup")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := checkPositive("gen", map[string]int{"-tasks": *tasks, "-drivers": *drivers}); err != nil {
+		return err
+	}
+	if err := checkFraction("gen", map[string]float64{"-churn": *churn, "-cancel": *cancel}); err != nil {
 		return err
 	}
 	dm, err := parseModel(*modelName)
@@ -162,6 +194,12 @@ func cmdSimulate(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if err := checkPositive("simulate", map[string]int{"-shards": *shards}); err != nil {
+		return err
+	}
+	if err := checkFraction("simulate", map[string]float64{"-churn": *churn, "-cancel": *cancel}); err != nil {
+		return err
+	}
 	if *tracePath == "" {
 		return fmt.Errorf("simulate: -trace is required")
 	}
@@ -236,10 +274,13 @@ func cmdExperiments(args []string) error {
 	fig := fs.String("fig", "all", "figure to regenerate: 3-9, welfare, surge, dispatch, churn, or all")
 	scale := fs.String("scale", "bench", "bench (scaled-down, fast) or paper (full §VI scale)")
 	seed := fs.Int64("seed", 1, "trace seed")
-	workers := fs.Int("workers", 0, "concurrent sweep workers (0 = one per CPU core)")
+	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "concurrent sweep workers")
 	reps := fs.Int("reps", 1, "replications averaged per sweep point (consecutive seeds)")
 	shards := fs.Int("shards", 1, "zone shards for the online simulations (identical series, faster engine)")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := checkPositive("experiments", map[string]int{"-shards": *shards, "-workers": *workers, "-reps": *reps}); err != nil {
 		return err
 	}
 	var cfg experiments.Config
@@ -255,10 +296,14 @@ func cmdExperiments(args []string) error {
 	cfg.Workers = *workers
 	cfg.Replications = *reps
 	cfg.Shards = *shards
-	return runExperiments(os.Stdout, cfg, *fig)
+	// Sweeps can run for minutes at paper scale; a SIGINT aborts the
+	// worker pool promptly instead of grinding through remaining points.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return runExperiments(ctx, os.Stdout, cfg, *fig)
 }
 
-func runExperiments(w io.Writer, cfg experiments.Config, fig string) error {
+func runExperiments(ctx context.Context, w io.Writer, cfg experiments.Config, fig string) error {
 	want := func(id string) bool { return fig == "all" || fig == id }
 
 	if want("3") {
@@ -273,7 +318,7 @@ func runExperiments(w io.Writer, cfg experiments.Config, fig string) error {
 	}
 	if want("5") {
 		for _, dm := range []trace.DriverModel{trace.Hitchhiking, trace.HomeWorkHome} {
-			f, err := experiments.Fig5PerformanceRatio(cfg, dm)
+			f, err := experiments.Fig5PerformanceRatio(ctx, cfg, dm)
 			if err != nil {
 				return err
 			}
@@ -283,7 +328,7 @@ func runExperiments(w io.Writer, cfg experiments.Config, fig string) error {
 		}
 	}
 	if want("6") || want("7") || want("8") || want("9") {
-		m, err := experiments.RunDensitySweep(cfg)
+		m, err := experiments.RunDensitySweep(ctx, cfg)
 		if err != nil {
 			return err
 		}
@@ -297,7 +342,7 @@ func runExperiments(w io.Writer, cfg experiments.Config, fig string) error {
 		}
 	}
 	if want("welfare") {
-		rows, err := experiments.WelfareComparison(cfg)
+		rows, err := experiments.WelfareComparison(ctx, cfg)
 		if err != nil {
 			return err
 		}
@@ -307,7 +352,7 @@ func runExperiments(w io.Writer, cfg experiments.Config, fig string) error {
 	}
 	if want("surge") {
 		mid := cfg.Sweep[len(cfg.Sweep)/2]
-		rows, err := experiments.SurgeSweep(cfg, mid, []float64{1, 1.25, 1.5, 2, 2.5, 3})
+		rows, err := experiments.SurgeSweep(ctx, cfg, mid, []float64{1, 1.25, 1.5, 2, 2.5, 3})
 		if err != nil {
 			return err
 		}
@@ -317,7 +362,7 @@ func runExperiments(w io.Writer, cfg experiments.Config, fig string) error {
 	}
 	if want("churn") {
 		mid := cfg.Sweep[len(cfg.Sweep)/2]
-		rows, err := experiments.ChurnSweep(cfg, mid, []float64{0, 0.1, 0.2, 0.35, 0.5, 0.75})
+		rows, err := experiments.ChurnSweep(ctx, cfg, mid, []float64{0, 0.1, 0.2, 0.35, 0.5, 0.75})
 		if err != nil {
 			return err
 		}
@@ -327,7 +372,7 @@ func runExperiments(w io.Writer, cfg experiments.Config, fig string) error {
 	}
 	if want("dispatch") {
 		mid := cfg.Sweep[len(cfg.Sweep)/2]
-		rows, err := experiments.DispatchComparison(cfg, mid)
+		rows, err := experiments.DispatchComparison(ctx, cfg, mid)
 		if err != nil {
 			return err
 		}

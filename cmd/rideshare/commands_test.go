@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -115,6 +116,42 @@ func TestCmdErrors(t *testing.T) {
 	}
 }
 
+// TestCmdFlagValidation: every command rejects non-positive counts
+// (-shards, -workers, -reps, -tasks, -drivers) and out-of-range rates
+// at the flag boundary with a clear error, instead of misbehaving or
+// panicking deep inside the engine.
+func TestCmdFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func() error
+	}{
+		{"gen -tasks 0", func() error { return cmdGen([]string{"-tasks", "0"}) }},
+		{"gen -drivers -1", func() error { return cmdGen([]string{"-drivers", "-1"}) }},
+		{"gen -churn 1.5", func() error { return cmdGen([]string{"-churn", "1.5"}) }},
+		{"gen -cancel -0.1", func() error { return cmdGen([]string{"-cancel", "-0.1"}) }},
+		{"simulate -shards 0", func() error { return cmdSimulate([]string{"-trace", "x.json", "-shards", "0"}) }},
+		{"simulate -shards -2", func() error { return cmdSimulate([]string{"-trace", "x.json", "-shards", "-2"}) }},
+		{"experiments -shards 0", func() error { return cmdExperiments([]string{"-shards", "0"}) }},
+		{"experiments -workers 0", func() error { return cmdExperiments([]string{"-workers", "0"}) }},
+		{"experiments -workers -3", func() error { return cmdExperiments([]string{"-workers", "-3"}) }},
+		{"experiments -reps 0", func() error { return cmdExperiments([]string{"-reps", "0"}) }},
+		{"bench -reps 0", func() error { return cmdBench([]string{"-reps", "0"}) }},
+		{"bench -tasks 0", func() error { return cmdBench([]string{"-tasks", "0"}) }},
+		{"bench -shards 0,2", func() error { return cmdBench([]string{"-shards", "0,2"}) }},
+		{"bench -drivers 0", func() error { return cmdBench([]string{"-drivers", "0"}) }},
+		{"serve -shards 0", func() error { return cmdServe([]string{"-shards", "0"}) }},
+		{"serve -drivers 0", func() error { return cmdServe([]string{"-drivers", "0"}) }},
+		{"loadgen -tasks 0", func() error { return cmdLoadgen([]string{"-tasks", "0"}) }},
+		{"loadgen -workers 0", func() error { return cmdLoadgen([]string{"-workers", "0"}) }},
+		{"loadgen -cancel 2", func() error { return cmdLoadgen([]string{"-cancel", "2"}) }},
+	}
+	for _, tc := range cases {
+		if err := tc.run(); err == nil {
+			t.Errorf("%s accepted", tc.name)
+		}
+	}
+}
+
 func TestCmdTightness(t *testing.T) {
 	if err := cmdTightness([]string{"-d", "3", "-eps", "0.05"}); err != nil {
 		t.Fatalf("tightness: %v", err)
@@ -127,7 +164,7 @@ func TestRunExperimentsRendersRequestedFigures(t *testing.T) {
 		BoundIters: 20, DistSamples: 500,
 	}
 	var buf bytes.Buffer
-	if err := runExperiments(&buf, cfg, "3"); err != nil {
+	if err := runExperiments(context.Background(), &buf, cfg, "3"); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -139,7 +176,7 @@ func TestRunExperimentsRendersRequestedFigures(t *testing.T) {
 	}
 
 	buf.Reset()
-	if err := runExperiments(&buf, cfg, "7"); err != nil {
+	if err := runExperiments(context.Background(), &buf, cfg, "7"); err != nil {
 		t.Fatal(err)
 	}
 	out = buf.String()
@@ -148,7 +185,7 @@ func TestRunExperimentsRendersRequestedFigures(t *testing.T) {
 	}
 
 	buf.Reset()
-	if err := runExperiments(&buf, cfg, "all"); err != nil {
+	if err := runExperiments(context.Background(), &buf, cfg, "all"); err != nil {
 		t.Fatal(err)
 	}
 	out = buf.String()
@@ -230,6 +267,55 @@ func TestCmdBenchWritesJSON(t *testing.T) {
 	for _, r := range report.Results {
 		if r.Seconds <= 0 || r.TasksPerSec <= 0 {
 			t.Fatalf("%s: non-positive timing %v", r.Name, r)
+		}
+	}
+}
+
+// TestCmdBenchStreamingWritesJSON: the -streaming suite records batch
+// and service timings in pairs with the overhead column filled, under
+// the same schema as the dispatch suite, and the served counts of each
+// pair agree (the end-to-end differential check).
+func TestCmdBenchStreamingWritesJSON(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "bench3.json")
+	if err := cmdBench([]string{"-streaming", "-drivers", "150", "-shards", "2", "-tasks", "60",
+		"-reps", "1", "-out", out}); err != nil {
+		t.Fatalf("bench -streaming: %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report struct {
+		Schema  string `json:"schema"`
+		Results []struct {
+			Name     string  `json:"name"`
+			Mode     string  `json:"mode"`
+			Seconds  float64 `json:"seconds"`
+			Served   int     `json:"served"`
+			Overhead float64 `json:"overhead_vs_batch"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("bench -streaming output is not valid JSON: %v", err)
+	}
+	if report.Schema != "rideshare-bench/v1" {
+		t.Fatalf("schema = %q", report.Schema)
+	}
+	// scan + one shard count, two modes each.
+	if len(report.Results) != 4 {
+		t.Fatalf("results = %d, want 4", len(report.Results))
+	}
+	for i := 0; i < len(report.Results); i += 2 {
+		batch, stream := report.Results[i], report.Results[i+1]
+		if batch.Mode != "batch" || stream.Mode != "streaming" {
+			t.Fatalf("pair %d modes: %q/%q", i, batch.Mode, stream.Mode)
+		}
+		if batch.Served != stream.Served {
+			t.Fatalf("pair %d served diverged: %d vs %d", i, batch.Served, stream.Served)
+		}
+		if batch.Seconds <= 0 || stream.Seconds <= 0 {
+			t.Fatalf("pair %d non-positive timing", i)
 		}
 	}
 }

@@ -9,7 +9,12 @@
 //	experiments  regenerate the paper's evaluation figures (3–9) and
 //	             the extension studies (welfare, surge, dispatch, churn)
 //	bench        time full-day dispatch across candidate sources and
-//	             shard counts, writing a machine-readable JSON baseline
+//	             shard counts (and batch vs streaming replay with
+//	             -streaming), writing a machine-readable JSON baseline
+//	serve        run the live dispatch market as an HTTP/JSON service
+//	             over the public dispatch package
+//	loadgen      drive a running serve instance with a generated order
+//	             stream (concurrent submitters, cancellations)
 //	tightness    demonstrate the greedy algorithm's tight 1/(D+1) bound
 //
 // Run `rideshare <subcommand> -h` for per-command flags.
@@ -38,6 +43,10 @@ func main() {
 		err = cmdExperiments(os.Args[2:])
 	case "bench":
 		err = cmdBench(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
+	case "loadgen":
+		err = cmdLoadgen(os.Args[2:])
 	case "tightness":
 		err = cmdTightness(os.Args[2:])
 	case "-h", "--help", "help":
@@ -64,7 +73,9 @@ Usage:
   rideshare solve       -trace trace.json [-bound] [-naive]
   rideshare simulate    -trace trace.json [-algo maxmargin|nearest|random|batched|replan] [-shards N] [-churn R] [-cancel R] [-byvalue] [-realtime]
   rideshare experiments [-fig 3|4|5|6|7|8|9|welfare|surge|dispatch|churn|all] [-scale bench|paper] [-seed S] [-shards N]
-  rideshare bench       [-drivers 10000,50000] [-shards 1,2,4,8] [-out BENCH_2.json]
+  rideshare bench       [-drivers 10000,50000] [-shards 1,2,4,8] [-out BENCH_2.json] [-streaming]
+  rideshare serve       [-addr :8080] [-drivers N | -trace trace.json] [-algo maxmargin|nearest|random] [-shards N] [-realtime] [-seed S]
+  rideshare loadgen     [-addr http://127.0.0.1:8080] [-tasks N] [-workers N] [-cancel R] [-seed S]
   rideshare tightness   [-d D] [-eps E]
 `)
 }

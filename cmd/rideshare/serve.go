@@ -1,0 +1,307 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"syscall"
+	"time"
+
+	"repro/dispatch"
+	"repro/internal/model"
+	"repro/internal/trace"
+)
+
+// This file is the live front end: `rideshare serve` exposes a
+// dispatch.Service over HTTP/JSON so the market actually serves
+// traffic instead of replaying traces. The API is deliberately small:
+//
+//	GET  /healthz                    liveness + market shape
+//	POST /v1/tasks                   submit a task, get the decision
+//	POST /v1/tasks/{id}/cancel       rider cancellation   {"at": t}
+//	POST /v1/drivers                 announce a driver
+//	POST /v1/drivers/{id}/retire     retire a driver      {"at": t}
+//	GET  /v1/stats                   settled aggregate stats
+//	GET  /v1/events                  assignment feed (server-sent events)
+//
+// `rideshare loadgen` (loadgen.go) is the matching traffic generator.
+
+// toDispatchDriver and toDispatchTask convert internal trace types to
+// the public API types, registering the slice index as the public ID.
+// JoinAt stays zero: trace fleets are known upfront.
+func toDispatchDriver(i int, d model.Driver) dispatch.Driver {
+	return dispatch.Driver{
+		ID: i, Source: dispatch.Point(d.Source), Dest: dispatch.Point(d.Dest),
+		Start: d.Start, End: d.End, SpeedKmh: d.SpeedKmh,
+	}
+}
+
+func toDispatchTask(i int, t model.Task) dispatch.Task {
+	return dispatch.Task{
+		ID: i, Publish: t.Publish, Source: dispatch.Point(t.Source), Dest: dispatch.Point(t.Dest),
+		StartBy: t.StartBy, EndBy: t.EndBy, Price: t.Price, WTP: t.WTP,
+	}
+}
+
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	tracePath := fs.String("trace", "", "optional trace JSON supplying the initial fleet (tasks and events in it are ignored)")
+	drivers := fs.Int("drivers", 1000, "synthetic fleet size when no -trace is given")
+	seed := fs.Int64("seed", 1, "fleet generation and tie-breaking seed")
+	algo := fs.String("algo", "maxmargin", "dispatch policy: maxmargin, nearest or random")
+	shards := fs.Int("shards", 1, "zone shards for candidate generation (identical assignments, higher throughput)")
+	realTime := fs.Bool("realtime", false, "free drivers at real trip finish times instead of deadlines")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	counts := map[string]int{"-shards": *shards}
+	if *tracePath == "" {
+		counts["-drivers"] = *drivers
+	}
+	if err := checkPositive("serve", counts); err != nil {
+		return err
+	}
+	policy, err := dispatch.ParsePolicy(*algo)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+
+	market := dispatch.Market{}
+	var fleet []model.Driver
+	if *tracePath != "" {
+		tr, err := loadTrace(*tracePath)
+		if err != nil {
+			return err
+		}
+		fleet = tr.Drivers
+	} else {
+		cfg := trace.NewConfig(*seed, 1, *drivers, trace.Hitchhiking)
+		fleet = trace.NewGenerator(cfg).GenerateDrivers()
+	}
+	for i, d := range fleet {
+		market.Drivers = append(market.Drivers, toDispatchDriver(i, d))
+	}
+
+	opts := []dispatch.Option{dispatch.WithDispatcher(policy), dispatch.WithSeed(*seed)}
+	if *shards > 1 {
+		opts = append(opts, dispatch.WithShards(*shards))
+	}
+	if *realTime {
+		opts = append(opts, dispatch.WithRealTime())
+	}
+	svc, err := dispatch.New(market, opts...)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+
+	// done unblocks long-lived handlers (the SSE feed) ahead of
+	// srv.Shutdown, which waits for handlers to return — without it a
+	// single connected /v1/events client would hold graceful shutdown
+	// to its full timeout.
+	done := make(chan struct{})
+	srv := &http.Server{Addr: *addr, Handler: newServeMux(svc, done)}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "serve: %d drivers, policy %v, shards %d, listening on %s\n",
+		len(market.Drivers), policy, *shards, *addr)
+
+	select {
+	case err := <-errc:
+		svc.Close()
+		return fmt.Errorf("serve: %w", err)
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(os.Stderr, "serve: shutting down")
+	close(done)
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		srv.Close()
+	}
+	stats, err := svc.Close()
+	if err != nil {
+		return fmt.Errorf("serve: close: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "serve: final stats: tasks=%d served=%d rejected=%d cancelled=%d revenue=%.2f profit=%.2f\n",
+		stats.Tasks, stats.Served, stats.Rejected, stats.Cancelled, stats.Revenue, stats.Profit)
+	return nil
+}
+
+// newServeMux wires the HTTP API over a dispatch service. Split out so
+// the end-to-end tests can drive it through httptest. done, when
+// non-nil, tells streaming handlers the server is shutting down.
+func newServeMux(svc *dispatch.Service, done <-chan struct{}) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		stats, err := svc.Snapshot(r.Context())
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status":  "ok",
+			"now":     stats.Now,
+			"drivers": stats.Drivers,
+			"present": stats.PresentDrivers,
+			"tasks":   stats.Tasks,
+		})
+	})
+
+	mux.HandleFunc("POST /v1/tasks", func(w http.ResponseWriter, r *http.Request) {
+		var t dispatch.Task
+		if err := json.NewDecoder(r.Body).Decode(&t); err != nil {
+			httpError(w, fmt.Errorf("%w: %v", dispatch.ErrInvalidTask, err))
+			return
+		}
+		a, err := svc.SubmitTask(r.Context(), t)
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, a)
+	})
+
+	mux.HandleFunc("POST /v1/tasks/{id}/cancel", func(w http.ResponseWriter, r *http.Request) {
+		id, at, ok := idAndAt(w, r)
+		if !ok {
+			return
+		}
+		out, err := svc.CancelTask(r.Context(), id, at)
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+
+	mux.HandleFunc("POST /v1/drivers", func(w http.ResponseWriter, r *http.Request) {
+		var d dispatch.Driver
+		if err := json.NewDecoder(r.Body).Decode(&d); err != nil {
+			httpError(w, fmt.Errorf("%w: %v", dispatch.ErrInvalidDriver, err))
+			return
+		}
+		if err := svc.AddDriver(r.Context(), d); err != nil {
+			httpError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"driver_id": d.ID, "joined": true})
+	})
+
+	mux.HandleFunc("POST /v1/drivers/{id}/retire", func(w http.ResponseWriter, r *http.Request) {
+		id, at, ok := idAndAt(w, r)
+		if !ok {
+			return
+		}
+		if err := svc.RetireDriver(r.Context(), id, at); err != nil {
+			httpError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"driver_id": id, "retired": true})
+	})
+
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		stats, err := svc.Snapshot(r.Context())
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, stats)
+	})
+
+	mux.HandleFunc("GET /v1/events", func(w http.ResponseWriter, r *http.Request) {
+		fl, ok := w.(http.Flusher)
+		if !ok {
+			http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+			return
+		}
+		feed, cancel := svc.Subscribe(1024)
+		defer cancel()
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-store")
+		w.WriteHeader(http.StatusOK)
+		fl.Flush()
+		for {
+			select {
+			case <-r.Context().Done():
+				return
+			case <-done:
+				return // server shutting down
+			case ev, ok := <-feed:
+				if !ok {
+					return // service closed
+				}
+				data, err := json.Marshal(ev)
+				if err != nil {
+					return
+				}
+				fmt.Fprintf(w, "data: %s\n\n", data)
+				fl.Flush()
+			}
+		}
+	})
+
+	return mux
+}
+
+// idAndAt parses the {id} path value and the {"at": t} request body
+// shared by the cancel and retire endpoints, answering a plain 400
+// itself on malformed requests (the typed-error vocabulary is reserved
+// for conditions the dispatch service actually reported).
+func idAndAt(w http.ResponseWriter, r *http.Request) (id int, at float64, ok bool) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{
+			"error": fmt.Sprintf("bad id %q: not an integer", r.PathValue("id")),
+		})
+		return 0, 0, false
+	}
+	var body struct {
+		At float64 `json:"at"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{
+			"error": fmt.Sprintf("bad request body: %v (want {\"at\": seconds})", err),
+		})
+		return 0, 0, false
+	}
+	return id, body.At, true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// httpError maps the dispatch package's typed errors onto HTTP status
+// codes, keeping the sentinel's text in the JSON body so clients can
+// still distinguish conditions sharing a code.
+func httpError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, dispatch.ErrClosed):
+		status = http.StatusServiceUnavailable
+	case errors.Is(err, dispatch.ErrUnknownTask), errors.Is(err, dispatch.ErrUnknownDriver):
+		status = http.StatusNotFound
+	case errors.Is(err, dispatch.ErrDuplicateTask), errors.Is(err, dispatch.ErrDuplicateDriver),
+		errors.Is(err, dispatch.ErrOutOfOrder):
+		status = http.StatusConflict
+	case errors.Is(err, dispatch.ErrInvalidTask), errors.Is(err, dispatch.ErrInvalidDriver),
+		errors.Is(err, dispatch.ErrInvalidCancel), errors.Is(err, dispatch.ErrInvalidOption):
+		status = http.StatusBadRequest
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		status = 499 // client closed request
+	}
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

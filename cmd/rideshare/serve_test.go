@@ -1,0 +1,208 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/dispatch"
+	"repro/internal/trace"
+)
+
+// newTestServer starts the HTTP API over a synthetic fleet and returns
+// the server plus the number of drivers.
+func newTestServer(t *testing.T, drivers int, opts ...dispatch.Option) (*httptest.Server, *dispatch.Service) {
+	t.Helper()
+	cfg := trace.NewConfig(17, 1, drivers, trace.Hitchhiking)
+	m := dispatch.Market{}
+	for i, d := range trace.NewGenerator(cfg).GenerateDrivers() {
+		m.Drivers = append(m.Drivers, dispatch.Driver{
+			ID: i, Source: dispatch.Point(d.Source), Dest: dispatch.Point(d.Dest),
+			Start: d.Start, End: d.End, SpeedKmh: d.SpeedKmh,
+		})
+	}
+	svc, err := dispatch.New(m, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(newServeMux(svc, nil))
+	t.Cleanup(srv.Close)
+	t.Cleanup(func() { svc.Close() })
+	return srv, svc
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("GET %s: decode: %v", url, err)
+	}
+	return resp.StatusCode
+}
+
+// TestServeEndToEnd exercises every endpoint of the HTTP API against a
+// live server: health, submission, cancellation with revocation,
+// driver churn, stats, and the SSE event feed.
+func TestServeEndToEnd(t *testing.T) {
+	srv, _ := newTestServer(t, 40, dispatch.WithSeed(2))
+	client := &http.Client{}
+
+	var health struct {
+		Status  string `json:"status"`
+		Drivers int    `json:"drivers"`
+	}
+	if code := getJSON(t, srv.URL+"/healthz", &health); code != 200 || health.Status != "ok" || health.Drivers != 40 {
+		t.Fatalf("healthz: %d %+v", code, health)
+	}
+
+	// Open the event feed before generating traffic.
+	feedResp, err := http.Get(srv.URL + "/v1/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer feedResp.Body.Close()
+	feedLines := make(chan string, 64)
+	go func() {
+		sc := bufio.NewScanner(feedResp.Body)
+		for sc.Scan() {
+			if line := sc.Text(); strings.HasPrefix(line, "data: ") {
+				feedLines <- strings.TrimPrefix(line, "data: ")
+			}
+		}
+		close(feedLines)
+	}()
+
+	// Submit a servable order.
+	cfg := trace.NewConfig(99, 50, 40, trace.Hitchhiking)
+	tasks := trace.NewGenerator(cfg).Generate(nil).Tasks
+	sort.Slice(tasks, func(a, b int) bool { return tasks[a].Publish < tasks[b].Publish })
+	var first dispatch.Assignment
+	var firstID int
+	for i, mt := range tasks {
+		task := dispatch.Task{ID: i, Publish: mt.Publish, Source: dispatch.Point(mt.Source),
+			Dest: dispatch.Point(mt.Dest), StartBy: mt.StartBy, EndBy: mt.EndBy, Price: mt.Price, WTP: mt.WTP}
+		if err := postJSON(client, srv.URL+"/v1/tasks", task, &first); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		if first.Assigned {
+			firstID = i
+			break
+		}
+	}
+	if !first.Assigned {
+		t.Fatal("no task found a driver")
+	}
+
+	// The feed reports the assignment.
+	ev := dispatch.Event{}
+	for raw := range feedLines {
+		if err := json.Unmarshal([]byte(raw), &ev); err != nil {
+			t.Fatalf("feed json: %v (%s)", err, raw)
+		}
+		if ev.Type == dispatch.EventAssigned && ev.TaskID == firstID {
+			break
+		}
+	}
+	if ev.DriverID != first.DriverID {
+		t.Fatalf("feed driver %d, assignment driver %d", ev.DriverID, first.DriverID)
+	}
+
+	// Cancel it before pickup: the assignment is revoked.
+	var out dispatch.CancelOutcome
+	cancelURL := srv.URL + "/v1/tasks/" + jsonInt(firstID) + "/cancel"
+	if err := postJSON(client, cancelURL, map[string]float64{"at": first.PickupBy - 0.5}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.Cancelled || out.FreedDriverID != first.DriverID {
+		t.Fatalf("cancel outcome %+v", out)
+	}
+
+	// Unknown IDs surface as 404s.
+	resp, err := client.Post(srv.URL+"/v1/tasks/424242/cancel", "application/json",
+		strings.NewReader(`{"at": 1e6}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("cancel unknown task: %d", resp.StatusCode)
+	}
+
+	// Retire the freed driver at the current market instant (a future
+	// retirement would only be scheduled, and a scheduled retiree
+	// cannot re-enter yet), then re-announce them.
+	var retired map[string]any
+	if err := postJSON(client, srv.URL+"/v1/drivers/"+jsonInt(first.DriverID)+"/retire",
+		map[string]float64{"at": first.PickupBy - 0.5}, &retired); err != nil {
+		t.Fatal(err)
+	}
+	rejoin := dispatch.Driver{ID: first.DriverID, Source: dispatch.Point{Lat: 41.15, Lon: -8.61},
+		Dest: dispatch.Point{Lat: 41.16, Lon: -8.60}, Start: 0, End: 86400}
+	var joined map[string]any
+	if err := postJSON(client, srv.URL+"/v1/drivers", rejoin, &joined); err != nil {
+		t.Fatal(err)
+	}
+
+	var stats dispatch.Stats
+	if code := getJSON(t, srv.URL+"/v1/stats", &stats); code != 200 {
+		t.Fatalf("stats: %d", code)
+	}
+	if stats.Cancelled != 1 || stats.PresentDrivers != 40 {
+		t.Fatalf("stats %+v", stats)
+	}
+}
+
+// TestServeSustainsLoad is the acceptance check: a running server
+// absorbs a load-generated stream of ≥ 1k task submissions end-to-end
+// (concurrent submitters, 10% cancellations) without a single error,
+// and the books balance afterwards.
+func TestServeSustainsLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load test skipped in -short mode")
+	}
+	srv, _ := newTestServer(t, 200, dispatch.WithShards(4), dispatch.WithSeed(3))
+
+	const n = 1200
+	cfg := trace.NewConfig(5, n, 1, trace.Hitchhiking)
+	tasks := trace.NewGenerator(cfg).Generate(nil).Tasks
+	sort.Slice(tasks, func(a, b int) bool { return tasks[a].Publish < tasks[b].Publish })
+
+	report, err := runLoad(srv.URL, 8, 0.1, 42, func(i int) dispatch.Task {
+		mt := tasks[i]
+		return dispatch.Task{ID: i, Publish: mt.Publish, Source: dispatch.Point(mt.Source),
+			Dest: dispatch.Point(mt.Dest), StartBy: mt.StartBy, EndBy: mt.EndBy, Price: mt.Price, WTP: mt.WTP}
+	}, n)
+	if err != nil {
+		t.Fatalf("load run: %v (%+v)", err, report)
+	}
+	if report.Submitted != n || report.Errors != 0 {
+		t.Fatalf("report %+v", report)
+	}
+	if report.Assigned == 0 {
+		t.Fatal("no task was ever assigned")
+	}
+
+	var stats dispatch.Stats
+	if code := getJSON(t, srv.URL+"/v1/stats", &stats); code != 200 {
+		t.Fatalf("stats: %d", code)
+	}
+	if stats.Tasks != n {
+		t.Fatalf("server saw %d of %d tasks", stats.Tasks, n)
+	}
+	if stats.Served+stats.Rejected+stats.Cancelled != n {
+		t.Fatalf("books do not balance: %+v", stats)
+	}
+}
+
+func jsonInt(i int) string {
+	b, _ := json.Marshal(i)
+	return string(b)
+}

@@ -1,0 +1,498 @@
+// Package dispatch is the public face of the ride-sharing market
+// framework: a long-lived, incremental dispatch service for the online
+// market of the source paper (Jia, Xu, Liu — ICDCS 2017). Where the
+// internal simulator replays a complete day's trace in one call, a
+// Service keeps the market open: tasks are submitted one at a time and
+// answered instantly, drivers join and retire while the market runs,
+// riders cancel before pickup, and every decision streams out on a
+// subscribable event feed.
+//
+// Construct a Service with New over an initial Market (fleet plus cost
+// constants) and functional options:
+//
+//	svc, err := dispatch.New(dispatch.Market{Drivers: fleet},
+//	    dispatch.WithDispatcher(dispatch.MaxMargin),
+//	    dispatch.WithShards(4),
+//	    dispatch.WithSeed(7))
+//
+// then drive it with SubmitTask / AddDriver / RetireDriver /
+// CancelTask, observe it with Snapshot and Subscribe, and settle the
+// books with Close.
+//
+// Determinism is part of the contract: a Service fed a day's tasks and
+// fleet events in timestamp order produces assignments bit-identical to
+// the internal batch simulator replaying the same day in one call,
+// whatever the shard count — the differential tests in this package
+// hold that guarantee. Late submissions (timestamps before the
+// service's current time) are processed at the current time, or
+// rejected when the service is built WithStrictTimes.
+//
+// All times are float64 seconds on one market-wide clock, distances are
+// kilometres, money is in abstract currency units — the conventions of
+// the paper's Table I.
+package dispatch
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/geo"
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// Point is a WGS84 coordinate.
+type Point struct {
+	Lat float64 `json:"lat"`
+	Lon float64 `json:"lon"`
+}
+
+// Driver is one worker in the market: she starts her day at Source,
+// must end it at Dest inside [Start, End], and serves tasks along the
+// way.
+type Driver struct {
+	// ID is the caller's identifier for the driver; it must be unique
+	// across the fleet.
+	ID     int     `json:"id"`
+	Source Point   `json:"source"`
+	Dest   Point   `json:"dest"`
+	Start  float64 `json:"start"` // earliest departure (seconds)
+	End    float64 `json:"end"`   // latest arrival at Dest (seconds)
+
+	// SpeedKmh optionally overrides the market-wide driving speed for
+	// this driver; 0 uses the market default.
+	SpeedKmh float64 `json:"speed_kmh,omitempty"`
+
+	// JoinAt is when the platform learns the driver exists. Zero means
+	// she is known upfront; a positive value keeps her invisible to
+	// dispatch until that instant (a mid-day announcement). For
+	// drivers added to a running service, zero means "now".
+	JoinAt float64 `json:"join_at,omitempty"`
+}
+
+// Task is one rider order: pick up at Source by StartBy, drop off at
+// Dest by EndBy, paying Price to the serving driver.
+type Task struct {
+	// ID is the caller's identifier for the task; it must be unique
+	// across the day.
+	ID      int     `json:"id"`
+	Publish float64 `json:"publish"` // when the rider submits the order
+	Source  Point   `json:"source"`
+	Dest    Point   `json:"dest"`
+	StartBy float64 `json:"start_by"` // pickup deadline
+	EndBy   float64 `json:"end_by"`   // dropoff deadline
+
+	Price float64 `json:"price"` // payoff to the serving driver
+	// WTP is the rider's willingness to pay; zero defaults to Price
+	// (the platform captured the full surplus).
+	WTP float64 `json:"wtp,omitempty"`
+}
+
+// Market is the initial state of the two-sided market: the cost-model
+// constants and the fleet known at opening time.
+type Market struct {
+	// SpeedKmh is the estimated average driving speed used to convert
+	// distances into travel times; 0 uses the default 30 km/h.
+	SpeedKmh float64 `json:"speed_kmh,omitempty"`
+	// GasPerKm is the travel cost per kilometre; 0 uses the default
+	// 0.09 currency units.
+	GasPerKm float64 `json:"gas_per_km,omitempty"`
+
+	Drivers []Driver `json:"drivers"`
+}
+
+// Assignment is the platform's instant answer to one submitted task.
+type Assignment struct {
+	TaskID   int  `json:"task_id"`
+	Assigned bool `json:"assigned"`
+	// DriverID identifies the assigned driver, -1 when the task was
+	// rejected.
+	DriverID int `json:"driver_id"`
+	// PickupBy is the assigned driver's estimated arrival time at the
+	// pickup; meaningful only when Assigned.
+	PickupBy float64 `json:"pickup_by,omitempty"`
+	// DecidedAt is the effective decision time (the task's publish
+	// time, or the service's current time for late submissions).
+	DecidedAt float64 `json:"decided_at"`
+}
+
+// CancelOutcome reports what a rider cancellation achieved.
+type CancelOutcome struct {
+	TaskID int `json:"task_id"`
+	// Cancelled reports whether the cancellation took effect; false
+	// means it arrived after pickup (or the task was never assigned)
+	// and any ride proceeds.
+	Cancelled bool `json:"cancelled"`
+	// FreedDriverID is the driver released back into the market when
+	// an assignment was revoked, -1 otherwise.
+	FreedDriverID int `json:"freed_driver_id"`
+}
+
+// Stats is an aggregate view of the market, mid-run (Snapshot) or final
+// (Close). Financial fields are settled as if every in-flight
+// commitment ran to completion at the moment of the snapshot.
+type Stats struct {
+	Now            float64 `json:"now"` // latest processed event time
+	Drivers        int     `json:"drivers"`
+	PresentDrivers int     `json:"present_drivers"`
+	Tasks          int     `json:"tasks"` // submitted so far
+	Served         int     `json:"served"`
+	Rejected       int     `json:"rejected"`
+	Cancelled      int     `json:"cancelled"`
+	Revenue        float64 `json:"revenue"`
+	Profit         float64 `json:"profit"` // drivers' total profit (Eq. 4)
+}
+
+// Service is a running dispatch market. It is safe for concurrent use:
+// operations serialize on an internal mutex and are applied in arrival
+// order. Construct with New, shut down with Close.
+type Service struct {
+	mu     sync.Mutex
+	st     *sim.Stream
+	strict bool
+	closed bool
+
+	drivers   map[int]int  // public driver ID -> engine index
+	driverIDs []int        // engine index -> public driver ID
+	retired   map[int]bool // driver IDs retired (possibly at a future time)
+	tasks     map[int]int  // public task ID -> engine index
+
+	// final is the full settled simulator result, kept after Close for
+	// the differential tests that compare a service replay bit-for-bit
+	// against the batch engine.
+	final      *sim.Result
+	finalStats Stats
+
+	subs    map[int]chan Event
+	nextSub int
+}
+
+// New opens a dispatch service over the market. Drivers with a positive
+// JoinAt stay invisible to dispatch until that time; everyone else is
+// present from the start. The returned service accepts traffic until
+// Close.
+func New(m Market, opts ...Option) (*Service, error) {
+	cfg := config{policy: MaxMargin, shards: 1, seed: 1}
+	for _, opt := range opts {
+		if err := opt(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	d, err := cfg.policy.dispatcher()
+	if err != nil {
+		return nil, err
+	}
+
+	mkt := model.DefaultMarket()
+	if m.SpeedKmh != 0 {
+		mkt.SpeedKmh = m.SpeedKmh
+	}
+	if m.GasPerKm != 0 {
+		mkt.GasPerKm = m.GasPerKm
+	}
+
+	s := &Service{
+		strict:  cfg.strict,
+		drivers: make(map[int]int, len(m.Drivers)),
+		retired: make(map[int]bool),
+		tasks:   make(map[int]int),
+		subs:    make(map[int]chan Event),
+	}
+	drivers := make([]model.Driver, len(m.Drivers))
+	var fleet []model.MarketEvent
+	for i, pd := range m.Drivers {
+		if _, dup := s.drivers[pd.ID]; dup {
+			return nil, fmt.Errorf("%w: %d", ErrDuplicateDriver, pd.ID)
+		}
+		md, err := toModelDriver(pd)
+		if err != nil {
+			return nil, err
+		}
+		drivers[i] = md
+		s.drivers[pd.ID] = i
+		s.driverIDs = append(s.driverIDs, pd.ID)
+		if pd.JoinAt > 0 {
+			fleet = append(fleet, model.MarketEvent{At: pd.JoinAt, Kind: model.EventJoin, Driver: i})
+		}
+	}
+
+	eng, err := sim.New(mkt, drivers, cfg.seed)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalidDriver, err)
+	}
+	eng.RealTime = cfg.realTime
+	if cfg.clock != nil {
+		eng.Clock = cfg.clock
+	}
+	if cfg.shards > 1 {
+		eng.SetCandidateSource(sim.NewShardedSource(cfg.shards))
+	}
+	st, err := eng.NewStream(d, fleet)
+	if err != nil {
+		return nil, fmt.Errorf("dispatch: %v", err)
+	}
+	s.st = st
+	return s, nil
+}
+
+// toModelDriver validates and converts a public driver.
+func toModelDriver(d Driver) (model.Driver, error) {
+	if d.JoinAt < 0 {
+		return model.Driver{}, fmt.Errorf("%w: driver %d: negative join time %g", ErrInvalidDriver, d.ID, d.JoinAt)
+	}
+	md := model.Driver{
+		ID:       d.ID,
+		Source:   geo.Point(d.Source),
+		Dest:     geo.Point(d.Dest),
+		Start:    d.Start,
+		End:      d.End,
+		SpeedKmh: d.SpeedKmh,
+	}
+	if err := md.Validate(); err != nil {
+		return model.Driver{}, fmt.Errorf("%w: %v", ErrInvalidDriver, err)
+	}
+	return md, nil
+}
+
+// toModelTask validates and converts a public task, defaulting WTP.
+func toModelTask(t Task) (model.Task, error) {
+	mt := model.Task{
+		ID:      t.ID,
+		Publish: t.Publish,
+		Source:  geo.Point(t.Source),
+		Dest:    geo.Point(t.Dest),
+		StartBy: t.StartBy,
+		EndBy:   t.EndBy,
+		Price:   t.Price,
+		WTP:     t.WTP,
+	}
+	if mt.WTP == 0 {
+		mt.WTP = mt.Price
+	}
+	if err := mt.Validate(); err != nil {
+		return model.Task{}, fmt.Errorf("%w: %v", ErrInvalidTask, err)
+	}
+	return mt, nil
+}
+
+// checkTime enforces the service's ordering policy for a submission
+// timestamped at. It must be called with the mutex held.
+func (s *Service) checkTime(at float64) error {
+	if s.strict && at < s.st.Now() {
+		return fmt.Errorf("%w: %g < %g", ErrOutOfOrder, at, s.st.Now())
+	}
+	return nil
+}
+
+// SubmitTask submits one rider order and returns the platform's
+// instant decision: the assigned driver, or a rejection. The decision
+// happens at the task's publish time (clamped to the service's current
+// time if the submission is late).
+func (s *Service) SubmitTask(ctx context.Context, t Task) (Assignment, error) {
+	if err := ctx.Err(); err != nil {
+		return Assignment{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return Assignment{}, ErrClosed
+	}
+	if _, dup := s.tasks[t.ID]; dup {
+		return Assignment{}, fmt.Errorf("%w: %d", ErrDuplicateTask, t.ID)
+	}
+	mt, err := toModelTask(t)
+	if err != nil {
+		return Assignment{}, err
+	}
+	if err := s.checkTime(t.Publish); err != nil {
+		return Assignment{}, err
+	}
+	dec := s.st.SubmitTask(mt)
+	s.tasks[t.ID] = dec.Task
+
+	a := Assignment{TaskID: t.ID, DriverID: -1, DecidedAt: dec.At}
+	ev := Event{Type: EventRejected, At: dec.At, TaskID: t.ID, DriverID: -1}
+	if dec.Assigned {
+		a.Assigned = true
+		a.DriverID = s.driverIDs[dec.Driver]
+		a.PickupBy = dec.PickupAt
+		ev.Type, ev.DriverID = EventAssigned, a.DriverID
+	}
+	s.publish(ev)
+	return a, nil
+}
+
+// AddDriver announces a driver to the running market. An unknown ID
+// registers a new driver, visible to dispatch from max(JoinAt, now) —
+// a JoinAt beyond the market's current time schedules the announcement
+// rather than applying it early. A previously retired ID re-enters the
+// market; any other known ID is rejected as a duplicate.
+func (s *Service) AddDriver(ctx context.Context, d Driver) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	at := d.JoinAt
+	if at == 0 {
+		at = s.st.Now()
+	}
+	if err := s.checkTime(at); err != nil {
+		return err
+	}
+	if effAt := s.st.Now(); at < effAt {
+		at = effAt
+	}
+	if idx, known := s.drivers[d.ID]; known {
+		// Only a driver who has actually left the market may re-enter:
+		// a still-present driver (including one whose retirement is
+		// scheduled but has not fired — the queued retire event would
+		// silently undo an early rejoin) and a driver pending her first
+		// announcement are both duplicates.
+		if s.st.Present(idx) || !s.retired[d.ID] {
+			return fmt.Errorf("%w: %d", ErrDuplicateDriver, d.ID)
+		}
+		delete(s.retired, d.ID)
+		s.st.JoinDriver(idx, at)
+		s.publish(Event{Type: EventDriverJoined, At: at, TaskID: -1, DriverID: d.ID})
+		return nil
+	}
+	md, err := toModelDriver(d)
+	if err != nil {
+		return err
+	}
+	idx := s.st.AddDriver(md, at)
+	s.drivers[d.ID] = idx
+	s.driverIDs = append(s.driverIDs, d.ID)
+	s.publish(Event{Type: EventDriverJoined, At: at, TaskID: -1, DriverID: d.ID})
+	return nil
+}
+
+// RetireDriver removes the driver from the market at the given time:
+// she accepts no further tasks, though an in-flight assignment still
+// completes. A retirement time beyond the market's current time is
+// scheduled rather than applied early. A retired driver may re-enter
+// later via AddDriver.
+func (s *Service) RetireDriver(ctx context.Context, driverID int, at float64) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	idx, ok := s.drivers[driverID]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownDriver, driverID)
+	}
+	if err := s.checkTime(at); err != nil {
+		return err
+	}
+	if effAt := s.st.Now(); at < effAt {
+		at = effAt
+	}
+	s.st.RetireDriver(idx, at)
+	s.retired[driverID] = true
+	s.publish(Event{Type: EventDriverRetired, At: at, TaskID: -1, DriverID: driverID})
+	return nil
+}
+
+// CancelTask withdraws a rider order at the given time. A cancellation
+// landing before the assigned driver reaches the pickup revokes the
+// assignment and frees the driver; after pickup it is too late and the
+// ride proceeds (Cancelled reports which happened).
+func (s *Service) CancelTask(ctx context.Context, taskID int, at float64) (CancelOutcome, error) {
+	if err := ctx.Err(); err != nil {
+		return CancelOutcome{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return CancelOutcome{}, ErrClosed
+	}
+	idx, ok := s.tasks[taskID]
+	if !ok {
+		return CancelOutcome{}, fmt.Errorf("%w: %d", ErrUnknownTask, taskID)
+	}
+	if err := s.checkTime(at); err != nil {
+		return CancelOutcome{}, err
+	}
+	if at <= s.taskPublish(idx) && s.strict {
+		return CancelOutcome{}, fmt.Errorf("%w: task %d published at %g, cancel at %g",
+			ErrInvalidCancel, taskID, s.taskPublish(idx), at)
+	}
+	freed, cancelled := s.st.CancelTask(idx, at)
+	out := CancelOutcome{TaskID: taskID, Cancelled: cancelled, FreedDriverID: -1}
+	if cancelled {
+		ev := Event{Type: EventCancelled, At: s.st.Now(), TaskID: taskID, DriverID: -1}
+		if freed >= 0 {
+			out.FreedDriverID = s.driverIDs[freed]
+			ev.DriverID = out.FreedDriverID
+		}
+		s.publish(ev)
+	}
+	return out, nil
+}
+
+// taskPublish returns the registered publish time of a task by engine
+// index. Must be called with the mutex held.
+func (s *Service) taskPublish(idx int) float64 { return s.st.TaskPublish(idx) }
+
+// Snapshot returns the market's aggregate state as of the last
+// processed event, with accounts settled as if every in-flight
+// commitment completed.
+func (s *Service) Snapshot(ctx context.Context) (Stats, error) {
+	if err := ctx.Err(); err != nil {
+		return Stats{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return s.finalStats, nil
+	}
+	return s.stats(s.st.Snapshot()), nil
+}
+
+// stats converts a settled simulator result into public Stats. Must be
+// called with the mutex held.
+func (s *Service) stats(res sim.Result) Stats {
+	return Stats{
+		Now:            s.st.Now(),
+		Drivers:        s.st.DriverCount(),
+		PresentDrivers: s.st.PresentDrivers(),
+		Tasks:          s.st.TaskCount(),
+		Served:         res.Served,
+		Rejected:       res.Rejected,
+		Cancelled:      res.Cancelled,
+		Revenue:        res.Revenue,
+		Profit:         res.TotalProfit,
+	}
+}
+
+// Close drains the market's remaining internal events, settles every
+// driver's account and returns the final Stats. Subscriber channels are
+// closed. Close is idempotent; later calls return the same Stats.
+func (s *Service) Close() (Stats, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return s.finalStats, nil
+	}
+	res := s.st.Finish()
+	stats := s.stats(res)
+	// st.Snapshot is invalid after Finish; stats() above read the
+	// counters before any further use.
+	s.final = &res
+	s.finalStats = stats
+	s.closed = true
+	for id, ch := range s.subs {
+		close(ch)
+		delete(s.subs, id)
+	}
+	return stats, nil
+}

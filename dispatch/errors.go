@@ -1,0 +1,47 @@
+package dispatch
+
+import "errors"
+
+// The service's typed error vocabulary. Every Service method returns
+// one of these sentinels (possibly wrapped with detail) for conditions
+// a caller can act on; match with errors.Is.
+var (
+	// ErrClosed: the service has been Closed; no further submissions
+	// are accepted.
+	ErrClosed = errors.New("dispatch: service closed")
+
+	// ErrDuplicateTask: a task with this ID was already submitted.
+	ErrDuplicateTask = errors.New("dispatch: duplicate task id")
+
+	// ErrDuplicateDriver: a driver with this ID is already registered
+	// and present.
+	ErrDuplicateDriver = errors.New("dispatch: duplicate driver id")
+
+	// ErrUnknownTask: no task with this ID was ever submitted.
+	ErrUnknownTask = errors.New("dispatch: unknown task id")
+
+	// ErrUnknownDriver: no driver with this ID is registered.
+	ErrUnknownDriver = errors.New("dispatch: unknown driver id")
+
+	// ErrInvalidTask: the task fails model validation (deadline
+	// ordering, price vs willingness-to-pay, coordinates).
+	ErrInvalidTask = errors.New("dispatch: invalid task")
+
+	// ErrInvalidDriver: the driver fails model validation (working
+	// window, coordinates, speed).
+	ErrInvalidDriver = errors.New("dispatch: invalid driver")
+
+	// ErrInvalidCancel: the cancellation is not after the task's
+	// publish time.
+	ErrInvalidCancel = errors.New("dispatch: cancellation not after task publish")
+
+	// ErrOutOfOrder: the event's timestamp precedes the service's
+	// current time and the service was built WithStrictTimes. Without
+	// strict times, late events are clamped to the current time
+	// instead.
+	ErrOutOfOrder = errors.New("dispatch: event timestamp before current time")
+
+	// ErrInvalidOption: a functional option was given an unusable
+	// value (e.g. WithShards(0)).
+	ErrInvalidOption = errors.New("dispatch: invalid option")
+)

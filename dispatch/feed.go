@@ -1,0 +1,70 @@
+package dispatch
+
+// EventType tags one entry of the service's event feed.
+type EventType string
+
+// The feed vocabulary. Task-scoped events carry the task's ID and the
+// involved driver (-1 when none); driver-scoped events carry the
+// driver's ID and task -1.
+const (
+	// EventAssigned: a submitted task was assigned to DriverID.
+	EventAssigned EventType = "assigned"
+	// EventRejected: a submitted task found no feasible driver.
+	EventRejected EventType = "rejected"
+	// EventCancelled: a rider cancellation took effect; DriverID is
+	// the driver freed by a revoked assignment, -1 if none was bound.
+	EventCancelled EventType = "cancelled"
+	// EventDriverJoined: a driver entered (or re-entered) the market.
+	EventDriverJoined EventType = "driver_joined"
+	// EventDriverRetired: a driver left the market.
+	EventDriverRetired EventType = "driver_retired"
+)
+
+// Event is one entry of the assignment-event feed.
+type Event struct {
+	Type     EventType `json:"type"`
+	At       float64   `json:"at"` // simulated market time
+	TaskID   int       `json:"task_id"`
+	DriverID int       `json:"driver_id"`
+}
+
+// Subscribe attaches a listener to the service's event feed and returns
+// the channel plus a cancel function releasing it. Every market
+// decision made after the subscription is delivered in order; a
+// subscriber that falls more than buffer events behind has the excess
+// dropped rather than stalling the market (buffer ≤ 0 selects 256).
+// The channel is closed by cancel and by Service.Close.
+func (s *Service) Subscribe(buffer int) (<-chan Event, func()) {
+	if buffer <= 0 {
+		buffer = 256
+	}
+	ch := make(chan Event, buffer)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		close(ch)
+		return ch, func() {}
+	}
+	id := s.nextSub
+	s.nextSub++
+	s.subs[id] = ch
+	return ch, func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if c, ok := s.subs[id]; ok {
+			delete(s.subs, id)
+			close(c)
+		}
+	}
+}
+
+// publish fans an event out to every subscriber, dropping it for any
+// subscriber whose buffer is full. Must be called with the mutex held.
+func (s *Service) publish(ev Event) {
+	for _, ch := range s.subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+}

@@ -1,0 +1,175 @@
+package dispatch
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/online"
+	"repro/internal/sim"
+)
+
+// Policy selects the dispatch heuristic answering each task.
+type Policy int
+
+// The built-in dispatch policies.
+const (
+	// MaxMargin assigns each task to the feasible driver with the
+	// largest marginal profit δ (the paper's Algorithm 4), rejecting
+	// tasks whose best margin is non-positive.
+	MaxMargin Policy = iota
+	// Nearest assigns each task to the feasible driver who can reach
+	// the pickup earliest (Algorithm 3), breaking ties randomly.
+	Nearest
+	// Random assigns each task to a uniformly random feasible driver —
+	// the naive control baseline.
+	Random
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case MaxMargin:
+		return "maxmargin"
+	case Nearest:
+		return "nearest"
+	case Random:
+		return "random"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// ParsePolicy converts a policy name (as printed by String) back into a
+// Policy; serve front ends use it to parse configuration.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "maxmargin", "maxMargin":
+		return MaxMargin, nil
+	case "nearest":
+		return Nearest, nil
+	case "random":
+		return Random, nil
+	default:
+		return 0, fmt.Errorf("%w: unknown policy %q (want maxmargin, nearest or random)", ErrInvalidOption, s)
+	}
+}
+
+func (p Policy) dispatcher() (sim.Dispatcher, error) {
+	switch p {
+	case MaxMargin:
+		return online.MaxMargin{}, nil
+	case Nearest:
+		return online.Nearest{}, nil
+	case Random:
+		return online.Random{}, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown policy %d", ErrInvalidOption, int(p))
+	}
+}
+
+// Clock paces the service's simulated time. Advance is called as the
+// market moves from one event time to the next; a zero-delay clock (the
+// default) processes events as fast as the hardware allows, a scaled
+// clock replays a day in wall-clock minutes. Any implementation of the
+// internal simulator's clock contract satisfies this interface.
+type Clock interface {
+	Advance(from, to float64)
+}
+
+// ScaledClock returns a Clock that sleeps (to−from)/factor wall seconds
+// per advance: factor 60 replays a simulated hour per wall minute.
+// Factor ≤ 0 is treated as 1 (real time).
+func ScaledClock(factor float64) Clock { return scaledClock{factor} }
+
+type scaledClock struct{ factor float64 }
+
+func (c scaledClock) Advance(from, to float64) {
+	f := c.factor
+	if f <= 0 {
+		f = 1
+	}
+	time.Sleep(time.Duration((to - from) / f * float64(time.Second)))
+}
+
+type config struct {
+	policy   Policy
+	shards   int
+	realTime bool
+	clock    Clock
+	seed     int64
+	strict   bool
+}
+
+// Option configures a Service at construction.
+type Option func(*config) error
+
+// WithDispatcher selects the dispatch policy; the default is MaxMargin.
+func WithDispatcher(p Policy) Option {
+	return func(c *config) error {
+		if _, err := p.dispatcher(); err != nil {
+			return err
+		}
+		c.policy = p
+		return nil
+	}
+}
+
+// WithShards runs candidate generation over n concurrent zone shards.
+// Assignments are bit-identical for every shard count — only throughput
+// changes — so the knob is purely operational. n must be ≥ 1; values
+// above 1 enable the sharded source.
+func WithShards(n int) Option {
+	return func(c *config) error {
+		if n < 1 {
+			return fmt.Errorf("%w: shards %d, want ≥ 1", ErrInvalidOption, n)
+		}
+		c.shards = n
+		return nil
+	}
+}
+
+// WithRealTime frees drivers at their actual trip finish time instead
+// of the served task's end deadline, giving the market extra capacity
+// the paper's offline bound cannot represent. See the simulator's
+// package documentation for the modelling trade-off.
+func WithRealTime() Option {
+	return func(c *config) error {
+		c.realTime = true
+		return nil
+	}
+}
+
+// WithClock paces event processing with the given clock; nil restores
+// the default full-speed clock. A sleeping clock paces the whole
+// service: operations serialize on the market, so while the clock
+// sleeps through a simulated gap every other caller blocks (their
+// contexts are checked before the market is entered, not during the
+// sleep). Use pacing clocks for demos and animated replays, not for
+// concurrent front ends.
+func WithClock(clk Clock) Option {
+	return func(c *config) error {
+		c.clock = clk
+		return nil
+	}
+}
+
+// WithSeed seeds the RNG used for dispatch tie-breaking; the default
+// seed is 1. Runs with equal inputs and seeds are deterministic.
+func WithSeed(seed int64) Option {
+	return func(c *config) error {
+		c.seed = seed
+		return nil
+	}
+}
+
+// WithStrictTimes rejects any submission whose timestamp precedes the
+// service's current time with ErrOutOfOrder, instead of the default
+// behaviour of processing late events at the current time. Replays that
+// must stay bit-identical to a batch simulation use strict times;
+// live front ends with concurrent submitters generally should not.
+func WithStrictTimes() Option {
+	return func(c *config) error {
+		c.strict = true
+		return nil
+	}
+}

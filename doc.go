@@ -1,13 +1,31 @@
 // Package repro is a from-scratch Go reproduction of "An Optimization
 // Framework For Online Ride-sharing Markets" (Jia, Xu, Liu — ICDCS
-// 2017): a generalized two-sided market model for taxi and delivery
-// platforms, an offline greedy algorithm for the maximum-value
-// node-disjoint-paths formulation with a tight 1/(D+1) approximation
-// ratio, two online dispatch heuristics, and a trace-driven evaluation
-// harness that regenerates every figure of the paper's §VI.
+// 2017), grown into a system that serves the paper's online market as
+// live traffic: a generalized two-sided market model, an offline greedy
+// algorithm with a tight 1/(D+1) approximation ratio, online dispatch
+// heuristics over an event-driven zone-sharded engine, and a streaming
+// dispatch service with an HTTP front end.
 //
-// The implementation lives under internal/ (see DESIGN.md for the module
-// map); cmd/rideshare is the CLI front end and examples/ contains
-// runnable scenarios. The benchmarks in this package regenerate the
+// Start at the dispatch package — the repository's public API and the
+// intended entry point for consumers:
+//
+//	svc, _ := dispatch.New(dispatch.Market{Drivers: fleet},
+//	    dispatch.WithDispatcher(dispatch.MaxMargin),
+//	    dispatch.WithShards(4))
+//	a, _ := svc.SubmitTask(ctx, order) // instant decision
+//	stats, _ := svc.Close()            // settled books
+//
+// It exposes the market open-loop — submit a task now, get an
+// assignment now, with drivers joining, retiring and riders cancelling
+// while the market runs — and guarantees that replaying a whole day
+// through it is bit-identical to the internal batch simulator.
+// `rideshare serve` puts the same service behind HTTP/JSON (see
+// cmd/rideshare), examples/quickstart and examples/streamserve are
+// runnable starting points.
+//
+// The reproduction itself lives under internal/ (see DESIGN.md for the
+// module map): the offline algorithms and bounds, the trace-driven
+// evaluation harness regenerating every figure of the paper's §VI, and
+// the simulator core. The benchmarks in this package regenerate the
 // paper's tables and figures — see EXPERIMENTS.md.
 package repro

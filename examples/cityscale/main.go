@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -78,7 +79,7 @@ func main() {
 	fmt.Println("\nregenerating Figs 6–9 with the parallel sweep...")
 	ecfg := experiments.Default()
 	start := time.Now()
-	m, err := experiments.RunDensitySweep(ecfg)
+	m, err := experiments.RunDensitySweep(context.Background(), ecfg)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,6 +1,14 @@
-// Quickstart: generate a small synthetic market, run the offline greedy
-// algorithm and both online heuristics against it, and compare everyone
-// with the LP-relaxation upper bound Z*_f.
+// Quickstart: generate a small synthetic market, serve its day of
+// orders through the public dispatch API under both online policies,
+// and compare the outcomes with the offline greedy algorithm and the
+// LP-relaxation upper bound Z*_f.
+//
+// The online half of this example is what an external consumer of the
+// framework writes: construct dispatch.New over an initial fleet,
+// submit tasks one at a time, read the instant decisions, Close for the
+// settled books. The offline half dips into the internal packages the
+// way the repository's own experiments do — a batch yardstick the
+// streaming service is measured against.
 //
 // Run with:
 //
@@ -8,12 +16,13 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
+	"repro/dispatch"
 	"repro/internal/bound"
 	"repro/internal/core"
-	"repro/internal/online"
 	"repro/internal/trace"
 )
 
@@ -23,7 +32,8 @@ func main() {
 	cfg := trace.NewConfig(42, 120, 20, trace.Hitchhiking)
 	tr := trace.NewGenerator(cfg).Generate(nil)
 
-	// 2. Bundle it into an optimization problem.
+	// 2. Offline yardstick: the greedy algorithm with full information,
+	//    and the upper bound Z*_f.
 	problem, err := core.NewProblem(cfg.Market, tr.Drivers, tr.Tasks)
 	if err != nil {
 		log.Fatal(err)
@@ -31,29 +41,48 @@ func main() {
 	g := problem.Graph()
 	fmt.Printf("market: %d drivers, %d tasks, %d task-map arcs, diameter %d\n",
 		g.N(), g.M(), g.ArcCount(), g.Diameter())
-
-	// 3. Solve offline (Algorithm 1) and online (Algorithms 3 and 4).
-	solvers := []core.Solver{
-		core.GreedySolver{},
-		core.OnlineSolver{Dispatcher: online.MaxMargin{}, Seed: 1},
-		core.OnlineSolver{Dispatcher: online.Nearest{}, Seed: 1},
+	offline, err := core.GreedySolver{}.Solve(problem)
+	if err != nil {
+		log.Fatal(err)
 	}
-	var sols []core.Solution
-	for _, s := range solvers {
-		sol, err := s.Solve(problem)
+	ub := bound.Auto(g, offline.Profit)
+	fmt.Printf("upper bound Z*_f = %.2f (%s)\n\n", ub.Bound, ub.Method)
+
+	// 3. The same day served online through the public API: the fleet
+	//    is registered upfront, orders arrive one at a time, and every
+	//    submission gets its answer before the next is placed.
+	market := dispatch.Market{}
+	for i, d := range tr.Drivers {
+		market.Drivers = append(market.Drivers, dispatch.Driver{
+			ID: i, Source: dispatch.Point(d.Source), Dest: dispatch.Point(d.Dest),
+			Start: d.Start, End: d.End, SpeedKmh: d.SpeedKmh,
+		})
+	}
+	ctx := context.Background()
+	fmt.Printf("%-12s %8s %8s %8s %8s\n", "algorithm", "profit", "revenue", "served", "ratio")
+	for _, policy := range []dispatch.Policy{dispatch.MaxMargin, dispatch.Nearest} {
+		svc, err := dispatch.New(market,
+			dispatch.WithDispatcher(policy), dispatch.WithSeed(1))
 		if err != nil {
 			log.Fatal(err)
 		}
-		sols = append(sols, sol)
+		for i, t := range tr.Tasks {
+			if _, err := svc.SubmitTask(ctx, dispatch.Task{
+				ID: i, Publish: t.Publish, Source: dispatch.Point(t.Source), Dest: dispatch.Point(t.Dest),
+				StartBy: t.StartBy, EndBy: t.EndBy, Price: t.Price, WTP: t.WTP,
+			}); err != nil {
+				log.Fatal(err)
+			}
+		}
+		stats, err := svc.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12v %8.2f %8.2f %8d %8.4f\n",
+			policy, stats.Profit, stats.Revenue, stats.Served,
+			core.PerformanceRatio(stats.Profit, ub.Bound))
 	}
-
-	// 4. Compute the upper bound Z*_f and report performance ratios.
-	ub := bound.Auto(g, sols[0].Profit)
-	fmt.Printf("upper bound Z*_f = %.2f (%s)\n\n", ub.Bound, ub.Method)
-	fmt.Printf("%-12s %8s %8s %8s %8s\n", "algorithm", "profit", "revenue", "served", "ratio")
-	for _, sol := range sols {
-		fmt.Printf("%-12s %8.2f %8.2f %8d %8.4f\n",
-			sol.Algorithm, sol.Profit, sol.Revenue, sol.Served,
-			core.PerformanceRatio(sol.Profit, ub.Bound))
-	}
+	fmt.Printf("%-12s %8.2f %8.2f %8d %8.4f\n",
+		offline.Algorithm, offline.Profit, offline.Revenue, offline.Served,
+		core.PerformanceRatio(offline.Profit, ub.Bound))
 }

@@ -14,6 +14,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"text/tabwriter"
@@ -163,7 +164,7 @@ func distributionFigure(cfg Config, id, title, xlabel string, xs []float64) Figu
 // maxMargin and Nearest as the number of drivers grows. The paper plots
 // Z*_f / profit; we plot the reciprocal so curves live in [0, 1] with
 // higher = better (same ordering information).
-func Fig5PerformanceRatio(cfg Config, dm trace.DriverModel) (Figure, error) {
+func Fig5PerformanceRatio(ctx context.Context, cfg Config, dm trace.DriverModel) (Figure, error) {
 	names := []string{"Greedy", "maxMargin", "Nearest"}
 	series := make([]Series, len(names))
 	for i, name := range names {
@@ -174,7 +175,7 @@ func Fig5PerformanceRatio(cfg Config, dm trace.DriverModel) (Figure, error) {
 	// belongs to sweep point k/reps, replication k%reps.
 	reps := cfg.replications()
 	ratios := make([][3]float64, len(cfg.Sweep)*reps)
-	err := forEachIndex(cfg.Workers, len(ratios), func(k int) error {
+	err := forEachIndex(ctx, cfg.Workers, len(ratios), func(k int) error {
 		n, seed := cfg.Sweep[k/reps], cfg.Seed+int64(k%reps)
 		p, err := buildProblem(cfg, seed, n, dm)
 		if err != nil {
@@ -230,7 +231,7 @@ type DensityMetrics struct {
 // (density, seed) points run concurrently on cfg.Workers workers; each
 // point owns its trace generator and simulation engines, so the returned
 // series are identical for any worker count.
-func RunDensitySweep(cfg Config) (DensityMetrics, error) {
+func RunDensitySweep(ctx context.Context, cfg Config) (DensityMetrics, error) {
 	names := []string{"Greedy", "maxMargin", "Nearest"}
 	m := DensityMetrics{
 		Names:     names,
@@ -244,7 +245,7 @@ func RunDensitySweep(cfg Config) (DensityMetrics, error) {
 		revenue, served [3]float64
 	}
 	pts := make([]point, len(cfg.Sweep)*reps)
-	err := forEachIndex(cfg.Workers, len(pts), func(k int) error {
+	err := forEachIndex(ctx, cfg.Workers, len(pts), func(k int) error {
 		n, seed := cfg.Sweep[k/reps], cfg.Seed+int64(k%reps)
 		p, err := buildProblem(cfg, seed, n, trace.Hitchhiking)
 		if err != nil {

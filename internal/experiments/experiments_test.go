@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"reflect"
 	"strings"
@@ -77,7 +78,7 @@ func TestFig5OrderingMatchesPaper(t *testing.T) {
 	if testing.Short() {
 		cfg = shortConfig()
 	}
-	fig, err := Fig5PerformanceRatio(cfg, trace.Hitchhiking)
+	fig, err := Fig5PerformanceRatio(context.Background(), cfg, trace.Hitchhiking)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,11 +118,11 @@ func TestFig5HitchhikingBeatsHomeWorkHome(t *testing.T) {
 	// §VI-B: "almost all our algorithms achieve better performance
 	// ratio in the hitchhiking model". Compare greedy's aggregate.
 	cfg := testConfig()
-	hitch, err := Fig5PerformanceRatio(cfg, trace.Hitchhiking)
+	hitch, err := Fig5PerformanceRatio(context.Background(), cfg, trace.Hitchhiking)
 	if err != nil {
 		t.Fatal(err)
 	}
-	home, err := Fig5PerformanceRatio(cfg, trace.HomeWorkHome)
+	home, err := Fig5PerformanceRatio(context.Background(), cfg, trace.HomeWorkHome)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +139,7 @@ func TestFig5HitchhikingBeatsHomeWorkHome(t *testing.T) {
 
 func TestDensitySweepShapes(t *testing.T) {
 	cfg := testConfig()
-	m, err := RunDensitySweep(cfg)
+	m, err := RunDensitySweep(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,11 +197,11 @@ func TestSweepsDeterministicAcrossWorkers(t *testing.T) {
 	serial.Workers = 1
 	parallel.Workers = 4
 
-	ms, err := RunDensitySweep(serial)
+	ms, err := RunDensitySweep(context.Background(), serial)
 	if err != nil {
 		t.Fatal(err)
 	}
-	mp, err := RunDensitySweep(parallel)
+	mp, err := RunDensitySweep(context.Background(), parallel)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,11 +209,11 @@ func TestSweepsDeterministicAcrossWorkers(t *testing.T) {
 		t.Errorf("density sweep differs across worker counts:\nserial   %+v\nparallel %+v", ms, mp)
 	}
 
-	fs, err := Fig5PerformanceRatio(serial, trace.Hitchhiking)
+	fs, err := Fig5PerformanceRatio(context.Background(), serial, trace.Hitchhiking)
 	if err != nil {
 		t.Fatal(err)
 	}
-	fp, err := Fig5PerformanceRatio(parallel, trace.Hitchhiking)
+	fp, err := Fig5PerformanceRatio(context.Background(), parallel, trace.Hitchhiking)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,11 +221,11 @@ func TestSweepsDeterministicAcrossWorkers(t *testing.T) {
 		t.Errorf("fig5 differs across worker counts:\nserial   %+v\nparallel %+v", fs, fp)
 	}
 
-	ws, err := WelfareComparison(serial)
+	ws, err := WelfareComparison(context.Background(), serial)
 	if err != nil {
 		t.Fatal(err)
 	}
-	wp, err := WelfareComparison(parallel)
+	wp, err := WelfareComparison(context.Background(), parallel)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -237,12 +238,12 @@ func TestSweepsDeterministicAcrossWorkers(t *testing.T) {
 // series well-formed and actually mixes in the extra seeds.
 func TestReplicationsAverage(t *testing.T) {
 	cfg := shortConfig()
-	single, err := RunDensitySweep(cfg)
+	single, err := RunDensitySweep(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	cfg.Replications = 3
-	avg, err := RunDensitySweep(cfg)
+	avg, err := RunDensitySweep(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -272,7 +273,7 @@ func TestReplicationsAverage(t *testing.T) {
 func TestForEachIndexErrors(t *testing.T) {
 	errBoom := errors.New("boom")
 	for _, workers := range []int{1, 3} {
-		err := forEachIndex(workers, 8, func(i int) error {
+		err := forEachIndex(context.Background(), workers, 8, func(i int) error {
 			if i == 2 {
 				return errBoom
 			}
@@ -281,7 +282,7 @@ func TestForEachIndexErrors(t *testing.T) {
 		if err != errBoom {
 			t.Errorf("workers=%d: error = %v, want %v", workers, err, errBoom)
 		}
-		if err := forEachIndex(workers, 0, func(int) error { return errBoom }); err != nil {
+		if err := forEachIndex(context.Background(), workers, 0, func(int) error { return errBoom }); err != nil {
 			t.Errorf("workers=%d: empty range returned %v", workers, err)
 		}
 	}
@@ -290,7 +291,7 @@ func TestForEachIndexErrors(t *testing.T) {
 	// stop long before the end of a large range (in-flight work is
 	// bounded by the worker count).
 	var executed atomic.Int64
-	err := forEachIndex(2, 4096, func(i int) error {
+	err := forEachIndex(context.Background(), 2, 4096, func(i int) error {
 		executed.Add(1)
 		if i == 0 {
 			return errBoom
@@ -302,6 +303,38 @@ func TestForEachIndexErrors(t *testing.T) {
 	}
 	if n := executed.Load(); n >= 4096 {
 		t.Errorf("pool executed all %d indices despite an index-0 failure", n)
+	}
+}
+
+// TestForEachIndexCancellation: a cancelled context aborts the pool on
+// both paths — pending indices are abandoned, ctx.Err() is returned —
+// which is what lets `rideshare experiments` shut down on SIGINT
+// mid-sweep.
+func TestForEachIndexCancellation(t *testing.T) {
+	for _, workers := range []int{1, 3} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var executed atomic.Int64
+		err := forEachIndex(ctx, workers, 4096, func(i int) error {
+			if executed.Add(1) == 2 {
+				cancel()
+			}
+			return nil
+		})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("workers=%d: error = %v, want context.Canceled", workers, err)
+		}
+		if n := executed.Load(); n >= 4096 {
+			t.Errorf("workers=%d: pool ran all %d indices despite cancellation", workers, n)
+		}
+	}
+
+	// A context cancelled upfront runs nothing at all.
+	dead, kill := context.WithCancel(context.Background())
+	kill()
+	ran := false
+	if err := forEachIndex(dead, 1, 8, func(int) error { ran = true; return nil }); !errors.Is(err, context.Canceled) || ran {
+		t.Errorf("pre-cancelled context: err=%v ran=%v", err, ran)
 	}
 }
 

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -46,9 +47,9 @@ type WelfareRow struct {
 // WelfareComparison runs the greedy algorithm under both objectives of
 // §III across the driver sweep (hitchhiking model). Sweep points run
 // concurrently on cfg.Workers workers.
-func WelfareComparison(cfg Config) ([]WelfareRow, error) {
+func WelfareComparison(ctx context.Context, cfg Config) ([]WelfareRow, error) {
 	rows := make([]WelfareRow, len(cfg.Sweep))
-	err := forEachIndex(cfg.Workers, len(cfg.Sweep), func(pi int) error {
+	err := forEachIndex(ctx, cfg.Workers, len(cfg.Sweep), func(pi int) error {
 		n := cfg.Sweep[pi]
 		p, err := buildProblem(cfg, cfg.Seed, n, trace.Hitchhiking)
 		if err != nil {
@@ -122,7 +123,7 @@ type SurgeRow struct {
 // SurgeSweep fixes the market (tasks, drivers) and sweeps the surge
 // multiplier cap; each point re-prices the day under that cap and runs
 // the maxMargin dispatcher. Cap 1.0 is flat pricing.
-func SurgeSweep(cfg Config, drivers int, caps []float64) ([]SurgeRow, error) {
+func SurgeSweep(ctx context.Context, cfg Config, drivers int, caps []float64) ([]SurgeRow, error) {
 	tcfg := trace.NewConfig(cfg.Seed, cfg.Tasks, drivers, trace.HomeWorkHome)
 	gen := trace.NewGenerator(tcfg)
 	baseTasks := gen.GenerateTasks()
@@ -130,6 +131,9 @@ func SurgeSweep(cfg Config, drivers int, caps []float64) ([]SurgeRow, error) {
 
 	var rows []SurgeRow
 	for _, cap := range caps {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		tasks := append([]model.Task(nil), baseTasks...)
 		grid := geo.NewGrid(tcfg.Box, 6, 6)
 		surge := pricing.NewSurge(pricing.NewLinear(tcfg.Market, 1), grid, cap)
@@ -200,7 +204,10 @@ type DispatchRow struct {
 // paper's two heuristics, the batched matcher, rolling-horizon
 // re-optimization, and the offline greedy as the full-information
 // reference.
-func DispatchComparison(cfg Config, drivers int) ([]DispatchRow, error) {
+func DispatchComparison(ctx context.Context, cfg Config, drivers int) ([]DispatchRow, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	p, err := buildProblem(cfg, cfg.Seed, drivers, trace.Hitchhiking)
 	if err != nil {
 		return nil, err
@@ -280,14 +287,14 @@ type ChurnRow struct {
 // Rate 0 reproduces the static Figs 6–9 market exactly, which anchors
 // the curves: everything the sweep shows beyond the first point is
 // dynamics the paper's evaluation never reached.
-func ChurnSweep(cfg Config, drivers int, rates []float64) ([]ChurnRow, error) {
+func ChurnSweep(ctx context.Context, cfg Config, drivers int, rates []float64) ([]ChurnRow, error) {
 	reps := cfg.replications()
 	type point struct {
 		served, cancelled int
 		profit, revenue   float64
 	}
 	pts := make([]point, len(rates)*reps)
-	err := forEachIndex(cfg.Workers, len(pts), func(k int) error {
+	err := forEachIndex(ctx, cfg.Workers, len(pts), func(k int) error {
 		rate, seed := rates[k/reps], cfg.Seed+int64(k%reps)
 		tcfg := trace.NewConfig(seed, cfg.Tasks, drivers, trace.Hitchhiking)
 		tr := trace.NewGenerator(tcfg).Generate(nil)

@@ -1,12 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"testing"
 )
 
 func TestWelfareComparison(t *testing.T) {
 	cfg := testConfig()
-	rows, err := WelfareComparison(cfg)
+	rows, err := WelfareComparison(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,7 +37,7 @@ func TestWelfareComparison(t *testing.T) {
 func TestSurgeSweepShapes(t *testing.T) {
 	cfg := testConfig()
 	caps := []float64{1, 1.5, 2, 3}
-	rows, err := SurgeSweep(cfg, 15, caps)
+	rows, err := SurgeSweep(context.Background(), cfg, 15, caps)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +65,7 @@ func TestSurgeSweepShapes(t *testing.T) {
 
 func TestDispatchComparison(t *testing.T) {
 	cfg := testConfig()
-	rows, err := DispatchComparison(cfg, 15)
+	rows, err := DispatchComparison(context.Background(), cfg, 15)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +105,7 @@ func TestChurnSweepShapes(t *testing.T) {
 	cfg := testConfig()
 	cfg.Replications = 2
 	rates := []float64{0, 0.25, 0.6}
-	rows, err := ChurnSweep(cfg, 15, rates)
+	rows, err := ChurnSweep(context.Background(), cfg, 15, rates)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +132,7 @@ func TestChurnSweepShapes(t *testing.T) {
 	// Sharded engine: identical rows (the sweep is an experiments-layer
 	// restatement of the sim differential guarantee).
 	cfg.Shards = 4
-	sharded, err := ChurnSweep(cfg, 15, rates)
+	sharded, err := ChurnSweep(context.Background(), cfg, 15, rates)
 	if err != nil {
 		t.Fatal(err)
 	}

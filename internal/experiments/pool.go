@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -12,11 +13,18 @@ import (
 // stops at the first error. The parallel path aborts promptly too: once
 // any invocation fails, no further indices are dispatched or started
 // (in-flight ones finish), so a paper-scale sweep does not grind through
-// the remaining points after an early failure. Each index must be
-// self-contained (own generator, engine, RNG), which makes successful
-// results identical for every worker count — the sweep tests assert that
-// equivalence, and `go test -race` guards the fan-out.
-func forEachIndex(workers, n int, fn func(i int) error) error {
+// the remaining points after an early failure. Cancelling ctx aborts
+// the same way — pending indices are abandoned, in-flight ones finish,
+// and ctx.Err() is returned — which is what lets `rideshare
+// experiments` and the serve front end shut sweeps down cleanly on
+// SIGINT. Each index must be self-contained (own generator, engine,
+// RNG), which makes successful results identical for every worker count
+// — the sweep tests assert that equivalence, and `go test -race` guards
+// the fan-out.
+func forEachIndex(ctx context.Context, workers, n int, fn func(i int) error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -25,6 +33,9 @@ func forEachIndex(workers, n int, fn func(i int) error) error {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := fn(i); err != nil {
 				return err
 			}
@@ -40,7 +51,7 @@ func forEachIndex(workers, n int, fn func(i int) error) error {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				if failed.Load() {
+				if failed.Load() || ctx.Err() != nil {
 					continue
 				}
 				if err := fn(i); err != nil {
@@ -50,8 +61,13 @@ func forEachIndex(workers, n int, fn func(i int) error) error {
 			}
 		}()
 	}
+dispatch:
 	for i := 0; i < n && !failed.Load(); i++ {
-		idx <- i
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
 	close(idx)
 	wg.Wait()
@@ -60,5 +76,5 @@ func forEachIndex(workers, n int, fn func(i int) error) error {
 			return err
 		}
 	}
-	return nil
+	return ctx.Err()
 }

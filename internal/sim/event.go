@@ -204,34 +204,57 @@ func (r *eventRun) push(ev event) {
 	heap.Push(&r.q, ev)
 }
 
-// drain processes every event in merge order.
-func (r *eventRun) drain() {
-	heap.Init(&r.q)
-	for r.q.Len() > 0 {
-		ev := heap.Pop(&r.q).(event)
-		if r.timeKeyed {
-			if r.started && ev.at > r.now && r.e.Clock != nil {
-				r.e.Clock.Advance(r.now, ev.at)
-			}
+// init restores the heap invariant over the statically built queue.
+// Call once, after the last add and before the first step.
+func (r *eventRun) init() { heap.Init(&r.q) }
+
+// step pops and handles the next event in merge order, reporting
+// whether one was processed. The batch drain and the streaming API
+// (see stream.go) are both loops over this single-event core.
+func (r *eventRun) step() bool {
+	if r.q.Len() == 0 {
+		return false
+	}
+	r.handle(heap.Pop(&r.q).(event))
+	return true
+}
+
+// handle advances the simulated clock to the event and dispatches it to
+// its handler.
+func (r *eventRun) handle(ev event) {
+	if r.timeKeyed {
+		if r.started && ev.at > r.now && r.e.Clock != nil {
+			r.e.Clock.Advance(r.now, ev.at)
+		}
+		if ev.at > r.now || !r.started {
 			r.now = ev.at
-			r.started = true
 		}
-		switch ev.kind {
-		case evJoin:
-			r.handleJoin(ev)
-		case evRetire:
-			r.handleRetire(ev)
-		case evCancel:
-			r.handleCancel(ev)
-		case evFree:
-			r.handleFree(ev)
-		case evArrival:
-			r.onArrival(ev)
-		case evBatchClose:
-			r.onBatchClose(ev)
-		case evReplan:
-			r.onReplan(ev)
-		}
+		r.started = true
+	}
+	switch ev.kind {
+	case evJoin:
+		r.handleJoin(ev)
+	case evRetire:
+		r.handleRetire(ev)
+	case evCancel:
+		r.handleCancel(ev)
+	case evFree:
+		r.handleFree(ev)
+	case evArrival:
+		r.onArrival(ev)
+	case evBatchClose:
+		r.onBatchClose(ev)
+	case evReplan:
+		r.onReplan(ev)
+	}
+}
+
+// drain processes every event in merge order: the batch entry points
+// are thin adapters that enqueue their whole day and drain it through
+// the same stepping core the streaming API advances incrementally.
+func (r *eventRun) drain() {
+	r.init()
+	for r.step() {
 	}
 }
 

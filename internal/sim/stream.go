@@ -1,0 +1,371 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// This file is the engine's open-loop entry point: where the batch Run*
+// adapters enqueue a complete day and drain it, a Stream keeps one
+// instant-dispatch run suspended between events so callers can feed the
+// market incrementally — submit a task and get the dispatch decision
+// back, announce or retire drivers, revoke tasks — while the run stays
+// bit-identical to what RunScenario would have produced on the same
+// event sequence. The public dispatch package wraps a Stream behind a
+// stable API; everything here speaks the engine's internal types.
+//
+// The equivalence contract is exact: feeding a trace's tasks and events
+// through a Stream in the canonical merge order (ascending time, fleet
+// changes before cancellations before arrivals at the same instant,
+// original order within a kind) produces the same Result, bit for bit,
+// as RunScenario on the whole trace — same heap, same handlers, same
+// RNG consumption. The streaming differential tests in this package and
+// in dispatch/ hold that line across candidate sources and shard
+// counts.
+
+// TaskDecision is the platform's instant answer to one submitted task.
+type TaskDecision struct {
+	// Task is the engine index the task was registered under (its
+	// position in submission order).
+	Task int
+	// Assigned reports whether a driver took the task; Driver is her
+	// engine index when so, -1 otherwise.
+	Assigned bool
+	Driver   int
+	// PickupAt is the assigned driver's estimated arrival at the
+	// pickup; meaningful only when Assigned.
+	PickupAt float64
+	// At is the effective decision time: the task's publish time, or
+	// the stream's current time if the submission arrived late.
+	At float64
+}
+
+// Stream is a suspended instant-dispatch run. Construct with
+// Engine.NewStream; the engine must not be used for batch Run* calls
+// while the stream is open. A Stream is not safe for concurrent use —
+// callers serialize access (the dispatch package's Service does).
+type Stream struct {
+	e      *Engine
+	r      *eventRun
+	closed bool
+}
+
+// NewStream resets the engine and opens a streaming run dispatched by
+// d. fleetEvents optionally pre-schedules driver events known upfront:
+// join events make their drivers invisible to dispatch until the join
+// time (exactly as RunScenario treats them), retire events end shifts
+// early. Cancellations cannot be pre-scheduled — their tasks do not
+// exist yet; submit them live via CancelTask.
+func (e *Engine) NewStream(d Dispatcher, fleetEvents []model.MarketEvent) (*Stream, error) {
+	if d == nil {
+		return nil, fmt.Errorf("sim: nil dispatcher")
+	}
+	var absent []int
+	for i, ev := range fleetEvents {
+		if ev.Kind == model.EventCancel {
+			return nil, fmt.Errorf("sim: fleet event %d: cancellations cannot be pre-scheduled on a stream", i)
+		}
+		if ev.Kind == model.EventJoin {
+			absent = append(absent, ev.Driver)
+		}
+	}
+	if err := model.ValidateEvents(fleetEvents, e.Drivers, nil); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	e.resetAbsent(absent)
+	r := &eventRun{
+		e:         e,
+		d:         d,
+		timeKeyed: true,
+		seq:       len(fleetEvents),
+		res:       newResult(e),
+		cancelled: make([]bool, 0),
+		inflight:  make(map[int]inflightInfo),
+		revert:    make(map[int]inflightInfo),
+	}
+	r.onArrival = r.instantArrival
+	for i, ev := range fleetEvents {
+		kind := evJoin
+		if ev.Kind == model.EventRetire {
+			kind = evRetire
+		}
+		r.add(event{key: ev.At, kind: kind, seq: i, at: ev.At, idx: ev.Driver})
+	}
+	r.init()
+	return &Stream{e: e, r: r}, nil
+}
+
+// submit pushes ev (stamping the next sequence number) and steps the
+// run until ev itself has been handled — which first drains everything
+// ordered before it: pre-scheduled fleet events, revocation frees from
+// earlier cancellations. Dynamic sequence numbers are unique, so the
+// match is unambiguous.
+func (s *Stream) submit(ev event) {
+	r := s.r
+	ev.seq = r.seq
+	r.seq++
+	heap.Push(&r.q, ev)
+	for {
+		popped := heap.Pop(&r.q).(event)
+		r.handle(popped)
+		if popped.seq == ev.seq {
+			return
+		}
+	}
+}
+
+// clampLate returns at, or the stream's current time if at lies in the
+// past: the platform cannot act retroactively, so a late event is
+// processed the moment it arrives. Callers wanting strict ordering
+// reject late events before submitting (the dispatch package's
+// WithStrictTimes does).
+func (s *Stream) clampLate(at float64) float64 {
+	if s.r.started && at < s.r.now {
+		return s.r.now
+	}
+	return at
+}
+
+func (s *Stream) mustBeOpen() {
+	if s.closed {
+		panic("sim: use of finished Stream")
+	}
+}
+
+// SubmitTask registers the task, dispatches it at its publish time (or
+// now, if the submission is late) and returns the instant decision.
+// Tasks are indexed by submission order; the caller keeps its own ID
+// mapping.
+func (s *Stream) SubmitTask(t model.Task) TaskDecision {
+	s.mustBeOpen()
+	r := s.r
+	ti := len(r.tasks)
+	r.tasks = append(r.tasks, t)
+	r.cancelled = append(r.cancelled, false)
+	at := s.clampLate(t.Publish)
+	s.submit(event{key: at, kind: evArrival, at: at, idx: ti})
+	dec := TaskDecision{Task: ti, Driver: -1, At: at}
+	if drv, ok := r.res.Assignment[ti]; ok {
+		dec.Assigned, dec.Driver = true, drv
+		if info, ok := r.inflight[ti]; ok {
+			dec.PickupAt = info.arrival
+		}
+	}
+	return dec
+}
+
+// CancelTask submits a rider cancellation for task ti at the given
+// time. ok reports whether the cancellation took effect; false means it
+// arrived too late (or the task was never assigned) and any ride
+// proceeds, with the same semantics as RunScenario's cancel events.
+// When an assignment was revoked, freedDriver is the engine index of
+// the driver released back into the market, -1 otherwise.
+func (s *Stream) CancelTask(ti int, at float64) (freedDriver int, ok bool) {
+	s.mustBeOpen()
+	r := s.r
+	if ti < 0 || ti >= len(r.tasks) {
+		panic(fmt.Sprintf("sim: cancel of unknown task %d", ti))
+	}
+	drv, assigned := r.res.Assignment[ti]
+	before := r.res.Cancelled
+	at = s.clampLate(at)
+	s.submit(event{key: at, kind: evCancel, at: at, idx: ti})
+	if r.res.Cancelled > before {
+		if assigned {
+			return drv, true
+		}
+		return -1, true
+	}
+	return -1, false
+}
+
+// submitOrSchedule routes a fleet event by its timestamp: an event at
+// or before the stream's current time is processed immediately (with
+// everything queued before it, exactly as submit does); a future event
+// is left on the heap to fire when the drain reaches its time. The
+// distinction matters twice over — a future event must not fast-forward
+// the market clock past traffic that has not arrived yet, and the heap
+// firing it later is precisely how the batch drain would order it.
+func (s *Stream) submitOrSchedule(ev event) {
+	if ev.key > s.r.now || !s.r.started && ev.key > 0 {
+		ev.seq = s.r.seq
+		s.r.seq++
+		heap.Push(&s.r.q, ev)
+		return
+	}
+	s.submit(ev)
+}
+
+// JoinDriver re-announces a registered driver at the given time: an
+// absent driver (not yet joined, or retired) becomes visible to
+// dispatch from that time on. Joining later than her shift start delays
+// her earliest departure, exactly as a pre-scheduled join event would;
+// a join time in the future is scheduled rather than applied now.
+func (s *Stream) JoinDriver(i int, at float64) {
+	s.mustBeOpen()
+	if i < 0 || i >= len(s.e.Drivers) {
+		panic(fmt.Sprintf("sim: join of unknown driver %d", i))
+	}
+	at = s.clampLate(at)
+	s.submitOrSchedule(event{key: at, kind: evJoin, at: at, idx: i})
+}
+
+// RetireDriver removes a registered driver from the market at the given
+// time: no new tasks, though an in-flight assignment still completes. A
+// retirement time in the future is scheduled rather than applied now.
+func (s *Stream) RetireDriver(i int, at float64) {
+	s.mustBeOpen()
+	if i < 0 || i >= len(s.e.Drivers) {
+		panic(fmt.Sprintf("sim: retire of unknown driver %d", i))
+	}
+	at = s.clampLate(at)
+	s.submitOrSchedule(event{key: at, kind: evRetire, at: at, idx: i})
+}
+
+// AddDriver registers a genuinely new driver mid-stream and returns her
+// engine index. She becomes visible to dispatch at the given time: at
+// or before the stream's current time means immediately, a future time
+// schedules her announcement as a join event — before it fires she is
+// registered but invisible, exactly like an upfront roster entry with a
+// pending join. The candidate source is rebound over the grown fleet
+// either way.
+func (s *Stream) AddDriver(d model.Driver, at float64) int {
+	s.mustBeOpen()
+	e := s.e
+	r := s.r
+	at = s.clampLate(at)
+	i := len(e.Drivers)
+	future := at > r.now || !r.started && at > 0
+	e.Drivers = append(e.Drivers, d)
+	st := driverState{freeAt: d.Start, loc: d.Source}
+	if !future && st.freeAt < at {
+		st.freeAt = at
+	}
+	e.states = append(e.states, st)
+	e.present = append(e.present, !future)
+	r.res.PerDriverRevenue = append(r.res.PerDriverRevenue, 0)
+	r.res.PerDriverProfit = append(r.res.PerDriverProfit, 0)
+	r.res.PerDriverTasks = append(r.res.PerDriverTasks, 0)
+	r.res.DriverPaths = append(r.res.DriverPaths, nil)
+	e.source.Bind(e)
+	if future {
+		ev := event{key: at, kind: evJoin, at: at, idx: i, seq: r.seq}
+		r.seq++
+		heap.Push(&r.q, ev)
+	}
+	return i
+}
+
+// Step processes the next queued event, if any — deferred revocation
+// frees, pre-scheduled fleet events — and reports whether one was
+// handled. Submissions step through everything ordered before them
+// automatically; Step exists for callers pacing the queue themselves.
+func (s *Stream) Step() bool {
+	s.mustBeOpen()
+	return s.r.step()
+}
+
+// AdvanceTo processes every queued event ordered at or before time t
+// and moves the stream clock to t, so subsequent late submissions clamp
+// to t and a pacing Clock sleeps through the silent gap. Advancing
+// backwards is a no-op.
+func (s *Stream) AdvanceTo(t float64) {
+	s.mustBeOpen()
+	r := s.r
+	for r.q.Len() > 0 && r.q[0].key <= t {
+		r.step()
+	}
+	if !r.started {
+		r.now, r.started = t, true
+		return
+	}
+	if t > r.now {
+		if r.e.Clock != nil {
+			r.e.Clock.Advance(r.now, t)
+		}
+		r.now = t
+	}
+}
+
+// Now returns the stream's current simulated time: the latest event
+// time processed (or advanced to). Zero before any event.
+func (s *Stream) Now() float64 { return s.r.now }
+
+// DriverCount returns the number of registered drivers, present or not.
+func (s *Stream) DriverCount() int { return len(s.e.Drivers) }
+
+// PresentDrivers counts the drivers currently visible to dispatch.
+func (s *Stream) PresentDrivers() int {
+	n := 0
+	for _, p := range s.e.present {
+		if p {
+			n++
+		}
+	}
+	return n
+}
+
+// TaskCount returns the number of tasks submitted so far.
+func (s *Stream) TaskCount() int { return len(s.r.tasks) }
+
+// Present reports whether driver i is currently visible to dispatch.
+func (s *Stream) Present(i int) bool { return s.e.present[i] }
+
+// TaskPublish returns the publish time task i was registered with.
+func (s *Stream) TaskPublish(i int) float64 { return s.r.tasks[i].Publish }
+
+// Snapshot settles a copy of the in-progress accounts and returns the
+// aggregate Result as of the last processed event. Only the aggregate
+// and per-driver financial fields are populated — DriverPaths and
+// Assignment stay nil to keep the live bookkeeping unshared.
+//
+// Revocations already granted but whose driver-free events are still
+// queued (they fire in heap order, possibly behind same-instant fleet
+// events — eagerly draining them here would reorder the batch-identical
+// event sequence) are accounted for by settling those drivers at their
+// pre-assignment state, so Served + Rejected + Cancelled always equals
+// the submitted task count and no cancelled trip is counted as served
+// revenue.
+func (s *Stream) Snapshot() Result {
+	s.mustBeOpen()
+	e := s.e
+	r := s.r
+	res := Result{
+		Served:           r.res.Served - len(r.revert),
+		Rejected:         r.res.Rejected,
+		Cancelled:        r.res.Cancelled,
+		PerDriverRevenue: make([]float64, len(e.Drivers)),
+		PerDriverProfit:  make([]float64, len(e.Drivers)),
+		PerDriverTasks:   make([]int, len(e.Drivers)),
+	}
+	// Settle with pending revocations applied: swap each affected
+	// driver to her pre-assignment state for the duration of the
+	// settlement, then restore. The stream is single-threaded (callers
+	// serialize), so the temporary mutation is invisible.
+	saved := make(map[int]driverState, len(r.revert))
+	for drv, info := range r.revert {
+		saved[drv] = e.states[drv]
+		e.states[drv] = info.prev
+	}
+	e.settle(&res)
+	for drv, st := range saved {
+		e.states[drv] = st
+	}
+	return res
+}
+
+// Finish drains the remaining queue (deferred revocation frees,
+// unfired fleet events), settles the accounts and returns the final
+// Result. The stream is closed afterwards; the engine may be reused for
+// batch runs or a new stream.
+func (s *Stream) Finish() Result {
+	s.mustBeOpen()
+	r := s.r
+	for r.step() {
+	}
+	s.e.settle(&r.res)
+	s.closed = true
+	return r.res
+}

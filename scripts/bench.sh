@@ -1,11 +1,24 @@
 #!/usr/bin/env sh
-# Records the repository's dispatch-throughput baseline: one full online
-# day of maxMargin dispatch at city-fleet sizes under every candidate
-# source (sequential scan, grid index, zone shards), written as
-# machine-readable JSON so perf changes diff against a fixed trajectory.
+# Records the repository's dispatch-throughput baselines:
+#
+#   BENCH_2.json — one full online day of maxMargin dispatch at
+#     city-fleet sizes under every candidate source (sequential scan,
+#     grid index, zone shards).
+#   BENCH_3.json — the streaming-overhead trajectory: the same day
+#     drained in batch vs replayed event-by-event through the public
+#     dispatch.Service, pricing the open-loop API against the engine.
+#
+# Both are machine-readable JSON so perf changes diff against a fixed
+# trajectory.
 #
 # Usage: scripts/bench.sh [extra `rideshare bench` flags]
-# Output: BENCH_2.json at the repository root (override with -out).
+# Output: BENCH_2.json and BENCH_3.json at the repository root.
+#
+# Extra flags apply to the dispatch run only — forwarding them to the
+# streaming run too would let a user -out/-shards override clobber the
+# streaming baseline's fixed configuration (Go's flag package keeps the
+# last occurrence).
 set -eu
 cd "$(dirname "$0")/.."
-exec go run ./cmd/rideshare bench -out BENCH_2.json "$@"
+go run ./cmd/rideshare bench -out BENCH_2.json "$@"
+exec go run ./cmd/rideshare bench -streaming -shards 4 -out BENCH_3.json

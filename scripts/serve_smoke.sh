@@ -1,0 +1,38 @@
+#!/usr/bin/env sh
+# Smoke-tests the live front end the way CI (and a curious human) would:
+# build the CLI, start `rideshare serve` on a local port, wait for the
+# health endpoint to answer, push a small load-generated order stream
+# through it, and shut the server down with SIGINT to exercise the
+# graceful-shutdown path.
+#
+# Usage: scripts/serve_smoke.sh [port]
+set -eu
+cd "$(dirname "$0")/.."
+PORT="${1:-18080}"
+
+go build -o /tmp/rideshare-smoke ./cmd/rideshare
+
+/tmp/rideshare-smoke serve -addr "127.0.0.1:$PORT" -drivers 500 -shards 2 &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2>/dev/null || true' EXIT
+
+# Wait for the server to come up (5s budget).
+i=0
+until curl -sf "http://127.0.0.1:$PORT/healthz" >/dev/null 2>&1; do
+  i=$((i + 1))
+  if [ "$i" -ge 50 ]; then
+    echo "serve_smoke: server did not come up on port $PORT" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+echo "serve_smoke: healthz OK"
+curl -sf "http://127.0.0.1:$PORT/healthz"
+echo
+
+/tmp/rideshare-smoke loadgen -addr "http://127.0.0.1:$PORT" -tasks 200 -workers 4 -cancel 0.1
+
+kill -INT "$SERVE_PID"
+wait "$SERVE_PID"
+trap - EXIT
+echo "serve_smoke: clean shutdown"
