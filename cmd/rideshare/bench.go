@@ -67,18 +67,34 @@ func parseIntList(s string) ([]int, error) {
 
 func cmdBench(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
-	out := fs.String("out", "", "output JSON file (- for stdout; default BENCH_2.json, or BENCH_3.json with -streaming)")
+	out := fs.String("out", "", "output JSON file (- for stdout; default BENCH_2.json, BENCH_3.json with -streaming, or BENCH_4.json with -batched)")
 	tasks := fs.Int("tasks", 1000, "orders per simulated day")
 	driversList := fs.String("drivers", "10000,50000", "comma-separated fleet sizes")
 	shardsList := fs.String("shards", "1,2,4,8", "comma-separated shard counts to time")
 	reps := fs.Int("reps", 3, "runs per configuration (median reported)")
 	seed := fs.Int64("seed", 27, "trace seed")
 	streaming := fs.Bool("streaming", false, "measure streaming overhead: batch drain vs dispatch.Service replay of the same day")
+	batched := fs.Bool("batched", false, "measure streaming-batched overhead: Engine.RunBatched drain vs a WithBatching dispatch.Service replay of the same day")
+	batchWindow := fs.Float64("batch-window", 60, "window seconds for the -batched suite")
+	batchAlgo := fs.String("batch-algo", "hungarian", "batch solver for the -batched suite: hungarian or auction")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if err := checkPositive("bench", map[string]int{"-tasks": *tasks, "-reps": *reps}); err != nil {
 		return err
+	}
+	if err := checkBatchWindow("bench", *batchWindow); err != nil {
+		return err
+	}
+	if *batched && *batchWindow == 0 {
+		return fmt.Errorf("bench: -batched needs a positive -batch-window, got %g", *batchWindow)
+	}
+	if *batched && *streaming {
+		return fmt.Errorf("bench: -batched and -streaming are separate suites; pick one")
+	}
+	batchPolicy, err := dispatch.ParseBatchAlgorithm(*batchAlgo)
+	if err != nil {
+		return fmt.Errorf("bench: %w", err)
 	}
 	driverCounts, err := parseIntList(*driversList)
 	if err != nil {
@@ -103,9 +119,15 @@ func cmdBench(args []string) error {
 		if *streaming {
 			*out = "BENCH_3.json"
 		}
+		if *batched {
+			*out = "BENCH_4.json"
+		}
 	}
 	if *streaming {
 		return benchStreaming(*out, *tasks, driverCounts, shardCounts, *reps, *seed)
+	}
+	if *batched {
+		return benchBatched(*out, *tasks, driverCounts, shardCounts, *reps, *seed, *batchWindow, batchPolicy)
 	}
 
 	report := benchReport{
@@ -335,6 +357,137 @@ func benchStreaming(out string, tasks int, driverCounts, shardCounts []int, reps
 					Served: streamStats.Served, Overhead: overhead,
 				})
 			fmt.Fprintf(os.Stderr, "%-44s batch %7.3fs  service %7.3fs  overhead %+.1f%%\n",
+				base, batchSec, streamSec, 100*overhead)
+		}
+	}
+	return writeBenchReport(out, report)
+}
+
+// benchBatched prices the tentpole promotion of window matching to the
+// open-loop API: the same full day of batched dispatch is timed as an
+// engine drain (Engine.RunBatched) and as a submission-by-submission
+// replay through a dispatch.Service built WithBatching, per candidate
+// source. The pairs must serve identical task counts (the batched
+// streaming differential guarantee, checked here end to end); the
+// overhead column prices the service's per-event costs on top of the
+// window matching itself.
+func benchBatched(out string, tasks int, driverCounts, shardCounts []int, reps int, seed int64,
+	window float64, algo dispatch.BatchAlgorithm) error {
+	simAlgo := sim.BatchHungarian
+	if algo == dispatch.Auction {
+		simAlgo = sim.BatchAuction
+	}
+	report := benchReport{
+		Schema:     "rideshare-bench/v1",
+		Command:    fmt.Sprintf("rideshare bench -batched -batch-window %g -batch-algo %v", window, algo),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Reps:       reps,
+	}
+	ctx := context.Background()
+	for _, drivers := range driverCounts {
+		cfg := trace.NewConfig(seed, tasks, drivers, trace.Hitchhiking)
+		tr := trace.NewGenerator(cfg).Generate(nil)
+
+		market := dispatch.Market{}
+		for i, d := range tr.Drivers {
+			market.Drivers = append(market.Drivers, toDispatchDriver(i, d))
+		}
+		feed := make([]dispatch.Task, len(tr.Tasks))
+		for i, t := range tr.Tasks {
+			feed[i] = toDispatchTask(i, t)
+		}
+		sort.SliceStable(feed, func(a, b int) bool { return feed[a].Publish < feed[b].Publish })
+
+		type config struct {
+			source string
+			shards int
+		}
+		configs := []config{{"scan", 0}}
+		for _, s := range shardCounts {
+			if s < 2 {
+				fmt.Fprintf(os.Stderr, "bench: -batched skips shard count %d (identical to the scan pair)\n", s)
+				continue
+			}
+			configs = append(configs, config{"sharded", s})
+		}
+		for _, c := range configs {
+			// Engine drain.
+			eng, err := sim.New(cfg.Market, tr.Drivers, 1)
+			if err != nil {
+				return err
+			}
+			if c.shards > 0 {
+				eng.SetCandidateSource(sim.NewShardedSource(c.shards))
+			}
+			var batchRes sim.Result
+			batchTimes := make([]float64, 0, reps)
+			for r := 0; r < reps; r++ {
+				start := time.Now()
+				batchRes = eng.RunBatched(tr.Tasks, window, simAlgo)
+				batchTimes = append(batchTimes, time.Since(start).Seconds())
+			}
+			sort.Float64s(batchTimes)
+			batchSec := batchTimes[len(batchTimes)/2]
+
+			// Streaming-batched replay: construction, every submission
+			// (each answered pending), Close deciding the final window.
+			opts := []dispatch.Option{
+				dispatch.WithBatching(window, algo),
+				dispatch.WithSeed(1), dispatch.WithStrictTimes(),
+			}
+			if c.shards > 1 {
+				opts = append(opts, dispatch.WithShards(c.shards))
+			}
+			var streamStats dispatch.Stats
+			streamTimes := make([]float64, 0, reps)
+			for r := 0; r < reps; r++ {
+				start := time.Now()
+				svc, err := dispatch.New(market, opts...)
+				if err != nil {
+					return fmt.Errorf("bench: batched service: %w", err)
+				}
+				for i := range feed {
+					a, err := svc.SubmitTask(ctx, feed[i])
+					if err != nil {
+						return fmt.Errorf("bench: batched submit %d: %w", feed[i].ID, err)
+					}
+					if !a.Pending {
+						return fmt.Errorf("bench: batched submit %d answered instantly", feed[i].ID)
+					}
+				}
+				streamStats, err = svc.Close()
+				if err != nil {
+					return err
+				}
+				streamTimes = append(streamTimes, time.Since(start).Seconds())
+			}
+			sort.Float64s(streamTimes)
+			streamSec := streamTimes[len(streamTimes)/2]
+
+			if streamStats.Served != batchRes.Served {
+				return fmt.Errorf("bench: batched service served %d, engine served %d — replay diverged, this is a bug",
+					streamStats.Served, batchRes.Served)
+			}
+
+			base := fmt.Sprintf("batched/drivers=%d/%s", drivers, c.source)
+			if c.shards > 0 {
+				base = fmt.Sprintf("%s-%d", base, c.shards)
+			}
+			overhead := streamSec/batchSec - 1
+			report.Results = append(report.Results,
+				benchResult{
+					Name: base + "/engine", Drivers: drivers, Tasks: tasks,
+					Source: c.source, Shards: c.shards, Mode: "batch",
+					Seconds: batchSec, TasksPerSec: float64(tasks) / batchSec,
+					Served: batchRes.Served,
+				},
+				benchResult{
+					Name: base + "/service", Drivers: drivers, Tasks: tasks,
+					Source: c.source, Shards: c.shards, Mode: "streaming",
+					Seconds: streamSec, TasksPerSec: float64(tasks) / streamSec,
+					Served: streamStats.Served, Overhead: overhead,
+				})
+			fmt.Fprintf(os.Stderr, "%-44s engine %7.3fs  service %7.3fs  overhead %+.1f%%\n",
 				base, batchSec, streamSec, 100*overhead)
 		}
 	}

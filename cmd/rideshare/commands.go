@@ -5,6 +5,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"os/signal"
 	"runtime"
@@ -30,6 +31,18 @@ func checkPositive(cmd string, vals map[string]int) error {
 		if v, ok := vals[name]; ok && v < 1 {
 			return fmt.Errorf("%s: %s must be ≥ 1, got %d", cmd, name, v)
 		}
+	}
+	return nil
+}
+
+// checkBatchWindow rejects unusable batch-window flag values at the
+// CLI boundary: negative, NaN or infinite windows would otherwise
+// surface as a typed error from the dispatch options (or, through the
+// internal sim entry points, as a panic). Zero is allowed and means
+// instant dispatch.
+func checkBatchWindow(cmd string, w float64) error {
+	if !(w >= 0) || math.IsInf(w, 1) {
+		return fmt.Errorf("%s: -batch-window must be a non-negative finite number of seconds, got %g", cmd, w)
 	}
 	return nil
 }
@@ -185,6 +198,11 @@ func cmdSimulate(args []string) error {
 	byValue := fs.Bool("byvalue", false, "process tasks by descending price (offline variant)")
 	realTime := fs.Bool("realtime", false, "free drivers at real finish times instead of deadlines")
 	batchWindow := fs.Float64("batchwindow", 30, "batch window in seconds (batched dispatcher only)")
+	batchAlgo := fs.String("batchalgo", "hungarian", "batch solver: hungarian or auction (batched dispatcher only)")
+	// Aliases matching the serve/bench spelling, so the batch flags
+	// read the same across subcommands.
+	fs.Float64Var(batchWindow, "batch-window", 30, "alias for -batchwindow")
+	fs.StringVar(batchAlgo, "batch-algo", "hungarian", "alias for -batchalgo")
 	replanPeriod := fs.Float64("replanperiod", 60, "flush period in seconds (replan dispatcher only)")
 	seed := fs.Int64("seed", 1, "random seed for tie-breaking")
 	indexed := fs.Bool("indexed", false, "use the grid-indexed candidate source (identical results, faster on large fleets)")
@@ -199,6 +217,23 @@ func cmdSimulate(args []string) error {
 	}
 	if err := checkFraction("simulate", map[string]float64{"-churn": *churn, "-cancel": *cancel}); err != nil {
 		return err
+	}
+	var batchedAlgo sim.BatchAlgorithm
+	if strings.ToLower(*algo) == "batched" {
+		// The engine treats a non-positive window as an internal
+		// invariant violation (it panics); the flag boundary turns bad
+		// user input into a normal error instead.
+		if !(*batchWindow > 0) || math.IsInf(*batchWindow, 1) {
+			return fmt.Errorf("simulate: -batchwindow must be a positive finite number of seconds, got %g", *batchWindow)
+		}
+		switch strings.ToLower(*batchAlgo) {
+		case "hungarian":
+			batchedAlgo = sim.BatchHungarian
+		case "auction":
+			batchedAlgo = sim.BatchAuction
+		default:
+			return fmt.Errorf("simulate: unknown batch solver %q (want hungarian or auction)", *batchAlgo)
+		}
 	}
 	if *tracePath == "" {
 		return fmt.Errorf("simulate: -trace is required")
@@ -230,8 +265,8 @@ func cmdSimulate(args []string) error {
 	name := ""
 	switch strings.ToLower(*algo) {
 	case "batched":
-		res = eng.RunBatchedScenario(tr.Tasks, events, *batchWindow, sim.BatchHungarian)
-		name = fmt.Sprintf("%v window=%gs", sim.BatchHungarian, *batchWindow)
+		res = eng.RunBatchedScenario(tr.Tasks, events, *batchWindow, batchedAlgo)
+		name = fmt.Sprintf("%v window=%gs", batchedAlgo, *batchWindow)
 	case "replan":
 		res = eng.RunReplanScenario(tr.Tasks, events, *replanPeriod)
 		name = fmt.Sprintf("replan period=%gs", *replanPeriod)

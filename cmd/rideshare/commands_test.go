@@ -139,8 +139,31 @@ func TestCmdFlagValidation(t *testing.T) {
 		{"bench -tasks 0", func() error { return cmdBench([]string{"-tasks", "0"}) }},
 		{"bench -shards 0,2", func() error { return cmdBench([]string{"-shards", "0,2"}) }},
 		{"bench -drivers 0", func() error { return cmdBench([]string{"-drivers", "0"}) }},
+		{"simulate -algo batched -batchwindow 0", func() error {
+			return cmdSimulate([]string{"-trace", "x.json", "-algo", "batched", "-batchwindow", "0"})
+		}},
+		{"simulate -algo batched -batchwindow -5", func() error {
+			return cmdSimulate([]string{"-trace", "x.json", "-algo", "batched", "-batchwindow", "-5"})
+		}},
+		{"simulate -algo batched -batchalgo simplex", func() error {
+			return cmdSimulate([]string{"-trace", "x.json", "-algo", "batched", "-batchalgo", "simplex"})
+		}},
+		{"bench -batched -batch-window 0", func() error {
+			return cmdBench([]string{"-batched", "-batch-window", "0"})
+		}},
+		{"bench -batch-window -3", func() error { return cmdBench([]string{"-batch-window", "-3"}) }},
+		{"bench -batched -batch-algo simplex", func() error {
+			return cmdBench([]string{"-batched", "-batch-algo", "simplex"})
+		}},
+		{"bench -batched -streaming", func() error { return cmdBench([]string{"-batched", "-streaming"}) }},
 		{"serve -shards 0", func() error { return cmdServe([]string{"-shards", "0"}) }},
 		{"serve -drivers 0", func() error { return cmdServe([]string{"-drivers", "0"}) }},
+		{"serve -batch-window -1", func() error { return cmdServe([]string{"-batch-window", "-1"}) }},
+		{"serve -algo with -batch-window", func() error {
+			return cmdServe([]string{"-algo", "nearest", "-batch-window", "30"})
+		}},
+		{"serve -batch-window NaN", func() error { return cmdServe([]string{"-batch-window", "NaN"}) }},
+		{"serve -batch-algo simplex", func() error { return cmdServe([]string{"-batch-algo", "simplex"}) }},
 		{"loadgen -tasks 0", func() error { return cmdLoadgen([]string{"-tasks", "0"}) }},
 		{"loadgen -workers 0", func() error { return cmdLoadgen([]string{"-workers", "0"}) }},
 		{"loadgen -cancel 2", func() error { return cmdLoadgen([]string{"-cancel", "2"}) }},
@@ -267,6 +290,56 @@ func TestCmdBenchWritesJSON(t *testing.T) {
 	for _, r := range report.Results {
 		if r.Seconds <= 0 || r.TasksPerSec <= 0 {
 			t.Fatalf("%s: non-positive timing %v", r.Name, r)
+		}
+	}
+}
+
+// TestCmdBenchBatchedWritesJSON: the -batched suite records engine and
+// streaming-batched service timings in pairs under the shared schema,
+// with the served counts of each pair agreeing (the batched streaming
+// differential guarantee checked end to end) — for both solvers.
+func TestCmdBenchBatchedWritesJSON(t *testing.T) {
+	dir := t.TempDir()
+	for _, algo := range []string{"hungarian", "auction"} {
+		out := filepath.Join(dir, "bench4-"+algo+".json")
+		if err := cmdBench([]string{"-batched", "-drivers", "120", "-shards", "2", "-tasks", "60",
+			"-reps", "1", "-batch-window", "45", "-batch-algo", algo, "-out", out}); err != nil {
+			t.Fatalf("bench -batched (%s): %v", algo, err)
+		}
+		data, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var report struct {
+			Schema  string `json:"schema"`
+			Results []struct {
+				Name    string  `json:"name"`
+				Mode    string  `json:"mode"`
+				Seconds float64 `json:"seconds"`
+				Served  int     `json:"served"`
+			} `json:"results"`
+		}
+		if err := json.Unmarshal(data, &report); err != nil {
+			t.Fatalf("bench -batched output is not valid JSON: %v", err)
+		}
+		if report.Schema != "rideshare-bench/v1" {
+			t.Fatalf("schema = %q", report.Schema)
+		}
+		// scan + one shard count, two modes each.
+		if len(report.Results) != 4 {
+			t.Fatalf("results = %d, want 4", len(report.Results))
+		}
+		for i := 0; i < len(report.Results); i += 2 {
+			engine, stream := report.Results[i], report.Results[i+1]
+			if engine.Mode != "batch" || stream.Mode != "streaming" {
+				t.Fatalf("pair %d modes: %q/%q", i, engine.Mode, stream.Mode)
+			}
+			if engine.Served != stream.Served {
+				t.Fatalf("pair %d served diverged: %d vs %d", i, engine.Served, stream.Served)
+			}
+			if engine.Seconds <= 0 || stream.Seconds <= 0 {
+				t.Fatalf("pair %d non-positive timing", i)
+			}
 		}
 	}
 }

@@ -26,13 +26,22 @@ import (
 // acceptance bar asks for (≥ 1k tasks end-to-end).
 
 type loadgenReport struct {
-	Submitted int     `json:"submitted"`
-	Assigned  int     `json:"assigned"`
-	Rejected  int     `json:"rejected"`
-	Cancels   int     `json:"cancellations_sent"`
-	Errors    int     `json:"errors"`
-	Seconds   float64 `json:"seconds"`
-	PerSec    float64 `json:"tasks_per_sec"`
+	Submitted int `json:"submitted"`
+	Assigned  int `json:"assigned"`
+	Rejected  int `json:"rejected"`
+	// Pending counts orders a batched server answered with a pending
+	// handle; after the stream drains, each one is polled once via
+	// GET /v1/tasks/{id} and folded into Assigned/Rejected if its
+	// window has closed by then. Orders still undecided (the server's
+	// final window never closed) remain counted here.
+	Pending int `json:"pending,omitempty"`
+	Cancels int `json:"cancellations_sent"`
+	Errors  int `json:"errors"`
+	// FirstError carries the first failure's text so a non-zero Errors
+	// count in a smoke run is diagnosable from the report alone.
+	FirstError string  `json:"first_error,omitempty"`
+	Seconds    float64 `json:"seconds"`
+	PerSec     float64 `json:"tasks_per_sec"`
 }
 
 func cmdLoadgen(args []string) error {
@@ -64,8 +73,8 @@ func cmdLoadgen(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "loadgen: %d submitted (%d assigned, %d rejected, %d errors) in %.2fs — %.0f tasks/s\n",
-		report.Submitted, report.Assigned, report.Rejected, report.Errors, report.Seconds, report.PerSec)
+	fmt.Fprintf(os.Stderr, "loadgen: %d submitted (%d assigned, %d rejected, %d pending, %d errors) in %.2fs — %.0f tasks/s\n",
+		report.Submitted, report.Assigned, report.Rejected, report.Pending, report.Errors, report.Seconds, report.PerSec)
 
 	resp, err := http.Get(*baseURL + "/v1/stats")
 	if err != nil {
@@ -84,9 +93,24 @@ func cmdLoadgen(args []string) error {
 // aggregates the client-side view. Workers stripe the publish-sorted
 // order stream round-robin, so submission order is approximately
 // time-ordered and the server's late-event clamping absorbs the rest.
+// Against a batched server, submissions come back pending; each pending
+// order is re-polled once after the stream drains, by which time later
+// traffic has closed all but (at most) the final window.
 func runLoad(baseURL string, workers int, cancelFrac float64, seed int64, mk func(i int) dispatch.Task, n int) (loadgenReport, error) {
 	client := &http.Client{Timeout: 30 * time.Second}
 	var assigned, rejected, errs, cancels atomic.Int64
+	var mu sync.Mutex
+	var pendingIDs []int
+	withdrawn := make(map[int]bool) // cancels this client landed on pending orders
+	var firstErr string
+	fail := func(err error) {
+		errs.Add(1)
+		mu.Lock()
+		if firstErr == "" {
+			firstErr = err.Error()
+		}
+		mu.Unlock()
+	}
 	start := time.Now()
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -99,7 +123,29 @@ func runLoad(baseURL string, workers int, cancelFrac float64, seed int64, mk fun
 				task := mk(i)
 				var a dispatch.Assignment
 				if err := postJSON(client, baseURL+"/v1/tasks", task, &a); err != nil {
-					errs.Add(1)
+					fail(err)
+					continue
+				}
+				if a.Pending {
+					mu.Lock()
+					pendingIDs = append(pendingIDs, task.ID)
+					mu.Unlock()
+					// A batched rider can still change her mind while the
+					// window is open.
+					if cancelFrac > 0 && rng.Float64() < cancelFrac {
+						var out dispatch.CancelOutcome
+						url := fmt.Sprintf("%s/v1/tasks/%d/cancel", baseURL, task.ID)
+						if err := postJSON(client, url, map[string]float64{"at": a.DecidedAt + 1}, &out); err != nil {
+							fail(err)
+							continue
+						}
+						cancels.Add(1)
+						if out.Cancelled {
+							mu.Lock()
+							withdrawn[task.ID] = true
+							mu.Unlock()
+						}
+					}
 					continue
 				}
 				if !a.Assigned {
@@ -111,7 +157,7 @@ func runLoad(baseURL string, workers int, cancelFrac float64, seed int64, mk fun
 					var out dispatch.CancelOutcome
 					url := fmt.Sprintf("%s/v1/tasks/%d/cancel", baseURL, task.ID)
 					if err := postJSON(client, url, map[string]float64{"at": a.DecidedAt + 1}, &out); err != nil {
-						errs.Add(1)
+						fail(err)
 						continue
 					}
 					cancels.Add(1)
@@ -120,20 +166,64 @@ func runLoad(baseURL string, workers int, cancelFrac float64, seed int64, mk fun
 		}()
 	}
 	wg.Wait()
+	// The timed window ends here: the sequential decision polls below
+	// are bookkeeping, and folding them in would deflate tasks/s on
+	// batched runs (n extra round-trips) relative to instant ones.
 	elapsed := time.Since(start).Seconds()
+
+	// Fold in decisions for orders that were pending at submission. An
+	// order this client successfully withdrew is a cancellation, not a
+	// platform rejection — it is already counted under Cancels.
+	stillPending := 0
+	for _, id := range pendingIDs {
+		if withdrawn[id] {
+			continue
+		}
+		var a dispatch.Assignment
+		if err := fetchJSON(client, fmt.Sprintf("%s/v1/tasks/%d", baseURL, id), &a); err != nil {
+			fail(err)
+			continue
+		}
+		switch {
+		case a.Pending:
+			stillPending++
+		case a.Assigned:
+			assigned.Add(1)
+		default:
+			rejected.Add(1)
+		}
+	}
+
 	report := loadgenReport{
-		Submitted: n,
-		Assigned:  int(assigned.Load()),
-		Rejected:  int(rejected.Load()),
-		Cancels:   int(cancels.Load()),
-		Errors:    int(errs.Load()),
-		Seconds:   elapsed,
-		PerSec:    float64(n) / elapsed,
+		Submitted:  n,
+		Assigned:   int(assigned.Load()),
+		Rejected:   int(rejected.Load()),
+		Pending:    stillPending,
+		Cancels:    int(cancels.Load()),
+		Errors:     int(errs.Load()),
+		FirstError: firstErr,
+		Seconds:    elapsed,
+		PerSec:     float64(n) / elapsed,
 	}
 	if report.Errors > 0 {
-		return report, fmt.Errorf("loadgen: %d of %d submissions failed", report.Errors, n)
+		return report, fmt.Errorf("loadgen: %d of %d requests failed (first: %s)", report.Errors, n, firstErr)
 	}
 	return report, nil
+}
+
+// fetchJSON fetches url and decodes the JSON response into out, treating
+// any non-2xx status as an error.
+func fetchJSON(client *http.Client, url string, out any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("%s: %s: %s", url, resp.Status, msg)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
 }
 
 // postJSON posts v and decodes the JSON response into out, treating any

@@ -24,11 +24,18 @@ import (
 //
 //	GET  /healthz                    liveness + market shape
 //	POST /v1/tasks                   submit a task, get the decision
+//	GET  /v1/tasks/{id}              current decision (pending on a batched market)
 //	POST /v1/tasks/{id}/cancel       rider cancellation   {"at": t}
 //	POST /v1/drivers                 announce a driver
 //	POST /v1/drivers/{id}/retire     retire a driver      {"at": t}
 //	GET  /v1/stats                   settled aggregate stats
 //	GET  /v1/events                  assignment feed (server-sent events)
+//
+// With -batch-window W the market dispatches in batched mode: POST
+// /v1/tasks answers {"pending":true,"decide_by":...}, the decision and
+// each window's batch_closed stats stream out on /v1/events, and GET
+// /v1/tasks/{id} polls the decision. -realtime additionally closes due
+// windows on the wall clock, so a quiet market still answers.
 //
 // `rideshare loadgen` (loadgen.go) is the matching traffic generator.
 
@@ -57,7 +64,9 @@ func cmdServe(args []string) error {
 	seed := fs.Int64("seed", 1, "fleet generation and tie-breaking seed")
 	algo := fs.String("algo", "maxmargin", "dispatch policy: maxmargin, nearest or random")
 	shards := fs.Int("shards", 1, "zone shards for candidate generation (identical assignments, higher throughput)")
-	realTime := fs.Bool("realtime", false, "free drivers at real trip finish times instead of deadlines")
+	realTime := fs.Bool("realtime", false, "free drivers at real trip finish times instead of deadlines (and close due batch windows on the wall clock)")
+	batchWindow := fs.Float64("batch-window", 0, "batched dispatch: accumulate orders for this many seconds and clear each window with a maximum-weight matching (0 = instant dispatch)")
+	batchAlgo := fs.String("batch-algo", "hungarian", "batched dispatch solver: hungarian or auction")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -68,7 +77,28 @@ func cmdServe(args []string) error {
 	if err := checkPositive("serve", counts); err != nil {
 		return err
 	}
+	if err := checkBatchWindow("serve", *batchWindow); err != nil {
+		return err
+	}
+	if *batchWindow > 0 {
+		// A batched market clears windows with -batch-algo; the instant
+		// policy is never consulted. An explicit -algo alongside
+		// -batch-window would be silently ignored — reject it instead.
+		algoSet := false
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "algo" {
+				algoSet = true
+			}
+		})
+		if algoSet {
+			return fmt.Errorf("serve: -algo selects the instant-dispatch policy and is not consulted with -batch-window; use -batch-algo (or drop one flag)")
+		}
+	}
 	policy, err := dispatch.ParsePolicy(*algo)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	batchPolicy, err := dispatch.ParseBatchAlgorithm(*batchAlgo)
 	if err != nil {
 		return fmt.Errorf("serve: %w", err)
 	}
@@ -96,6 +126,9 @@ func cmdServe(args []string) error {
 	if *realTime {
 		opts = append(opts, dispatch.WithRealTime())
 	}
+	if *batchWindow > 0 {
+		opts = append(opts, dispatch.WithBatching(*batchWindow, batchPolicy))
+	}
 	svc, err := dispatch.New(market, opts...)
 	if err != nil {
 		return fmt.Errorf("serve: %w", err)
@@ -112,8 +145,12 @@ func cmdServe(args []string) error {
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "serve: %d drivers, policy %v, shards %d, listening on %s\n",
-		len(market.Drivers), policy, *shards, *addr)
+	mode := fmt.Sprintf("policy %v", policy)
+	if *batchWindow > 0 {
+		mode = fmt.Sprintf("batched %gs/%v", *batchWindow, batchPolicy)
+	}
+	fmt.Fprintf(os.Stderr, "serve: %d drivers, %s, shards %d, listening on %s\n",
+		len(market.Drivers), mode, *shards, *addr)
 
 	select {
 	case err := <-errc:
@@ -155,6 +192,7 @@ func newServeMux(svc *dispatch.Service, done <-chan struct{}) http.Handler {
 			"drivers": stats.Drivers,
 			"present": stats.PresentDrivers,
 			"tasks":   stats.Tasks,
+			"pending": stats.Pending,
 		})
 	})
 
@@ -165,6 +203,22 @@ func newServeMux(svc *dispatch.Service, done <-chan struct{}) http.Handler {
 			return
 		}
 		a, err := svc.SubmitTask(r.Context(), t)
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, a)
+	})
+
+	mux.HandleFunc("GET /v1/tasks/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id, err := strconv.Atoi(r.PathValue("id"))
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{
+				"error": fmt.Sprintf("bad id %q: not an integer", r.PathValue("id")),
+			})
+			return
+		}
+		a, err := svc.Decision(r.Context(), id)
 		if err != nil {
 			httpError(w, err)
 			return

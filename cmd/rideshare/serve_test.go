@@ -202,6 +202,147 @@ func TestServeSustainsLoad(t *testing.T) {
 	}
 }
 
+// TestServeBatchedEndToEnd drives the HTTP API of a batched market:
+// submissions answer pending, GET /v1/tasks/{id} polls the decision,
+// the SSE feed streams pending → decision → batch_closed, and the
+// stats expose the pending column.
+func TestServeBatchedEndToEnd(t *testing.T) {
+	srv, _ := newTestServer(t, 40, dispatch.WithSeed(2), dispatch.WithBatching(30, dispatch.Hungarian))
+	client := &http.Client{}
+
+	feedResp, err := http.Get(srv.URL + "/v1/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer feedResp.Body.Close()
+	feedLines := make(chan string, 256)
+	go func() {
+		sc := bufio.NewScanner(feedResp.Body)
+		for sc.Scan() {
+			if line := sc.Text(); strings.HasPrefix(line, "data: ") {
+				feedLines <- strings.TrimPrefix(line, "data: ")
+			}
+		}
+		close(feedLines)
+	}()
+
+	cfg := trace.NewConfig(99, 30, 40, trace.Hitchhiking)
+	tasks := trace.NewGenerator(cfg).Generate(nil).Tasks
+	sort.Slice(tasks, func(a, b int) bool { return tasks[a].Publish < tasks[b].Publish })
+	var last dispatch.Assignment
+	for i, mt := range tasks {
+		task := dispatch.Task{ID: i, Publish: mt.Publish, Source: dispatch.Point(mt.Source),
+			Dest: dispatch.Point(mt.Dest), StartBy: mt.StartBy, EndBy: mt.EndBy, Price: mt.Price, WTP: mt.WTP}
+		if err := postJSON(client, srv.URL+"/v1/tasks", task, &last); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		if !last.Pending || last.Assigned || last.DecideBy <= last.DecidedAt {
+			t.Fatalf("batched submission %d not pending: %+v", i, last)
+		}
+	}
+
+	// The last submission is still in its window; earlier ones have
+	// been decided as later traffic closed their windows.
+	var dec dispatch.Assignment
+	lastID := len(tasks) - 1
+	if code := getJSON(t, srv.URL+"/v1/tasks/"+jsonInt(lastID), &dec); code != 200 || !dec.Pending {
+		t.Fatalf("last task decision: %d %+v", code, dec)
+	}
+	var first dispatch.Assignment
+	if code := getJSON(t, srv.URL+"/v1/tasks/"+jsonInt(0), &first); code != 200 || first.Pending {
+		t.Fatalf("first task decision still pending: %d %+v", code, first)
+	}
+	resp, err := client.Get(srv.URL + "/v1/tasks/424242")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("decision of unknown task: %d", resp.StatusCode)
+	}
+
+	var stats dispatch.Stats
+	if code := getJSON(t, srv.URL+"/v1/stats", &stats); code != 200 {
+		t.Fatalf("stats: %d", code)
+	}
+	if stats.Tasks != len(tasks) || stats.Pending == 0 {
+		t.Fatalf("stats %+v (want the open window's orders pending)", stats)
+	}
+	if stats.Served+stats.Rejected+stats.Cancelled+stats.Pending != stats.Tasks {
+		t.Fatalf("books do not balance: %+v", stats)
+	}
+
+	// The feed carries pending acknowledgements, window decisions and
+	// batch_closed entries with stats.
+	var sawPending, sawDecision, sawClose bool
+	for raw := range feedLines {
+		var ev dispatch.Event
+		if err := json.Unmarshal([]byte(raw), &ev); err != nil {
+			t.Fatalf("feed json: %v (%s)", err, raw)
+		}
+		switch ev.Type {
+		case dispatch.EventPending:
+			sawPending = true
+		case dispatch.EventAssigned, dispatch.EventRejected:
+			sawDecision = true
+		case dispatch.EventBatchClosed:
+			sawClose = true
+			if ev.Batch == nil || ev.Batch.Submitted != ev.Batch.Matched+ev.Batch.Rejected+ev.Batch.Cancelled {
+				t.Fatalf("batch_closed stats %+v", ev.Batch)
+			}
+		}
+		if sawPending && sawDecision && sawClose {
+			break
+		}
+	}
+	if !sawPending || !sawDecision || !sawClose {
+		t.Fatalf("feed missing batched vocabulary: pending=%v decision=%v close=%v",
+			sawPending, sawDecision, sawClose)
+	}
+}
+
+// TestServeBatchedSustainsLoad: the sustained-load acceptance check
+// against a batched market — loadgen's pending accounting plus the
+// server's books must still cover every submission.
+func TestServeBatchedSustainsLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load test skipped in -short mode")
+	}
+	srv, _ := newTestServer(t, 200, dispatch.WithShards(4), dispatch.WithSeed(3),
+		dispatch.WithBatching(60, dispatch.Hungarian))
+
+	const n = 1200
+	cfg := trace.NewConfig(5, n, 1, trace.Hitchhiking)
+	tasks := trace.NewGenerator(cfg).Generate(nil).Tasks
+	sort.Slice(tasks, func(a, b int) bool { return tasks[a].Publish < tasks[b].Publish })
+
+	report, err := runLoad(srv.URL, 8, 0.1, 42, func(i int) dispatch.Task {
+		mt := tasks[i]
+		return dispatch.Task{ID: i, Publish: mt.Publish, Source: dispatch.Point(mt.Source),
+			Dest: dispatch.Point(mt.Dest), StartBy: mt.StartBy, EndBy: mt.EndBy, Price: mt.Price, WTP: mt.WTP}
+	}, n)
+	if err != nil {
+		t.Fatalf("load run: %v (%+v)", err, report)
+	}
+	if report.Submitted != n || report.Errors != 0 {
+		t.Fatalf("report %+v", report)
+	}
+	if report.Assigned == 0 {
+		t.Fatal("no task was ever assigned")
+	}
+
+	var stats dispatch.Stats
+	if code := getJSON(t, srv.URL+"/v1/stats", &stats); code != 200 {
+		t.Fatalf("stats: %d", code)
+	}
+	if stats.Tasks != n {
+		t.Fatalf("server saw %d of %d tasks", stats.Tasks, n)
+	}
+	if stats.Served+stats.Rejected+stats.Cancelled+stats.Pending != n {
+		t.Fatalf("books do not balance: %+v", stats)
+	}
+}
+
 func jsonInt(i int) string {
 	b, _ := json.Marshal(i)
 	return string(b)

@@ -19,6 +19,17 @@
 // CancelTask, observe it with Snapshot and Subscribe, and settle the
 // books with Close.
 //
+// By default every task is answered the instant it is submitted. A
+// service built WithBatching(window, algo) instead accumulates the
+// orders of each window and clears them together with a maximum-weight
+// matching (Hungarian or Auction) at the window close: SubmitTask
+// returns a pending Assignment, the decision arrives on the event feed
+// (and via Decision) when the window closes, and an EventBatchClosed
+// feed entry carries each window's stats. Windows close when market
+// time passes them — and additionally on the wall clock when the
+// service is built WithRealTime, so a live market with no follow-up
+// traffic still answers its riders.
+//
 // Determinism is part of the contract: a Service fed a day's tasks and
 // fleet events in timestamp order produces assignments bit-identical to
 // the internal batch simulator replaying the same day in one call,
@@ -36,6 +47,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/geo"
 	"repro/internal/model"
@@ -102,19 +114,29 @@ type Market struct {
 	Drivers []Driver `json:"drivers"`
 }
 
-// Assignment is the platform's instant answer to one submitted task.
+// Assignment is the platform's answer to one submitted task. An
+// instant service decides on the spot; a batched service (WithBatching)
+// first answers with a pending handle — Pending true, DecideBy set —
+// and delivers the decided form on the event feed at the window close
+// (also queryable via Decision).
 type Assignment struct {
 	TaskID   int  `json:"task_id"`
 	Assigned bool `json:"assigned"`
 	// DriverID identifies the assigned driver, -1 when the task was
-	// rejected.
+	// rejected (or is still pending).
 	DriverID int `json:"driver_id"`
 	// PickupBy is the assigned driver's estimated arrival time at the
 	// pickup; meaningful only when Assigned.
 	PickupBy float64 `json:"pickup_by,omitempty"`
 	// DecidedAt is the effective decision time (the task's publish
-	// time, or the service's current time for late submissions).
+	// time, or the service's current time for late submissions). For a
+	// pending answer it is the time the order joined its window.
 	DecidedAt float64 `json:"decided_at"`
+	// Pending reports that the service dispatches in batched mode and
+	// the decision is deferred to the close of the window the task
+	// joined; DecideBy is that window's scheduled close time.
+	Pending  bool    `json:"pending,omitempty"`
+	DecideBy float64 `json:"decide_by,omitempty"`
 }
 
 // CancelOutcome reports what a rider cancellation achieved.
@@ -140,8 +162,12 @@ type Stats struct {
 	Served         int     `json:"served"`
 	Rejected       int     `json:"rejected"`
 	Cancelled      int     `json:"cancelled"`
-	Revenue        float64 `json:"revenue"`
-	Profit         float64 `json:"profit"` // drivers' total profit (Eq. 4)
+	// Pending counts orders waiting in a batched service's open window
+	// for their decision; always 0 on an instant service, and 0 after
+	// Close. Served + Rejected + Cancelled + Pending == Tasks.
+	Pending int     `json:"pending,omitempty"`
+	Revenue float64 `json:"revenue"`
+	Profit  float64 `json:"profit"` // drivers' total profit (Eq. 4)
 }
 
 // Service is a running dispatch market. It is safe for concurrent use:
@@ -157,6 +183,17 @@ type Service struct {
 	driverIDs []int        // engine index -> public driver ID
 	retired   map[int]bool // driver IDs retired (possibly at a future time)
 	tasks     map[int]int  // public task ID -> engine index
+	taskIDs   []int        // engine index -> public task ID
+
+	// Batched mode (WithBatching): decided records the platform's
+	// answer per task as it lands — instantly, or at a window close —
+	// for Decision queries; liveBatch arms the wall-clock window timer
+	// (WithRealTime on a batched service).
+	batched   bool
+	liveBatch bool
+	decided   map[int]Assignment
+	timer     *time.Timer
+	timerAt   float64
 
 	// final is the full settled simulator result, kept after Close for
 	// the differential tests that compare a service replay bit-for-bit
@@ -193,11 +230,14 @@ func New(m Market, opts ...Option) (*Service, error) {
 	}
 
 	s := &Service{
-		strict:  cfg.strict,
-		drivers: make(map[int]int, len(m.Drivers)),
-		retired: make(map[int]bool),
-		tasks:   make(map[int]int),
-		subs:    make(map[int]chan Event),
+		strict:    cfg.strict,
+		drivers:   make(map[int]int, len(m.Drivers)),
+		retired:   make(map[int]bool),
+		tasks:     make(map[int]int),
+		decided:   make(map[int]Assignment),
+		batched:   cfg.batchWindow > 0,
+		liveBatch: cfg.batchWindow > 0 && cfg.realTime,
+		subs:      make(map[int]chan Event),
 	}
 	drivers := make([]model.Driver, len(m.Drivers))
 	var fleet []model.MarketEvent
@@ -228,12 +268,100 @@ func New(m Market, opts ...Option) (*Service, error) {
 	if cfg.shards > 1 {
 		eng.SetCandidateSource(sim.NewShardedSource(cfg.shards))
 	}
-	st, err := eng.NewStream(d, fleet)
+	var st *sim.Stream
+	if s.batched {
+		algo, aerr := cfg.batchAlgo.sim()
+		if aerr != nil {
+			return nil, aerr
+		}
+		st, err = eng.NewBatchedStream(cfg.batchWindow, algo, fleet)
+	} else {
+		st, err = eng.NewStream(d, fleet)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("dispatch: %v", err)
 	}
+	if s.batched {
+		// Both handlers run synchronously inside whichever Service call
+		// drains the window-close event, so the mutex is already held.
+		st.SetDecisionHandler(s.onWindowDecision)
+		st.SetBatchCloseHandler(s.onWindowClosed)
+	}
 	s.st = st
 	return s, nil
+}
+
+// onWindowDecision records and publishes one deferred window-close
+// decision. Called by the stream with the mutex held.
+func (s *Service) onWindowDecision(dec sim.TaskDecision) {
+	id := s.taskIDs[dec.Task]
+	a := Assignment{TaskID: id, DriverID: -1, DecidedAt: dec.At}
+	ev := Event{Type: EventRejected, At: dec.At, TaskID: id, DriverID: -1}
+	if dec.Assigned {
+		a.Assigned = true
+		a.DriverID = s.driverIDs[dec.Driver]
+		a.PickupBy = dec.PickupAt
+		ev.Type, ev.DriverID = EventAssigned, a.DriverID
+	}
+	s.decided[id] = a
+	s.publish(ev)
+}
+
+// onWindowClosed publishes the closed window's stats on the feed.
+// Called by the stream with the mutex held, after the window's per-task
+// decisions were delivered.
+func (s *Service) onWindowClosed(bs sim.BatchStats) {
+	stats := BatchStats{
+		OpenedAt:  bs.OpenedAt,
+		ClosedAt:  bs.ClosedAt,
+		Submitted: bs.Submitted,
+		Cancelled: bs.Cancelled,
+		Matched:   bs.Matched,
+		Rejected:  bs.Rejected,
+	}
+	s.publish(Event{Type: EventBatchClosed, At: bs.ClosedAt, TaskID: -1, DriverID: -1, Batch: &stats})
+}
+
+// armBatchTimer schedules a wall-clock close for the open batch window
+// of a live batched service (WithBatching + WithRealTime), mapping one
+// simulated second to one wall second. Must be called with the mutex
+// held; it is a no-op when no window is open or the open window's timer
+// is already armed.
+func (s *Service) armBatchTimer() {
+	if !s.liveBatch || s.closed {
+		return
+	}
+	closeAt, open := s.st.BatchDue()
+	if !open || (s.timer != nil && s.timerAt == closeAt) {
+		return
+	}
+	if s.timer != nil {
+		s.timer.Stop()
+	}
+	delay := time.Duration((closeAt - s.st.Now()) * float64(time.Second))
+	if delay < 0 {
+		delay = 0
+	}
+	s.timerAt = closeAt
+	s.timer = time.AfterFunc(delay, func() { s.fireBatchTimer(closeAt) })
+}
+
+// fireBatchTimer closes the window the timer was armed for, unless the
+// event flow already closed it (a submission or cancellation past the
+// close time drains the close first — the stale fire is then a no-op).
+func (s *Service) fireBatchTimer(closeAt float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	if due, open := s.st.BatchDue(); open && due == closeAt {
+		s.st.AdvanceTo(closeAt)
+	}
+	if s.timerAt == closeAt {
+		s.timer = nil
+	}
+	s.armBatchTimer()
 }
 
 // toModelDriver validates and converts a public driver.
@@ -310,6 +438,19 @@ func (s *Service) SubmitTask(ctx context.Context, t Task) (Assignment, error) {
 	}
 	dec := s.st.SubmitTask(mt)
 	s.tasks[t.ID] = dec.Task
+	s.taskIDs = append(s.taskIDs, t.ID)
+
+	if dec.Pending {
+		// Batched mode: the order joined the open window (closing any
+		// window that was due first); its decision arrives on the feed
+		// at DecideBy. The handle is recorded so Decision answers
+		// identically until the close overwrites it.
+		a := Assignment{TaskID: t.ID, DriverID: -1, DecidedAt: dec.At, Pending: true, DecideBy: dec.DecideAt}
+		s.decided[t.ID] = a
+		s.publish(Event{Type: EventPending, At: dec.At, TaskID: t.ID, DriverID: -1})
+		s.armBatchTimer()
+		return a, nil
+	}
 
 	a := Assignment{TaskID: t.ID, DriverID: -1, DecidedAt: dec.At}
 	ev := Event{Type: EventRejected, At: dec.At, TaskID: t.ID, DriverID: -1}
@@ -319,8 +460,34 @@ func (s *Service) SubmitTask(ctx context.Context, t Task) (Assignment, error) {
 		a.PickupBy = dec.PickupAt
 		ev.Type, ev.DriverID = EventAssigned, a.DriverID
 	}
+	s.decided[t.ID] = a
 	s.publish(ev)
 	return a, nil
+}
+
+// Decision reports the platform's current answer for a submitted task:
+// the recorded assignment or rejection, or a pending handle while the
+// task still waits in a batched service's open window. The answer is
+// the decision as made — a later cancellation revoking it is reported
+// through CancelOutcome and the feed, not here. Decision works on a
+// closed service too (the final window was decided by Close).
+func (s *Service) Decision(ctx context.Context, taskID int) (Assignment, error) {
+	if err := ctx.Err(); err != nil {
+		return Assignment{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.tasks[taskID]; !ok {
+		return Assignment{}, fmt.Errorf("%w: %d", ErrUnknownTask, taskID)
+	}
+	if a, ok := s.decided[taskID]; ok {
+		return a, nil
+	}
+	// Unreachable by construction: every registered task writes its
+	// decided entry at submission (pending handle or final answer).
+	// Answer with a bare pending handle rather than guessing a DecideBy
+	// from whatever window happens to be open now.
+	return Assignment{TaskID: taskID, DriverID: -1, Pending: true}, nil
 }
 
 // AddDriver announces a driver to the running market. An unknown ID
@@ -429,6 +596,12 @@ func (s *Service) CancelTask(ctx context.Context, taskID int, at float64) (Cance
 	freed, cancelled := s.st.CancelTask(idx, at)
 	out := CancelOutcome{TaskID: taskID, Cancelled: cancelled, FreedDriverID: -1}
 	if cancelled {
+		if prev, ok := s.decided[taskID]; !ok || prev.Pending {
+			// Withdrawn while waiting in its batch window: the platform
+			// will never decide it, so Decision reads it as unassigned
+			// at the cancellation instant rather than pending forever.
+			s.decided[taskID] = Assignment{TaskID: taskID, DriverID: -1, DecidedAt: s.st.Now()}
+		}
 		ev := Event{Type: EventCancelled, At: s.st.Now(), TaskID: taskID, DriverID: -1}
 		if freed >= 0 {
 			out.FreedDriverID = s.driverIDs[freed]
@@ -469,19 +642,26 @@ func (s *Service) stats(res sim.Result) Stats {
 		Served:         res.Served,
 		Rejected:       res.Rejected,
 		Cancelled:      res.Cancelled,
+		Pending:        s.st.PendingTasks(),
 		Revenue:        res.Revenue,
 		Profit:         res.TotalProfit,
 	}
 }
 
-// Close drains the market's remaining internal events, settles every
-// driver's account and returns the final Stats. Subscriber channels are
-// closed. Close is idempotent; later calls return the same Stats.
+// Close drains the market's remaining internal events — on a batched
+// service that includes deciding the still-open window, whose
+// assignments reach the feed before the channels close — settles every
+// driver's account and returns the final Stats. Subscriber channels
+// are closed. Close is idempotent; later calls return the same Stats.
 func (s *Service) Close() (Stats, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return s.finalStats, nil
+	}
+	if s.timer != nil {
+		s.timer.Stop()
+		s.timer = nil
 	}
 	res := s.st.Finish()
 	stats := s.stats(res)

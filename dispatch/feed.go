@@ -7,10 +7,16 @@ type EventType string
 // involved driver (-1 when none); driver-scoped events carry the
 // driver's ID and task -1.
 const (
-	// EventAssigned: a submitted task was assigned to DriverID.
+	// EventAssigned: a submitted task was assigned to DriverID. On a
+	// batched service the event fires at the task's window close, after
+	// an EventPending acknowledged the submission.
 	EventAssigned EventType = "assigned"
-	// EventRejected: a submitted task found no feasible driver.
+	// EventRejected: a submitted task found no feasible driver (at
+	// submission time, or at its window close on a batched service).
 	EventRejected EventType = "rejected"
+	// EventPending: a batched service accepted the task into the open
+	// batch window; the decision follows at the window close.
+	EventPending EventType = "pending"
 	// EventCancelled: a rider cancellation took effect; DriverID is
 	// the driver freed by a revoked assignment, -1 if none was bound.
 	EventCancelled EventType = "cancelled"
@@ -18,7 +24,27 @@ const (
 	EventDriverJoined EventType = "driver_joined"
 	// EventDriverRetired: a driver left the market.
 	EventDriverRetired EventType = "driver_retired"
+	// EventBatchClosed: a batched service closed a dispatch window.
+	// The entry carries no task or driver (both -1); Batch holds the
+	// window's stats. It follows the window's per-task decisions.
+	EventBatchClosed EventType = "batch_closed"
 )
+
+// BatchStats summarizes one closed dispatch window of a batched
+// service.
+type BatchStats struct {
+	// OpenedAt is the submission time of the order that opened the
+	// window; ClosedAt the decision instant, OpenedAt + window.
+	OpenedAt float64 `json:"opened_at"`
+	ClosedAt float64 `json:"closed_at"`
+	// Submitted counts the orders that joined the window; Cancelled
+	// the ones withdrawn before the close; the rest were Matched or
+	// Rejected at the close.
+	Submitted int `json:"submitted"`
+	Cancelled int `json:"cancelled"`
+	Matched   int `json:"matched"`
+	Rejected  int `json:"rejected"`
+}
 
 // Event is one entry of the assignment-event feed.
 type Event struct {
@@ -26,6 +52,9 @@ type Event struct {
 	At       float64   `json:"at"` // simulated market time
 	TaskID   int       `json:"task_id"`
 	DriverID int       `json:"driver_id"`
+	// Batch carries the closed window's stats on EventBatchClosed
+	// entries, nil otherwise.
+	Batch *BatchStats `json:"batch,omitempty"`
 }
 
 // Subscribe attaches a listener to the service's event feed and returns

@@ -2,6 +2,7 @@ package dispatch
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"repro/internal/online"
@@ -67,6 +68,57 @@ func (p Policy) dispatcher() (sim.Dispatcher, error) {
 	}
 }
 
+// BatchAlgorithm selects the per-window assignment solver of a batched
+// service (see WithBatching).
+type BatchAlgorithm int
+
+// The built-in batch solvers.
+const (
+	// Hungarian solves each window's maximum-weight task–driver
+	// assignment exactly, in O(n³).
+	Hungarian BatchAlgorithm = iota
+	// Auction uses Bertsekas' auction algorithm — exact up to its tiny
+	// bid increment, typically faster on sparse windows.
+	Auction
+)
+
+// String implements fmt.Stringer.
+func (a BatchAlgorithm) String() string {
+	switch a {
+	case Hungarian:
+		return "hungarian"
+	case Auction:
+		return "auction"
+	default:
+		return fmt.Sprintf("BatchAlgorithm(%d)", int(a))
+	}
+}
+
+// ParseBatchAlgorithm converts a solver name (as printed by String)
+// back into a BatchAlgorithm; serve front ends use it to parse
+// configuration.
+func ParseBatchAlgorithm(s string) (BatchAlgorithm, error) {
+	switch s {
+	case "hungarian":
+		return Hungarian, nil
+	case "auction":
+		return Auction, nil
+	default:
+		return 0, fmt.Errorf("%w: unknown batch algorithm %q (want hungarian or auction)", ErrInvalidOption, s)
+	}
+}
+
+func (a BatchAlgorithm) sim() (sim.BatchAlgorithm, error) {
+	switch a {
+	case Hungarian:
+		return sim.BatchHungarian, nil
+	case Auction:
+		return sim.BatchAuction, nil
+	default:
+		return 0, fmt.Errorf("%w: unknown batch algorithm %d", ErrInvalidOption, int(a))
+	}
+}
+
 // Clock paces the service's simulated time. Advance is called as the
 // market moves from one event time to the next; a zero-delay clock (the
 // default) processes events as fast as the hardware allows, a scaled
@@ -92,12 +144,14 @@ func (c scaledClock) Advance(from, to float64) {
 }
 
 type config struct {
-	policy   Policy
-	shards   int
-	realTime bool
-	clock    Clock
-	seed     int64
-	strict   bool
+	policy      Policy
+	shards      int
+	realTime    bool
+	clock       Clock
+	seed        int64
+	strict      bool
+	batchWindow float64 // 0: instant dispatch
+	batchAlgo   BatchAlgorithm
 }
 
 // Option configures a Service at construction.
@@ -128,10 +182,44 @@ func WithShards(n int) Option {
 	}
 }
 
+// WithBatching switches the service from instant to windowed dispatch:
+// submitted tasks accumulate in a batch window of `window` simulated
+// seconds (anchored at the order that opened it) and are matched
+// together at the window's close by a maximum-weight task–driver
+// assignment under the chosen solver. SubmitTask then answers with a
+// pending Assignment; the decision arrives on the event feed when the
+// window closes (followed by an EventBatchClosed entry carrying the
+// window's stats) and is queryable via Decision. The window must be a
+// positive, finite number of seconds; anything else is rejected with
+// ErrInvalidOption. WithBatching composes with WithShards, WithClock,
+// WithSeed, WithStrictTimes and WithRealTime (which additionally closes
+// due windows on the wall clock — see its comment); the WithDispatcher
+// policy is not consulted in batched mode.
+func WithBatching(window float64, algo BatchAlgorithm) Option {
+	return func(c *config) error {
+		if !(window > 0) || math.IsInf(window, 1) {
+			return fmt.Errorf("%w: batch window must be a positive finite number of seconds, got %g", ErrInvalidOption, window)
+		}
+		if _, err := algo.sim(); err != nil {
+			return err
+		}
+		c.batchWindow, c.batchAlgo = window, algo
+		return nil
+	}
+}
+
 // WithRealTime frees drivers at their actual trip finish time instead
 // of the served task's end deadline, giving the market extra capacity
 // the paper's offline bound cannot represent. See the simulator's
 // package documentation for the modelling trade-off.
+//
+// On a batched service (WithBatching), WithRealTime additionally marks
+// the market as live: the service arms a wall-clock timer for each open
+// window (one simulated second per wall second) so a quiet market still
+// decides its pending orders on time, instead of waiting for the next
+// submission to push the clock past the close. Replays that must stay
+// bit-identical to the batch engine leave it off and drive the clock
+// purely by event timestamps.
 func WithRealTime() Option {
 	return func(c *config) error {
 		c.realTime = true

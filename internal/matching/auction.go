@@ -1,13 +1,26 @@
 package matching
 
+import "math"
+
 // Auction implements Bertsekas' auction algorithm for maximum-weight
 // bipartite matching: unmatched rows repeatedly bid for their best
 // column at the current prices; each successful bid raises the column's
-// price by the bid increment. With increment ε, the result is within
-// rows·ε of the optimum; ε below the minimum weight gap makes it exact.
-// It is kept alongside Hungarian both as an independent cross-check
-// (their outputs are compared in tests) and because on sparse batched
-// dispatch instances it is usually faster.
+// price by at least the bid increment. With increment ε, the result is
+// within rows·ε of the optimum; ε below the minimum weight gap makes it
+// exact. It is kept alongside Hungarian both as an independent
+// cross-check (their outputs are compared in tests) and because on
+// sparse batched dispatch instances it is usually faster.
+//
+// The rows·ε guarantee requires running the auction to natural
+// termination: every bid raises one column's price by at least ε, and a
+// column priced above the maximum weight draws no further bids, so at
+// most cols·(maxW/ε + 2) + rows bids can ever happen. The bid budget is
+// set to exactly that bound — it is the termination proof, not a
+// truncation — because an arbitrary smaller cap silently abandons the
+// guarantee on degenerate tied-weight instances, where two rows
+// fighting over one column walk its price up in ε steps (the property
+// tests sweep those). The flip side is honest: tiny ε on tied weights
+// means a long price war; callers pick ε to trade accuracy for time.
 func Auction(w [][]float64, eps float64) (Assignment, error) {
 	rows, cols, err := validate(w)
 	if err != nil {
@@ -24,6 +37,18 @@ func Auction(w [][]float64, eps float64) (Assignment, error) {
 		eps = 1e-6
 	}
 
+	maxW := 0.0
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if w[r][c] > Forbidden && w[r][c] > maxW {
+				maxW = w[r][c]
+			}
+		}
+	}
+	if maxW == 0 {
+		return out, nil // no positive weight: unmatched everywhere is optimal
+	}
+
 	price := make([]float64, cols)
 	rowOf := make([]int, cols)
 	for c := range rowOf {
@@ -37,10 +62,14 @@ func Auction(w [][]float64, eps float64) (Assignment, error) {
 		queue = append(queue, r)
 	}
 
-	// Each bid strictly raises one column's price by ≥ eps, and prices
-	// are bounded by the max weight, so the loop terminates after at
-	// most rows·cols·(maxW/eps) bids; cap defensively anyway.
-	maxBids := rows * cols * 1000
+	// Clamp before converting: for extreme maxW/eps ratios the float
+	// bound exceeds the int range, and an overflowing conversion would
+	// yield a negative budget that silently skips all bidding.
+	bound := math.Ceil(float64(cols)*(maxW/eps+2)) + float64(rows)
+	maxBids := math.MaxInt
+	if bound < float64(math.MaxInt) {
+		maxBids = int(bound)
+	}
 	for len(queue) > 0 && maxBids > 0 {
 		maxBids--
 		r := queue[len(queue)-1]

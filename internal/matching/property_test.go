@@ -52,6 +52,83 @@ func TestQuickHungarianDominatesGreedy(t *testing.T) {
 	}
 }
 
+// Property: Bertsekas' ε-guarantee — on any random instance the auction
+// total is within rows·ε of the Hungarian optimum (and never above it).
+// Every other instance is degenerate on purpose: weights quantized onto
+// a tiny value set so rows tie exactly, the regime where naive bidding
+// can live-lock or leave value on the table.
+func TestQuickAuctionWithinRowsEpsOfHungarian(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := 1 + rng.Intn(8)
+		cols := 1 + rng.Intn(8)
+		w := randomMatrix(rng, rows, cols, 0.25)
+		if seed%2 == 0 {
+			// Degenerate ties: collapse weights onto {1, 2, 3}.
+			for r := range w {
+				for c := range w[r] {
+					if w[r][c] > Forbidden {
+						w[r][c] = float64(1 + rng.Intn(3))
+					}
+				}
+			}
+		}
+		// ε trades accuracy for time on tied instances (the war walks a
+		// contested price up in ε steps); 1e-3 keeps the sweep fast while
+		// rows·ε stays far below the integer weight gaps.
+		const eps = 1e-3
+		h, err := Hungarian(w)
+		if err != nil {
+			return false
+		}
+		a, err := Auction(w, eps)
+		if err != nil {
+			return false
+		}
+		slack := float64(rows)*eps + 1e-9
+		return a.Weight <= h.Weight+1e-9 && h.Weight-a.Weight <= slack
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAuctionExactOnAllTiedWeights pins the fully degenerate corner: an
+// all-equal positive matrix, where every maximum matching has the same
+// weight min(rows, cols)·v and the auction must still find one.
+func TestAuctionExactOnAllTiedWeights(t *testing.T) {
+	for _, dims := range [][2]int{{1, 1}, {3, 3}, {5, 2}, {2, 7}} {
+		rows, cols := dims[0], dims[1]
+		w := make([][]float64, rows)
+		for r := range w {
+			w[r] = make([]float64, cols)
+			for c := range w[r] {
+				w[r][c] = 4
+			}
+		}
+		const eps = 1e-4
+		a, err := Auction(w, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := rows
+		if cols < n {
+			n = cols
+		}
+		want := float64(n) * 4
+		if a.Matched != n || want-a.Weight > float64(rows)*eps+1e-9 {
+			t.Fatalf("%dx%d all-tied: matched=%d weight=%.9f, want %d/%.0f", rows, cols, a.Matched, a.Weight, n, want)
+		}
+		h, err := Hungarian(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.Weight != want {
+			t.Fatalf("%dx%d all-tied: Hungarian weight %.9f, want %.0f", rows, cols, h.Weight, want)
+		}
+	}
+}
+
 // Property: the auction result never exceeds Hungarian's optimum.
 func TestQuickAuctionBoundedByHungarian(t *testing.T) {
 	f := func(seed int64) bool {

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/matching"
 	"repro/internal/model"
@@ -25,6 +26,12 @@ import (
 // inside the window remove the order from the open batch before it is
 // matched; the window stays anchored at the order that opened it, so a
 // cancellation never changes when other orders are decided.
+//
+// The window state lives in a batcher that wires itself onto an
+// eventRun's mode hooks, so the same machinery backs both the
+// drain-to-completion entry points (RunBatched*) and the open-loop
+// streaming API (Engine.NewBatchedStream): a batch run is just a
+// batched stream that enqueues the whole day upfront.
 
 // BatchAlgorithm selects the assignment solver used per batch.
 type BatchAlgorithm int
@@ -50,6 +57,101 @@ func (a BatchAlgorithm) String() string {
 	}
 }
 
+// BatchStats summarizes one closed dispatch window.
+type BatchStats struct {
+	// OpenedAt is the publish time of the order that opened the window;
+	// ClosedAt the decision instant, OpenedAt + window.
+	OpenedAt float64
+	ClosedAt float64
+	// Submitted counts the orders that joined the window; Cancelled the
+	// ones riders withdrew before the close. The remaining
+	// Submitted − Cancelled orders were matched (Matched) or left
+	// without a feasible profitable driver (Rejected).
+	Submitted int
+	Cancelled int
+	Matched   int
+	Rejected  int
+}
+
+// batcher holds the open-window state of one batched run and installs
+// the mode hooks interpreting arrivals, batch closes and mid-window
+// cancellations. closeAt tracks the pending batch-close event (NaN when
+// none): the window is anchored at the arrival that opened it and stays
+// anchored even if cancellations empty the batch before it closes —
+// otherwise a stale close would fire early on the next batch.
+type batcher struct {
+	r      *eventRun
+	window float64
+	algo   BatchAlgorithm
+
+	batch     []int
+	openedAt  float64
+	closeAt   float64
+	cancelled int // orders removed from the open window by their riders
+
+	// onClose, when set, receives each closed window's stats right
+	// after its decisions committed; the streaming API forwards them to
+	// the service feed.
+	onClose func(BatchStats)
+}
+
+// newBatcher wires batched-window dispatch onto the run. The window
+// must be positive: the public boundaries (dispatch options, CLI flags)
+// validate user input, so a non-positive window here is an internal
+// programming error.
+func newBatcher(r *eventRun, window float64, algo BatchAlgorithm) *batcher {
+	if !(window > 0) || math.IsInf(window, 1) {
+		panic(fmt.Sprintf("sim: non-positive batch window %g", window))
+	}
+	b := &batcher{r: r, window: window, algo: algo, closeAt: math.NaN()}
+	r.onArrival = b.arrival
+	r.onBatchClose = b.close
+	r.cancelPending = b.cancelPending
+	return b
+}
+
+// open reports whether a window is currently accumulating orders.
+func (b *batcher) open() bool { return !math.IsNaN(b.closeAt) }
+
+func (b *batcher) arrival(ev event) {
+	if !b.open() {
+		b.openedAt = ev.at
+		b.closeAt = ev.at + b.window
+		b.cancelled = 0
+		b.r.push(event{key: b.closeAt, kind: evBatchClose, at: b.closeAt})
+	}
+	b.batch = append(b.batch, ev.idx)
+}
+
+func (b *batcher) close(ev event) {
+	stats := BatchStats{
+		OpenedAt:  b.openedAt,
+		ClosedAt:  ev.at,
+		Submitted: len(b.batch) + b.cancelled,
+		Cancelled: b.cancelled,
+	}
+	before := b.r.res.Rejected
+	b.r.e.closeBatch(b.r, b.batch, ev.at, b.algo)
+	stats.Rejected = b.r.res.Rejected - before
+	stats.Matched = len(b.batch) - stats.Rejected
+	b.batch = b.batch[:0]
+	b.closeAt = math.NaN()
+	if b.onClose != nil {
+		b.onClose(stats)
+	}
+}
+
+func (b *batcher) cancelPending(ti int) bool {
+	for k, v := range b.batch {
+		if v == ti {
+			b.batch = append(b.batch[:k], b.batch[k+1:]...)
+			b.cancelled++
+			return true
+		}
+	}
+	return false
+}
+
 // RunBatched simulates the day with batched dispatch: tasks are grouped
 // into consecutive windows of `window` seconds by publish time; at each
 // window's end the engine solves a maximum-weight task–driver assignment
@@ -65,39 +167,8 @@ func (e *Engine) RunBatched(tasks []model.Task, window float64, algo BatchAlgori
 // churn, rider cancellations) interleaved into the arrival stream, with
 // the same event semantics as RunScenario.
 func (e *Engine) RunBatchedScenario(tasks []model.Task, events []model.MarketEvent, window float64, algo BatchAlgorithm) Result {
-	if window <= 0 {
-		panic(fmt.Sprintf("sim: non-positive batch window %g", window))
-	}
 	r := e.newEventRun(tasks, events, true)
-
-	// closeAt tracks the pending batch-close event (NaN when none): the
-	// window is anchored at the arrival that opened the batch and stays
-	// anchored even if cancellations empty the batch before it closes —
-	// otherwise a stale close would fire early on the next batch.
-	var batch []int
-	closeAt := math.NaN()
-	r.onArrival = func(ev event) {
-		if math.IsNaN(closeAt) {
-			closeAt = ev.at + window
-			r.push(event{key: closeAt, kind: evBatchClose, at: closeAt})
-		}
-		batch = append(batch, ev.idx)
-	}
-	r.onBatchClose = func(ev event) {
-		e.closeBatch(r, batch, ev.at, algo)
-		batch = batch[:0]
-		closeAt = math.NaN()
-	}
-	r.cancelPending = func(ti int) bool {
-		for k, b := range batch {
-			if b == ti {
-				batch = append(batch[:k], batch[k+1:]...)
-				return true
-			}
-		}
-		return false
-	}
-
+	newBatcher(r, window, algo)
 	for i := range tasks {
 		r.add(event{key: tasks[i].Publish, kind: evArrival, seq: i, at: tasks[i].Publish, idx: i})
 	}
@@ -107,25 +178,71 @@ func (e *Engine) RunBatchedScenario(tasks []model.Task, events []model.MarketEve
 }
 
 // closeBatch solves the maximum-weight assignment for one batch at its
-// decision time and commits the matches.
+// decision time and commits the matches, reporting each order's outcome
+// through the run's decision hook when one is installed.
+//
+// The weight matrix is compacted in two canonical steps. First, each
+// row keeps only its top len(batch) candidates by (margin, then driver
+// index): a maximum-weight matching never needs more — if an optimal
+// matching used a column outside a row's top-k, at least one of the k
+// higher-ranked columns is unmatched (only k−1 other rows exist) and
+// an exchange to it preserves the total — so the optimum is exact, not
+// approximated. Second, columns shrink to the union of the surviving
+// drivers in ascending order. Carrying the whole fleet instead would
+// make the Hungarian reduction O((batch+fleet)³) — hours at 50k
+// drivers for a matrix whose decisive columns number a few dozen.
+// Every candidate source produces the identical candidate sets (the
+// differential contract) and both steps are deterministic, so results
+// stay bit-identical across sources and shard counts.
 func (e *Engine) closeBatch(r *eventRun, batch []int, decisionAt float64, algo BatchAlgorithm) {
 	if len(batch) == 0 {
 		return // every order of the window was cancelled
 	}
-	// Weight matrix: rows = batch tasks, cols = drivers; margins
-	// δ_{n,m} at decision time, Forbidden where infeasible.
+	// Per-task candidate sets — pruned to the decisive top — and the
+	// sorted union of their drivers.
+	cands := make([][]Candidate, len(batch))
+	inUnion := make(map[int]bool)
+	var union []int
+	for bi, ti := range batch {
+		r.cands = e.source.Candidates(r.tasks[ti], decisionAt, r.cands[:0])
+		cs := append([]Candidate(nil), r.cands...)
+		if len(cs) > len(batch) {
+			sort.Slice(cs, func(a, b int) bool {
+				if cs[a].Margin != cs[b].Margin {
+					return cs[a].Margin > cs[b].Margin
+				}
+				return cs[a].Driver < cs[b].Driver
+			})
+			cs = cs[:len(batch)]
+		}
+		cands[bi] = cs
+		for _, c := range cs {
+			if !inUnion[c.Driver] {
+				inUnion[c.Driver] = true
+				union = append(union, c.Driver)
+			}
+		}
+	}
+	sort.Ints(union)
+	col := make(map[int]int, len(union)) // driver -> compact column
+	for j, drv := range union {
+		col[drv] = j
+	}
+
+	// Weight matrix: rows = batch tasks, cols = candidate drivers;
+	// margins δ_{n,m} at decision time, Forbidden where infeasible.
 	w := make([][]float64, len(batch))
 	arrivals := make([][]float64, len(batch))
-	for bi, ti := range batch {
-		w[bi] = make([]float64, len(e.Drivers))
-		arrivals[bi] = make([]float64, len(e.Drivers))
-		for c := range w[bi] {
-			w[bi][c] = matching.Forbidden
+	for bi := range batch {
+		w[bi] = make([]float64, len(union))
+		arrivals[bi] = make([]float64, len(union))
+		for j := range w[bi] {
+			w[bi][j] = matching.Forbidden
 		}
-		r.cands = e.source.Candidates(r.tasks[ti], decisionAt, r.cands[:0])
-		for _, c := range r.cands {
-			w[bi][c.Driver] = c.Margin
-			arrivals[bi][c.Driver] = c.Arrival
+		for _, c := range cands[bi] {
+			j := col[c.Driver]
+			w[bi][j] = c.Margin
+			arrivals[bi][j] = c.Arrival
 		}
 	}
 
@@ -133,7 +250,13 @@ func (e *Engine) closeBatch(r *eventRun, batch []int, decisionAt float64, algo B
 	var err error
 	switch algo {
 	case BatchAuction:
-		asg, err = matching.Auction(w, 1e-9)
+		// ε bounds both the optimality gap (≤ rows·ε, negligible
+		// against fares of currency-unit magnitude) and the worst-case
+		// bid count (≤ cols·maxW/ε on exactly tied margins — drivers at
+		// identical coordinates). A much smaller ε would buy no
+		// meaningful accuracy while letting a degenerate window stall
+		// the whole market for the length of its ε-step price war.
+		asg, err = matching.Auction(w, 1e-4)
 	default:
 		asg, err = matching.Hungarian(w)
 	}
@@ -143,11 +266,18 @@ func (e *Engine) closeBatch(r *eventRun, batch []int, decisionAt float64, algo B
 	}
 
 	for bi, ti := range batch {
-		drv := asg.ColOf[bi]
-		if drv < 0 {
+		j := asg.ColOf[bi]
+		if j < 0 {
 			r.res.Rejected++
+			if r.onDecided != nil {
+				r.onDecided(TaskDecision{Task: ti, Driver: -1, At: decisionAt})
+			}
 			continue
 		}
-		r.assignTask(ti, Candidate{Driver: drv, Arrival: arrivals[bi][drv], Margin: w[bi][drv]}, r.tasks[ti])
+		drv := union[j]
+		r.assignTask(ti, Candidate{Driver: drv, Arrival: arrivals[bi][j], Margin: w[bi][j]}, r.tasks[ti])
+		if r.onDecided != nil {
+			r.onDecided(TaskDecision{Task: ti, Assigned: true, Driver: drv, PickupAt: arrivals[bi][j], At: decisionAt})
+		}
 	}
 }

@@ -137,6 +137,12 @@ type eventRun struct {
 	onArrival    func(ev event)
 	onBatchClose func(ev event)
 	onReplan     func(ev event)
+	// onDecided reports each dispatch decision a mode commits *after*
+	// the task's arrival event (a batch close deciding the window's
+	// orders). Instant dispatch decides inside the arrival itself and
+	// leaves it nil; the streaming API uses it to surface deferred
+	// decisions.
+	onDecided func(dec TaskDecision)
 	// cancelPending removes a still-undecided task from the mode's
 	// pending set (an open batch, the replan pool). It reports whether
 	// the task was pending; instant dispatch has no pending tasks.

@@ -3,6 +3,7 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+	"math"
 
 	"repro/internal/model"
 )
@@ -25,7 +26,10 @@ import (
 // in dispatch/ hold that line across candidate sources and shard
 // counts.
 
-// TaskDecision is the platform's instant answer to one submitted task.
+// TaskDecision is the platform's answer to one submitted task. Instant
+// streams return it fully decided from SubmitTask; batched streams
+// return it Pending and deliver the decided form through the decision
+// handler when the task's window closes.
 type TaskDecision struct {
 	// Task is the engine index the task was registered under (its
 	// position in submission order).
@@ -38,30 +42,32 @@ type TaskDecision struct {
 	// pickup; meaningful only when Assigned.
 	PickupAt float64
 	// At is the effective decision time: the task's publish time, or
-	// the stream's current time if the submission arrived late.
+	// the stream's current time if the submission arrived late. For a
+	// pending decision it is the time the order joined its window.
 	At float64
+	// Pending reports that the stream dispatches in batched mode and
+	// the decision is deferred to the close of the window the task
+	// joined; DecideAt is that window's scheduled close time.
+	Pending  bool
+	DecideAt float64
 }
 
-// Stream is a suspended instant-dispatch run. Construct with
-// Engine.NewStream; the engine must not be used for batch Run* calls
-// while the stream is open. A Stream is not safe for concurrent use —
-// callers serialize access (the dispatch package's Service does).
+// Stream is a suspended open-loop run — instant dispatch (NewStream) or
+// windowed batched dispatch (NewBatchedStream). The engine must not be
+// used for batch Run* calls while the stream is open. A Stream is not
+// safe for concurrent use — callers serialize access (the dispatch
+// package's Service does).
 type Stream struct {
 	e      *Engine
 	r      *eventRun
+	b      *batcher // non-nil when the stream dispatches in batched mode
 	closed bool
 }
 
-// NewStream resets the engine and opens a streaming run dispatched by
-// d. fleetEvents optionally pre-schedules driver events known upfront:
-// join events make their drivers invisible to dispatch until the join
-// time (exactly as RunScenario treats them), retire events end shifts
-// early. Cancellations cannot be pre-scheduled — their tasks do not
-// exist yet; submit them live via CancelTask.
-func (e *Engine) NewStream(d Dispatcher, fleetEvents []model.MarketEvent) (*Stream, error) {
-	if d == nil {
-		return nil, fmt.Errorf("sim: nil dispatcher")
-	}
+// newStreamRun validates the pre-scheduled fleet events, resets the
+// engine and builds the suspended run; the caller installs the mode
+// hooks (instant arrival handler, or a batcher).
+func (e *Engine) newStreamRun(fleetEvents []model.MarketEvent) (*eventRun, error) {
 	var absent []int
 	for i, ev := range fleetEvents {
 		if ev.Kind == model.EventCancel {
@@ -77,7 +83,6 @@ func (e *Engine) NewStream(d Dispatcher, fleetEvents []model.MarketEvent) (*Stre
 	e.resetAbsent(absent)
 	r := &eventRun{
 		e:         e,
-		d:         d,
 		timeKeyed: true,
 		seq:       len(fleetEvents),
 		res:       newResult(e),
@@ -85,7 +90,6 @@ func (e *Engine) NewStream(d Dispatcher, fleetEvents []model.MarketEvent) (*Stre
 		inflight:  make(map[int]inflightInfo),
 		revert:    make(map[int]inflightInfo),
 	}
-	r.onArrival = r.instantArrival
 	for i, ev := range fleetEvents {
 		kind := evJoin
 		if ev.Kind == model.EventRetire {
@@ -94,7 +98,85 @@ func (e *Engine) NewStream(d Dispatcher, fleetEvents []model.MarketEvent) (*Stre
 		r.add(event{key: ev.At, kind: kind, seq: i, at: ev.At, idx: ev.Driver})
 	}
 	r.init()
+	return r, nil
+}
+
+// NewStream resets the engine and opens a streaming run dispatched by
+// d. fleetEvents optionally pre-schedules driver events known upfront:
+// join events make their drivers invisible to dispatch until the join
+// time (exactly as RunScenario treats them), retire events end shifts
+// early. Cancellations cannot be pre-scheduled — their tasks do not
+// exist yet; submit them live via CancelTask.
+func (e *Engine) NewStream(d Dispatcher, fleetEvents []model.MarketEvent) (*Stream, error) {
+	if d == nil {
+		return nil, fmt.Errorf("sim: nil dispatcher")
+	}
+	r, err := e.newStreamRun(fleetEvents)
+	if err != nil {
+		return nil, err
+	}
+	r.d = d
+	r.onArrival = r.instantArrival
 	return &Stream{e: e, r: r}, nil
+}
+
+// NewBatchedStream resets the engine and opens a streaming run with
+// windowed batched dispatch: submitted tasks join the open window (the
+// first order with no close pending opens one and anchors its close
+// window seconds later), SubmitTask answers Pending, and the decisions
+// arrive through the handler installed with SetDecisionHandler when the
+// window's internal close event fires — on the next submission at or
+// past the close time, an explicit AdvanceTo, or Finish. Replaying a
+// trace through a batched stream in canonical order is bit-identical to
+// RunBatchedScenario on the whole day; the differential tests hold that
+// line. A non-positive (or non-finite) window is rejected with an
+// error, mirroring the validation the public dispatch options perform.
+func (e *Engine) NewBatchedStream(window float64, algo BatchAlgorithm, fleetEvents []model.MarketEvent) (*Stream, error) {
+	if !(window > 0) || math.IsInf(window, 1) {
+		return nil, fmt.Errorf("sim: batch window must be a positive finite number of seconds, got %g", window)
+	}
+	r, err := e.newStreamRun(fleetEvents)
+	if err != nil {
+		return nil, err
+	}
+	b := newBatcher(r, window, algo)
+	return &Stream{e: e, r: r, b: b}, nil
+}
+
+// SetDecisionHandler registers fn to receive every dispatch decision
+// the stream makes after the task's submission returned — the batched
+// mode's deferred window-close decisions. Install it before submitting
+// traffic; the handler runs synchronously inside whichever call drains
+// the deciding event (SubmitTask, CancelTask, Step, AdvanceTo, Finish).
+func (s *Stream) SetDecisionHandler(fn func(TaskDecision)) {
+	s.r.onDecided = fn
+}
+
+// SetBatchCloseHandler registers fn to receive each closed window's
+// stats, after the window's per-task decisions were delivered. It is a
+// no-op on instant-dispatch streams.
+func (s *Stream) SetBatchCloseHandler(fn func(BatchStats)) {
+	if s.b != nil {
+		s.b.onClose = fn
+	}
+}
+
+// BatchDue reports the scheduled close time of the open batch window,
+// if the stream dispatches in batched mode and a window is open.
+func (s *Stream) BatchDue() (closeAt float64, open bool) {
+	if s.b == nil || !s.b.open() {
+		return 0, false
+	}
+	return s.b.closeAt, true
+}
+
+// PendingTasks returns the number of submitted orders waiting in the
+// open batch window for their decision; 0 on instant-dispatch streams.
+func (s *Stream) PendingTasks() int {
+	if s.b == nil {
+		return 0
+	}
+	return len(s.b.batch)
 }
 
 // submit pushes ev (stamping the next sequence number) and steps the
@@ -134,10 +216,13 @@ func (s *Stream) mustBeOpen() {
 	}
 }
 
-// SubmitTask registers the task, dispatches it at its publish time (or
-// now, if the submission is late) and returns the instant decision.
-// Tasks are indexed by submission order; the caller keeps its own ID
-// mapping.
+// SubmitTask registers the task and dispatches it at its publish time
+// (or now, if the submission is late). On an instant stream the
+// returned decision is final; on a batched stream the task joins the
+// open window (processing any due window close first) and the decision
+// comes back Pending, to be delivered through the decision handler at
+// DecideAt. Tasks are indexed by submission order; the caller keeps its
+// own ID mapping.
 func (s *Stream) SubmitTask(t model.Task) TaskDecision {
 	s.mustBeOpen()
 	r := s.r
@@ -147,6 +232,12 @@ func (s *Stream) SubmitTask(t model.Task) TaskDecision {
 	at := s.clampLate(t.Publish)
 	s.submit(event{key: at, kind: evArrival, at: at, idx: ti})
 	dec := TaskDecision{Task: ti, Driver: -1, At: at}
+	if s.b != nil {
+		// The arrival joined (or opened) a window whose close is
+		// strictly after at, so the task is always still pending here.
+		dec.Pending, dec.DecideAt = true, s.b.closeAt
+		return dec
+	}
 	if drv, ok := r.res.Assignment[ti]; ok {
 		dec.Assigned, dec.Driver = true, drv
 		if info, ok := r.inflight[ti]; ok {
@@ -325,9 +416,11 @@ func (s *Stream) TaskPublish(i int) float64 { return s.r.tasks[i].Publish }
 // queued (they fire in heap order, possibly behind same-instant fleet
 // events — eagerly draining them here would reorder the batch-identical
 // event sequence) are accounted for by settling those drivers at their
-// pre-assignment state, so Served + Rejected + Cancelled always equals
-// the submitted task count and no cancelled trip is counted as served
-// revenue.
+// pre-assignment state, so Served + Rejected + Cancelled + PendingTasks
+// always equals the submitted task count and no cancelled trip is
+// counted as served revenue. (PendingTasks is 0 on instant streams:
+// orders waiting in a batched stream's open window are the one way a
+// submitted task can be none of served, rejected or cancelled.)
 func (s *Stream) Snapshot() Result {
 	s.mustBeOpen()
 	e := s.e

@@ -7,18 +7,23 @@
 #   BENCH_3.json — the streaming-overhead trajectory: the same day
 #     drained in batch vs replayed event-by-event through the public
 #     dispatch.Service, pricing the open-loop API against the engine.
+#   BENCH_4.json — the streaming-batched trajectory: the same day
+#     window-matched by Engine.RunBatched vs through a WithBatching
+#     dispatch.Service, pricing the open-loop batched API.
 #
-# Both are machine-readable JSON so perf changes diff against a fixed
+# All are machine-readable JSON so perf changes diff against a fixed
 # trajectory.
 #
 # Usage: scripts/bench.sh [extra `rideshare bench` flags]
-# Output: BENCH_2.json and BENCH_3.json at the repository root.
+# Output: BENCH_2.json, BENCH_3.json and BENCH_4.json at the repository
+# root.
 #
 # Extra flags apply to the dispatch run only — forwarding them to the
-# streaming run too would let a user -out/-shards override clobber the
-# streaming baseline's fixed configuration (Go's flag package keeps the
-# last occurrence).
+# streaming runs too would let a user -out/-shards override clobber the
+# streaming baselines' fixed configurations (Go's flag package keeps
+# the last occurrence).
 set -eu
 cd "$(dirname "$0")/.."
 go run ./cmd/rideshare bench -out BENCH_2.json "$@"
-exec go run ./cmd/rideshare bench -streaming -shards 4 -out BENCH_3.json
+go run ./cmd/rideshare bench -streaming -shards 4 -out BENCH_3.json
+exec go run ./cmd/rideshare bench -batched -shards 4 -out BENCH_4.json

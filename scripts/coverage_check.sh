@@ -1,0 +1,34 @@
+#!/usr/bin/env sh
+# Coverage ratchet for the packages the differential-testing discipline
+# lives in: fails if `go test -cover` for any of them drops below the
+# floor recorded when the batched streaming PR landed (the pre-PR
+# baseline). Raise a floor when coverage durably improves; never lower
+# one to make a change pass.
+#
+# Usage: scripts/coverage_check.sh
+set -eu
+cd "$(dirname "$0")/.."
+
+check() {
+  pkg="$1"
+  floor="$2"
+  out=$(go test -count=1 -cover "$pkg")
+  echo "$out"
+  pct=$(echo "$out" | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p')
+  if [ -z "$pct" ]; then
+    echo "coverage_check: no coverage figure for $pkg" >&2
+    exit 1
+  fi
+  # All-integer comparison (tenths of a percent): POSIX sh has no floats.
+  pct10=$(echo "$pct" | awk '{printf "%d", $1 * 10}')
+  floor10=$(echo "$floor" | awk '{printf "%d", $1 * 10}')
+  if [ "$pct10" -lt "$floor10" ]; then
+    echo "coverage_check: $pkg coverage $pct% fell below the $floor% floor" >&2
+    exit 1
+  fi
+}
+
+check ./internal/sim 91.0
+check ./dispatch 80.7
+check ./internal/matching 97.7
+echo "coverage_check: all floors held"

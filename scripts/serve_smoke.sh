@@ -36,3 +36,30 @@ kill -INT "$SERVE_PID"
 wait "$SERVE_PID"
 trap - EXIT
 echo "serve_smoke: clean shutdown"
+
+# Second leg: the same drill against a batched market (-batch-window).
+# -realtime arms the wall-clock window timer, so the final window is
+# decided even with no follow-up traffic; loadgen's pending accounting
+# covers the rest.
+/tmp/rideshare-smoke serve -addr "127.0.0.1:$PORT" -drivers 500 -shards 2 \
+  -batch-window 30 -batch-algo hungarian -realtime &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2>/dev/null || true' EXIT
+
+i=0
+until curl -sf "http://127.0.0.1:$PORT/healthz" >/dev/null 2>&1; do
+  i=$((i + 1))
+  if [ "$i" -ge 50 ]; then
+    echo "serve_smoke: batched server did not come up on port $PORT" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+echo "serve_smoke: batched healthz OK"
+
+/tmp/rideshare-smoke loadgen -addr "http://127.0.0.1:$PORT" -tasks 200 -workers 4 -cancel 0.1
+
+kill -INT "$SERVE_PID"
+wait "$SERVE_PID"
+trap - EXIT
+echo "serve_smoke: batched clean shutdown"
