@@ -5,7 +5,9 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
+	"reflect"
 	"runtime"
 	"sort"
 	"strconv"
@@ -34,14 +36,26 @@ type benchResult struct {
 	Tasks       int     `json:"tasks"`
 	Source      string  `json:"source"`
 	Shards      int     `json:"shards,omitempty"`
-	Mode        string  `json:"mode,omitempty"` // batch | streaming (streaming suite only)
-	Seconds     float64 `json:"seconds"`        // median over -reps runs
+	Mode        string  `json:"mode,omitempty"`   // batch | streaming (streaming suite only)
+	Kernel      string  `json:"kernel,omitempty"` // dense | sparse (windows suite only)
+	Workers     int     `json:"workers,omitempty"`
+	Seconds     float64 `json:"seconds"` // median over -reps runs
 	TasksPerSec float64 `json:"tasks_per_sec"`
 	Served      int     `json:"served"`
 	Speedup     float64 `json:"speedup_vs_scan,omitempty"`
 	// Overhead is the streaming replay's extra wall time over the batch
 	// drain of the same day and source: seconds/batchSeconds − 1.
 	Overhead float64 `json:"overhead_vs_batch,omitempty"`
+	// Allocation accounting over the timed region (runtime.MemStats
+	// deltas, median over -reps runs), normalized per submitted task.
+	AllocsPerTask float64 `json:"allocs_per_task,omitempty"`
+	BytesPerTask  float64 `json:"bytes_per_task,omitempty"`
+	// SpeedupVsDense and AllocCutVsDense compare the sparse
+	// component-decomposed window kernel against the dense oracle on
+	// the same day (windows suite only); AllocCutVsDense is the
+	// fraction of the dense path's allocations eliminated.
+	SpeedupVsDense  float64 `json:"speedup_vs_dense,omitempty"`
+	AllocCutVsDense float64 `json:"alloc_cut_vs_dense,omitempty"`
 }
 
 // benchReport is the top-level JSON document.
@@ -67,7 +81,7 @@ func parseIntList(s string) ([]int, error) {
 
 func cmdBench(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
-	out := fs.String("out", "", "output JSON file (- for stdout; default BENCH_2.json, BENCH_3.json with -streaming, or BENCH_4.json with -batched)")
+	out := fs.String("out", "", "output JSON file (- for stdout; default BENCH_2.json, BENCH_3.json with -streaming, BENCH_4.json with -batched, or BENCH_5.json with -windows)")
 	tasks := fs.Int("tasks", 1000, "orders per simulated day")
 	driversList := fs.String("drivers", "10000,50000", "comma-separated fleet sizes")
 	shardsList := fs.String("shards", "1,2,4,8", "comma-separated shard counts to time")
@@ -75,12 +89,14 @@ func cmdBench(args []string) error {
 	seed := fs.Int64("seed", 27, "trace seed")
 	streaming := fs.Bool("streaming", false, "measure streaming overhead: batch drain vs dispatch.Service replay of the same day")
 	batched := fs.Bool("batched", false, "measure streaming-batched overhead: Engine.RunBatched drain vs a WithBatching dispatch.Service replay of the same day")
-	batchWindow := fs.Float64("batch-window", 60, "window seconds for the -batched suite")
-	batchAlgo := fs.String("batch-algo", "hungarian", "batch solver for the -batched suite: hungarian or auction")
+	windows := fs.Bool("windows", false, "measure window-clearing kernels: dense whole-matrix vs sparse component-decomposed solve of the same batched day, with per-task allocation accounting")
+	batchWindow := fs.Float64("batch-window", 60, "window seconds for the -batched and -windows suites")
+	batchAlgo := fs.String("batch-algo", "hungarian", "batch solver for the -batched and -windows suites: hungarian or auction")
+	matchWorkers := fs.Int("match-workers", 1, "component-solver goroutines for the -windows suite's sparse leg")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if err := checkPositive("bench", map[string]int{"-tasks": *tasks, "-reps": *reps}); err != nil {
+	if err := checkPositive("bench", map[string]int{"-tasks": *tasks, "-reps": *reps, "-match-workers": *matchWorkers}); err != nil {
 		return err
 	}
 	if err := checkBatchWindow("bench", *batchWindow); err != nil {
@@ -89,8 +105,17 @@ func cmdBench(args []string) error {
 	if *batched && *batchWindow == 0 {
 		return fmt.Errorf("bench: -batched needs a positive -batch-window, got %g", *batchWindow)
 	}
-	if *batched && *streaming {
-		return fmt.Errorf("bench: -batched and -streaming are separate suites; pick one")
+	if *windows && *batchWindow == 0 {
+		return fmt.Errorf("bench: -windows needs a positive -batch-window, got %g", *batchWindow)
+	}
+	suites := 0
+	for _, on := range []bool{*streaming, *batched, *windows} {
+		if on {
+			suites++
+		}
+	}
+	if suites > 1 {
+		return fmt.Errorf("bench: -streaming, -batched and -windows are separate suites; pick one")
 	}
 	batchPolicy, err := dispatch.ParseBatchAlgorithm(*batchAlgo)
 	if err != nil {
@@ -122,12 +147,18 @@ func cmdBench(args []string) error {
 		if *batched {
 			*out = "BENCH_4.json"
 		}
+		if *windows {
+			*out = "BENCH_5.json"
+		}
 	}
 	if *streaming {
 		return benchStreaming(*out, *tasks, driverCounts, shardCounts, *reps, *seed)
 	}
 	if *batched {
 		return benchBatched(*out, *tasks, driverCounts, shardCounts, *reps, *seed, *batchWindow, batchPolicy)
+	}
+	if *windows {
+		return benchWindows(*out, *tasks, driverCounts, shardCounts, *reps, *seed, *batchWindow, batchPolicy, *matchWorkers)
 	}
 
 	report := benchReport{
@@ -489,6 +520,159 @@ func benchBatched(out string, tasks int, driverCounts, shardCounts []int, reps i
 				})
 			fmt.Fprintf(os.Stderr, "%-44s engine %7.3fs  service %7.3fs  overhead %+.1f%%\n",
 				base, batchSec, streamSec, 100*overhead)
+		}
+	}
+	return writeBenchReport(out, report)
+}
+
+// benchWindows prices the window-clearing kernels against each other:
+// the same batched day is drained once through the dense whole-matrix
+// oracle (Engine.DenseWindows) and once through the sparse
+// component-decomposed solve, on the sharded candidate source, with
+// runtime.MemStats deltas recording the allocation bill of each run.
+// The two kernels must produce bit-identical assignments — checked
+// here over the full Assignment map, not just serve counts — so the
+// speedup and allocation columns compare equal outputs, never cheaper
+// approximations.
+//
+// Note the workload: windows only earn their keep when they hold more
+// than one order, so this suite defaults to a denser day than the
+// BENCH_2–BENCH_4 trajectory (scripts/bench.sh passes -tasks/-batch-
+// window sized for ~15-order windows). The dense oracle's cost grows
+// with the cube of (batch + column union), which is precisely the
+// regime the sparse kernel exists for.
+func benchWindows(out string, tasks int, driverCounts, shardCounts []int, reps int, seed int64,
+	window float64, algo dispatch.BatchAlgorithm, workers int) error {
+	simAlgo := sim.BatchHungarian
+	if algo == dispatch.Auction {
+		simAlgo = sim.BatchAuction
+	}
+	// One sharded source configuration: the largest requested shard
+	// count (the fastest candidate generator, so kernel time dominates
+	// the column least). This suite compares kernels, not sources —
+	// say so when the -shards list asked for more than one.
+	shards := 1
+	for _, s := range shardCounts {
+		if s > shards {
+			shards = s
+		}
+	}
+	if len(shardCounts) > 1 {
+		fmt.Fprintf(os.Stderr, "bench: -windows times one candidate source; using sharded-%d (the largest of -shards %v)\n",
+			shards, shardCounts)
+	}
+	report := benchReport{
+		Schema:     "rideshare-bench/v1",
+		Command:    fmt.Sprintf("rideshare bench -windows -batch-window %g -batch-algo %v -match-workers %d", window, algo, workers),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Reps:       reps,
+	}
+	type leg struct {
+		kernel  string
+		dense   bool
+		workers int
+	}
+	legs := []leg{{"dense", true, 1}, {"sparse", false, 1}}
+	if workers > 1 {
+		legs = append(legs, leg{"sparse", false, workers})
+	}
+	for _, drivers := range driverCounts {
+		cfg := trace.NewConfig(seed, tasks, drivers, trace.Hitchhiking)
+		tr := trace.NewGenerator(cfg).Generate(nil)
+
+		var denseRes sim.Result
+		var denseSec, denseAllocs float64
+		for _, l := range legs {
+			eng, err := sim.New(cfg.Market, tr.Drivers, 1)
+			if err != nil {
+				return err
+			}
+			if shards > 1 {
+				eng.SetCandidateSource(sim.NewShardedSource(shards))
+			}
+			eng.DenseWindows = l.dense
+			eng.MatchWorkers = l.workers
+
+			var res sim.Result
+			times := make([]float64, 0, reps)
+			allocs := make([]float64, 0, reps)
+			bytes := make([]float64, 0, reps)
+			var m0, m1 runtime.MemStats
+			for r := 0; r < reps; r++ {
+				runtime.GC()
+				runtime.ReadMemStats(&m0)
+				start := time.Now()
+				res = eng.RunBatched(tr.Tasks, window, simAlgo)
+				times = append(times, time.Since(start).Seconds())
+				runtime.ReadMemStats(&m1)
+				allocs = append(allocs, float64(m1.Mallocs-m0.Mallocs)/float64(tasks))
+				bytes = append(bytes, float64(m1.TotalAlloc-m0.TotalAlloc)/float64(tasks))
+			}
+			sort.Float64s(times)
+			sort.Float64s(allocs)
+			sort.Float64s(bytes)
+			median := times[len(times)/2]
+			medAllocs := allocs[len(allocs)/2]
+			medBytes := bytes[len(bytes)/2]
+
+			if l.dense {
+				denseRes, denseSec, denseAllocs = res, median, medAllocs
+			} else {
+				// The equal-output guarantee, checked end to end: the two
+				// kernels must serve the same orders for the same money.
+				// The task→driver maps are compared too, but tied optima
+				// are tolerated and reported: on degenerate windows
+				// (several drivers offering bitwise-equal margins) each
+				// kernel commits its own exact optimum — the per-window
+				// audit test proves those never trade away weight.
+				if res.Served != denseRes.Served || res.Rejected != denseRes.Rejected {
+					return fmt.Errorf("bench: sparse kernel (workers=%d) served %d/rejected %d vs dense %d/%d at %d drivers — this is a bug",
+						l.workers, res.Served, res.Rejected, denseRes.Served, denseRes.Rejected, drivers)
+				}
+				if math.Abs(res.Revenue-denseRes.Revenue) > 1e-6*math.Max(1, math.Abs(denseRes.Revenue)) {
+					return fmt.Errorf("bench: sparse kernel (workers=%d) revenue %.9f vs dense %.9f at %d drivers — this is a bug",
+						l.workers, res.Revenue, denseRes.Revenue, drivers)
+				}
+				if !reflect.DeepEqual(res.Assignment, denseRes.Assignment) {
+					// Symmetric difference: a task served by only one
+					// kernel counts once from each side's perspective.
+					diffs := 0
+					for ti, drv := range denseRes.Assignment {
+						if sd, ok := res.Assignment[ti]; !ok || sd != drv {
+							diffs++
+						}
+					}
+					for ti := range res.Assignment {
+						if _, ok := denseRes.Assignment[ti]; !ok {
+							diffs++
+						}
+					}
+					fmt.Fprintf(os.Stderr, "bench: note: %d of %d assignments differ between kernels at %d drivers (tied optima; equal served counts and revenue)\n",
+						diffs, len(denseRes.Assignment), drivers)
+				}
+			}
+
+			name := fmt.Sprintf("windows/drivers=%d/sharded-%d/%s", drivers, shards, l.kernel)
+			if l.workers > 1 {
+				name = fmt.Sprintf("%s-w%d", name, l.workers)
+			}
+			r := benchResult{
+				Name: name, Drivers: drivers, Tasks: tasks,
+				Source: "sharded", Shards: shards,
+				Kernel: l.kernel, Workers: l.workers,
+				Seconds: median, TasksPerSec: float64(tasks) / median,
+				Served:        res.Served,
+				AllocsPerTask: medAllocs, BytesPerTask: medBytes,
+			}
+			if !l.dense {
+				r.SpeedupVsDense = denseSec / median
+				if denseAllocs > 0 {
+					r.AllocCutVsDense = 1 - medAllocs/denseAllocs
+				}
+			}
+			report.Results = append(report.Results, r)
+			fmt.Fprintf(os.Stderr, "%-48s %8.3fs  %8.0f tasks/s  %9.0f allocs/task  %.2fx vs dense\n",
+				name, median, float64(tasks)/median, medAllocs, r.SpeedupVsDense)
 		}
 	}
 	return writeBenchReport(out, report)

@@ -27,7 +27,7 @@ import (
 // negative count would silently misbehave (or panic) deep inside the
 // engine instead of failing at the boundary.
 func checkPositive(cmd string, vals map[string]int) error {
-	for _, name := range []string{"-shards", "-workers", "-reps", "-tasks", "-drivers"} {
+	for _, name := range []string{"-shards", "-workers", "-match-workers", "-reps", "-tasks", "-drivers"} {
 		if v, ok := vals[name]; ok && v < 1 {
 			return fmt.Errorf("%s: %s must be ≥ 1, got %d", cmd, name, v)
 		}

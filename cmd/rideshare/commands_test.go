@@ -156,6 +156,15 @@ func TestCmdFlagValidation(t *testing.T) {
 			return cmdBench([]string{"-batched", "-batch-algo", "simplex"})
 		}},
 		{"bench -batched -streaming", func() error { return cmdBench([]string{"-batched", "-streaming"}) }},
+		{"bench -windows -batched", func() error { return cmdBench([]string{"-windows", "-batched"}) }},
+		{"bench -windows -batch-window 0", func() error {
+			return cmdBench([]string{"-windows", "-batch-window", "0"})
+		}},
+		{"bench -match-workers 0", func() error { return cmdBench([]string{"-match-workers", "0"}) }},
+		{"serve -match-workers 0", func() error { return cmdServe([]string{"-match-workers", "0"}) }},
+		{"serve -match-workers without -batch-window", func() error {
+			return cmdServe([]string{"-match-workers", "4"})
+		}},
 		{"serve -shards 0", func() error { return cmdServe([]string{"-shards", "0"}) }},
 		{"serve -drivers 0", func() error { return cmdServe([]string{"-drivers", "0"}) }},
 		{"serve -batch-window -1", func() error { return cmdServe([]string{"-batch-window", "-1"}) }},
@@ -341,6 +350,68 @@ func TestCmdBenchBatchedWritesJSON(t *testing.T) {
 				t.Fatalf("pair %d non-positive timing", i)
 			}
 		}
+	}
+}
+
+// TestCmdBenchWindowsWritesJSON: the -windows suite records a
+// dense/sparse kernel pair per fleet size with the allocation columns
+// filled, equal served counts across the pair (the kernel equivalence
+// check runs inside the command), and the sparse leg's speedup column
+// populated. A -match-workers above 1 adds a parallel sparse leg.
+func TestCmdBenchWindowsWritesJSON(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "bench5.json")
+	if err := cmdBench([]string{"-windows", "-drivers", "150", "-shards", "2", "-tasks", "80",
+		"-reps", "1", "-batch-window", "600", "-match-workers", "2", "-out", out}); err != nil {
+		t.Fatalf("bench -windows: %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report struct {
+		Schema  string `json:"schema"`
+		Results []struct {
+			Name           string  `json:"name"`
+			Kernel         string  `json:"kernel"`
+			Workers        int     `json:"workers"`
+			Seconds        float64 `json:"seconds"`
+			Served         int     `json:"served"`
+			AllocsPerTask  float64 `json:"allocs_per_task"`
+			BytesPerTask   float64 `json:"bytes_per_task"`
+			SpeedupVsDense float64 `json:"speedup_vs_dense"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("bench -windows output is not valid JSON: %v", err)
+	}
+	if report.Schema != "rideshare-bench/v1" {
+		t.Fatalf("schema = %q", report.Schema)
+	}
+	// One fleet size, three legs: dense, sparse serial, sparse workers=2.
+	if len(report.Results) != 3 {
+		t.Fatalf("results = %d, want 3", len(report.Results))
+	}
+	dense, sparse, parallel := report.Results[0], report.Results[1], report.Results[2]
+	if dense.Kernel != "dense" || sparse.Kernel != "sparse" || parallel.Kernel != "sparse" {
+		t.Fatalf("kernels: %q/%q/%q", dense.Kernel, sparse.Kernel, parallel.Kernel)
+	}
+	if parallel.Workers != 2 {
+		t.Fatalf("parallel leg workers = %d", parallel.Workers)
+	}
+	for i, r := range report.Results {
+		if r.Served != dense.Served {
+			t.Fatalf("leg %d served %d, dense %d", i, r.Served, dense.Served)
+		}
+		if r.Seconds <= 0 || r.AllocsPerTask < 0 || r.BytesPerTask < 0 {
+			t.Fatalf("leg %d has empty measurement columns: %+v", i, r)
+		}
+	}
+	if sparse.SpeedupVsDense <= 0 || parallel.SpeedupVsDense <= 0 {
+		t.Fatalf("sparse legs missing speedup_vs_dense: %+v / %+v", sparse, parallel)
+	}
+	if dense.SpeedupVsDense != 0 {
+		t.Fatalf("dense leg carries speedup_vs_dense %g", dense.SpeedupVsDense)
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux for -pprof-addr
 	"os"
 	"os/signal"
 	"strconv"
@@ -67,10 +68,12 @@ func cmdServe(args []string) error {
 	realTime := fs.Bool("realtime", false, "free drivers at real trip finish times instead of deadlines (and close due batch windows on the wall clock)")
 	batchWindow := fs.Float64("batch-window", 0, "batched dispatch: accumulate orders for this many seconds and clear each window with a maximum-weight matching (0 = instant dispatch)")
 	batchAlgo := fs.String("batch-algo", "hungarian", "batched dispatch solver: hungarian or auction")
+	matchWorkers := fs.Int("match-workers", 1, "concurrent solvers for a batch window's independent components (identical assignments, higher throughput; needs -batch-window)")
+	pprofAddr := fs.String("pprof-addr", "", "optional listen address for a net/http/pprof debug server (e.g. localhost:6060); empty disables it")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	counts := map[string]int{"-shards": *shards}
+	counts := map[string]int{"-shards": *shards, "-match-workers": *matchWorkers}
 	if *tracePath == "" {
 		counts["-drivers"] = *drivers
 	}
@@ -93,6 +96,10 @@ func cmdServe(args []string) error {
 		if algoSet {
 			return fmt.Errorf("serve: -algo selects the instant-dispatch policy and is not consulted with -batch-window; use -batch-algo (or drop one flag)")
 		}
+	} else if *matchWorkers > 1 {
+		// Matcher workers solve batch-window components; without a
+		// window the flag would be silently ignored — reject it instead.
+		return fmt.Errorf("serve: -match-workers needs -batch-window (instant dispatch has no windows to solve)")
 	}
 	policy, err := dispatch.ParsePolicy(*algo)
 	if err != nil {
@@ -129,9 +136,26 @@ func cmdServe(args []string) error {
 	if *batchWindow > 0 {
 		opts = append(opts, dispatch.WithBatching(*batchWindow, batchPolicy))
 	}
+	if *matchWorkers > 1 {
+		opts = append(opts, dispatch.WithMatchWorkers(*matchWorkers))
+	}
 	svc, err := dispatch.New(market, opts...)
 	if err != nil {
 		return fmt.Errorf("serve: %w", err)
+	}
+
+	// The profiling server lives on its own listener so the debug
+	// surface never shares a port with the market API; it serves the
+	// default mux, where the net/http/pprof import registered its
+	// handlers, and dies with the process. See EXPERIMENTS.md for the
+	// loadgen-driven profiling recipe.
+	if *pprofAddr != "" {
+		go func(addr string) {
+			fmt.Fprintf(os.Stderr, "serve: pprof on http://%s/debug/pprof/\n", addr)
+			if err := http.ListenAndServe(addr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "serve: pprof server: %v\n", err)
+			}
+		}(*pprofAddr)
 	}
 
 	// done unblocks long-lived handlers (the SSE feed) ahead of

@@ -20,7 +20,9 @@ import (
 // churn and cancellations included — event by event through a Service
 // built WithBatching produces a final result bit-identical to
 // Engine.RunBatchedScenario replaying the same trace in one call, for
-// both solvers and every shard count.
+// both solvers, every shard count and every matcher worker count (the
+// engine baseline runs serially, so the sweep also proves the worker
+// pool invisible end to end).
 func TestBatchedServiceReplayBitIdenticalToEngine(t *testing.T) {
 	const seed = 17
 	scenarios := []struct {
@@ -48,38 +50,40 @@ func TestBatchedServiceReplayBitIdenticalToEngine(t *testing.T) {
 		}
 		for _, algo := range algos {
 			for _, shards := range []int{1, 2, 4} {
-				name := fmt.Sprintf("s%d/%v/shards=%d", si, algo.pub, shards)
-				t.Run(name, func(t *testing.T) {
-					eng, err := sim.New(cfg.Market, tr.Drivers, seed)
-					if err != nil {
-						t.Fatal(err)
-					}
-					if shards > 1 {
-						eng.SetCandidateSource(sim.NewShardedSource(shards))
-					}
-					batch := eng.RunBatchedScenario(tr.Tasks, tr.Events, sc.window, algo.sim)
+				for _, workers := range []int{1, 2, 4} {
+					name := fmt.Sprintf("s%d/%v/shards=%d/workers=%d", si, algo.pub, shards, workers)
+					t.Run(name, func(t *testing.T) {
+						eng, err := sim.New(cfg.Market, tr.Drivers, seed)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if shards > 1 {
+							eng.SetCandidateSource(sim.NewShardedSource(shards))
+						}
+						batch := eng.RunBatchedScenario(tr.Tasks, tr.Events, sc.window, algo.sim)
 
-					svc := replayTrace(t, tr, WithBatching(sc.window, algo.pub),
-						WithShards(shards), WithSeed(seed), WithStrictTimes())
-					stats, err := svc.Close()
-					if err != nil {
-						t.Fatal(err)
-					}
-					if svc.final == nil {
-						t.Fatal("service kept no final result")
-					}
-					if !reflect.DeepEqual(batch, *svc.final) {
-						t.Fatalf("batched service replay diverged from engine:\nengine:  served=%d rejected=%d cancelled=%d revenue=%.9f profit=%.9f\nservice: served=%d rejected=%d cancelled=%d revenue=%.9f profit=%.9f",
-							batch.Served, batch.Rejected, batch.Cancelled, batch.Revenue, batch.TotalProfit,
-							stats.Served, stats.Rejected, stats.Cancelled, stats.Revenue, stats.Profit)
-					}
-					if stats.Pending != 0 {
-						t.Fatalf("pending after Close: %d", stats.Pending)
-					}
-					if stats.Served+stats.Rejected+stats.Cancelled != stats.Tasks {
-						t.Fatalf("final books do not balance: %+v", stats)
-					}
-				})
+						svc := replayTrace(t, tr, WithBatching(sc.window, algo.pub),
+							WithShards(shards), WithMatchWorkers(workers), WithSeed(seed), WithStrictTimes())
+						stats, err := svc.Close()
+						if err != nil {
+							t.Fatal(err)
+						}
+						if svc.final == nil {
+							t.Fatal("service kept no final result")
+						}
+						if !reflect.DeepEqual(batch, *svc.final) {
+							t.Fatalf("batched service replay diverged from engine:\nengine:  served=%d rejected=%d cancelled=%d revenue=%.9f profit=%.9f\nservice: served=%d rejected=%d cancelled=%d revenue=%.9f profit=%.9f",
+								batch.Served, batch.Rejected, batch.Cancelled, batch.Revenue, batch.TotalProfit,
+								stats.Served, stats.Rejected, stats.Cancelled, stats.Revenue, stats.Profit)
+						}
+						if stats.Pending != 0 {
+							t.Fatalf("pending after Close: %d", stats.Pending)
+						}
+						if stats.Served+stats.Rejected+stats.Cancelled != stats.Tasks {
+							t.Fatalf("final books do not balance: %+v", stats)
+						}
+					})
+				}
 			}
 		}
 	}
@@ -103,6 +107,15 @@ func TestWithBatchingValidation(t *testing.T) {
 	}
 	if _, err := New(m, WithBatching(30, Auction)); err != nil {
 		t.Errorf("valid batching rejected: %v", err)
+	}
+
+	for _, n := range []int{0, -3} {
+		if _, err := New(m, WithBatching(30, Hungarian), WithMatchWorkers(n)); !errors.Is(err, ErrInvalidOption) {
+			t.Errorf("WithMatchWorkers(%d): %v, want ErrInvalidOption", n, err)
+		}
+	}
+	if _, err := New(m, WithBatching(30, Hungarian), WithMatchWorkers(4)); err != nil {
+		t.Errorf("valid match workers rejected: %v", err)
 	}
 
 	if _, err := ParseBatchAlgorithm("simplex"); !errors.Is(err, ErrInvalidOption) {

@@ -268,6 +268,7 @@ func New(m Market, opts ...Option) (*Service, error) {
 	if cfg.shards > 1 {
 		eng.SetCandidateSource(sim.NewShardedSource(cfg.shards))
 	}
+	eng.MatchWorkers = cfg.matchWorkers
 	var st *sim.Stream
 	if s.batched {
 		algo, aerr := cfg.batchAlgo.sim()

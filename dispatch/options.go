@@ -144,14 +144,15 @@ func (c scaledClock) Advance(from, to float64) {
 }
 
 type config struct {
-	policy      Policy
-	shards      int
-	realTime    bool
-	clock       Clock
-	seed        int64
-	strict      bool
-	batchWindow float64 // 0: instant dispatch
-	batchAlgo   BatchAlgorithm
+	policy       Policy
+	shards       int
+	matchWorkers int
+	realTime     bool
+	clock        Clock
+	seed         int64
+	strict       bool
+	batchWindow  float64 // 0: instant dispatch
+	batchAlgo    BatchAlgorithm
 }
 
 // Option configures a Service at construction.
@@ -178,6 +179,23 @@ func WithShards(n int) Option {
 			return fmt.Errorf("%w: shards %d, want ≥ 1", ErrInvalidOption, n)
 		}
 		c.shards = n
+		return nil
+	}
+}
+
+// WithMatchWorkers bounds the goroutines a batched service uses to
+// solve each window's independent task–driver components concurrently
+// (a window over a city fleet decomposes into many small components;
+// see WithBatching). Assignments are bit-identical for every worker
+// count — the knob is purely operational, like WithShards. n must be
+// ≥ 1; 1 (the default) solves serially. It has no effect on an
+// instant-dispatch service.
+func WithMatchWorkers(n int) Option {
+	return func(c *config) error {
+		if n < 1 {
+			return fmt.Errorf("%w: match workers %d, want ≥ 1", ErrInvalidOption, n)
+		}
+		c.matchWorkers = n
 		return nil
 	}
 }

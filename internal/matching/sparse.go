@@ -1,0 +1,573 @@
+package matching
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the sparse formulation of the window-matching problem.
+// The dense solvers in hungarian.go and auction.go receive a full
+// rows×cols weight matrix and — in the Hungarian case — reduce it to a
+// virtual (rows+cols)² square, which is exactly the right oracle for
+// tests but hopeless as a hot path: a batched dispatch window over a
+// city fleet is a *sparse* bipartite graph (each order reaches a few
+// dozen nearby drivers out of tens of thousands) that usually falls
+// apart into many small connected components, each solvable
+// independently.
+//
+// Sparse is that graph in CSR form, and SparseSolver solves it with
+// zero steady-state allocations: every slice it needs is grown once and
+// reused across solves, so a long-running dispatcher clears thousands
+// of windows without touching the allocator. Solve splits the instance
+// into connected components with a union-find over the edges and solves
+// each component independently — optionally across a bounded pool of
+// worker goroutines — which is exact, not approximate: components share
+// no rows and no columns, so any matching of the whole instance
+// restricts to one matching per component and its weight is the sum of
+// the restrictions; maximizing each term independently therefore
+// maximizes the sum, and the union of per-component optima is a global
+// maximum-weight matching.
+
+// Kind selects the kernel a SparseSolver runs on each component.
+type Kind int
+
+// The sparse kernels.
+const (
+	// KindHungarian runs shortest augmenting paths with dual
+	// potentials (exact, deterministic) per component.
+	KindHungarian Kind = iota
+	// KindAuction runs Bertsekas' auction per component (exact up to
+	// rows·ε per component, same contract as the dense Auction).
+	KindAuction
+)
+
+// Sparse is a sparse rectangular weight matrix in compressed sparse
+// row form: row r's edges are Col[RowPtr[r]:RowPtr[r+1]] (column
+// indices, strictly ascending within a row) with weights in the
+// parallel W span. Absent pairs are forbidden; entries with weight ≤ 0
+// may be present but are never matched (unmatched is individually
+// rational), so hot-path builders should drop them while constructing
+// the instance.
+type Sparse struct {
+	Rows   int
+	Cols   int
+	RowPtr []int
+	Col    []int
+	W      []float64
+}
+
+// Validate checks the CSR structure; Solve calls it on entry.
+func (sp Sparse) Validate() error {
+	if sp.Rows < 0 || sp.Cols < 0 {
+		return fmt.Errorf("matching: negative sparse dims %dx%d", sp.Rows, sp.Cols)
+	}
+	if len(sp.RowPtr) != sp.Rows+1 {
+		return fmt.Errorf("matching: sparse RowPtr len %d, want rows+1 = %d", len(sp.RowPtr), sp.Rows+1)
+	}
+	if sp.RowPtr[0] != 0 {
+		return fmt.Errorf("matching: sparse RowPtr[0] = %d, want 0", sp.RowPtr[0])
+	}
+	nnz := sp.RowPtr[sp.Rows]
+	if len(sp.Col) < nnz || len(sp.W) < nnz {
+		return fmt.Errorf("matching: sparse edge arrays shorter than RowPtr extent %d", nnz)
+	}
+	for r := 0; r < sp.Rows; r++ {
+		lo, hi := sp.RowPtr[r], sp.RowPtr[r+1]
+		if lo > hi {
+			return fmt.Errorf("matching: sparse RowPtr not monotone at row %d", r)
+		}
+		for k := lo; k < hi; k++ {
+			if c := sp.Col[k]; c < 0 || c >= sp.Cols {
+				return fmt.Errorf("matching: sparse column %d out of range [0,%d) at row %d", c, sp.Cols, r)
+			}
+			if k > lo && sp.Col[k] <= sp.Col[k-1] {
+				return fmt.Errorf("matching: sparse columns not strictly ascending in row %d", r)
+			}
+		}
+	}
+	return nil
+}
+
+// SparseSolver carries the reusable scratch of sparse solves. The zero
+// value is ready to use; a solver is not safe for concurrent Solve
+// calls (one window at a time), though a single Solve may fan its
+// components out across worker goroutines internally.
+type SparseSolver struct {
+	// Matching state, persistent across the rows of one solve. Columns
+	// live in an extended id space: real columns 0..Cols-1, then one
+	// virtual "exit" column Cols+r per row r representing "leave row r
+	// unmatched" at weight 0 — the sparse analogue of the dense
+	// reduction's personal dummy column, without ever materializing the
+	// O((rows+cols)²) square.
+	colOf []int // row -> extended column (exit ⇒ unmatched)
+	rowOf []int // extended column -> row, -1 free
+	u     []float64
+	v     []float64
+
+	// Per-row Dijkstra state, reset between rows via the touched list
+	// only, so a row's augment costs work proportional to its
+	// component, not the instance.
+	minv []float64
+	way  []int
+	used []bool
+
+	// Auction prices over real columns.
+	price []float64
+
+	// Union-find over rows plus the column -> first-row map that
+	// stitches rows sharing a column into one component.
+	parent   []int
+	firstRow []int
+
+	// Component layout: component c owns rows
+	// rowsByComp[compPtr[c]:compPtr[c+1]] in ascending order;
+	// components are numbered by their smallest member row.
+	compOf     []int
+	compPtr    []int
+	rowsByComp []int
+
+	// Per-worker scratch: a touched-column list for Hungarian, a bid
+	// queue for Auction. workers[0] serves the serial path.
+	workers []workerScratch
+}
+
+type workerScratch struct {
+	touched []int
+	queue   []int
+}
+
+// grownInt returns s resized (never shrunk) to n without zeroing:
+// every user initializes the entries it owns.
+func grownInt(s []int, n int) []int {
+	if cap(s) < n {
+		s = append(s[:cap(s)], make([]int, n-cap(s))...)
+	}
+	return s[:n]
+}
+
+func grownFloat(s []float64, n int) []float64 {
+	if cap(s) < n {
+		s = append(s[:cap(s)], make([]float64, n-cap(s))...)
+	}
+	return s[:n]
+}
+
+func grownBool(s []bool, n int) []bool {
+	if cap(s) < n {
+		s = append(s[:cap(s)], make([]bool, n-cap(s))...)
+	}
+	return s[:n]
+}
+
+func (s *SparseSolver) find(r int) int {
+	for s.parent[r] != r {
+		s.parent[r] = s.parent[s.parent[r]] // path halving
+		r = s.parent[r]
+	}
+	return r
+}
+
+// decompose runs the union-find over the edges and lays the components
+// out canonically: numbered by smallest member row, rows ascending
+// within each. Returns the component count.
+func (s *SparseSolver) decompose(sp Sparse) int {
+	s.parent = grownInt(s.parent, sp.Rows)
+	for r := range s.parent {
+		s.parent[r] = r
+	}
+	s.firstRow = grownInt(s.firstRow, sp.Cols)
+	for c := range s.firstRow {
+		s.firstRow[c] = -1
+	}
+	for r := 0; r < sp.Rows; r++ {
+		for k := sp.RowPtr[r]; k < sp.RowPtr[r+1]; k++ {
+			c := sp.Col[k]
+			if s.firstRow[c] < 0 {
+				s.firstRow[c] = r
+				continue
+			}
+			a, b := s.find(r), s.find(s.firstRow[c])
+			if a != b {
+				s.parent[b] = a
+			}
+		}
+	}
+	// Label members with component ids in order of first appearance, so
+	// ids ascend by smallest member row whatever the union roots are.
+	s.compOf = grownInt(s.compOf, sp.Rows)
+	for r := 0; r < sp.Rows; r++ {
+		s.compOf[r] = -1
+	}
+	ncomp := 0
+	for r := 0; r < sp.Rows; r++ {
+		root := s.find(r)
+		if s.compOf[root] < 0 {
+			s.compOf[root] = ncomp
+			ncomp++
+		}
+		s.compOf[r] = s.compOf[root]
+	}
+	// Counting sort the rows into their components; scanning rows in
+	// ascending order keeps each component's row list ascending.
+	s.compPtr = grownInt(s.compPtr, ncomp+1)
+	for c := 0; c <= ncomp; c++ {
+		s.compPtr[c] = 0
+	}
+	for r := 0; r < sp.Rows; r++ {
+		s.compPtr[s.compOf[r]+1]++
+	}
+	for c := 1; c <= ncomp; c++ {
+		s.compPtr[c] += s.compPtr[c-1]
+	}
+	s.rowsByComp = grownInt(s.rowsByComp, sp.Rows)
+	cursors := s.parent // union-find is settled; reuse as fill cursors
+	for c := 0; c < ncomp; c++ {
+		cursors[c] = s.compPtr[c]
+	}
+	for r := 0; r < sp.Rows; r++ {
+		c := s.compOf[r]
+		s.rowsByComp[cursors[c]] = r
+		cursors[c]++
+	}
+	return ncomp
+}
+
+// ensureWorkers grows the per-worker scratch pool to n entries.
+func (s *SparseSolver) ensureWorkers(n int) {
+	for len(s.workers) < n {
+		s.workers = append(s.workers, workerScratch{})
+	}
+}
+
+// Solve computes a maximum-weight matching of sp: the instance is split
+// into connected components, each solved independently by the chosen
+// kernel, concurrently across min(workers, components) goroutines when
+// workers > 1. eps is the Auction bid increment (ignored by Hungarian;
+// non-positive values default as the dense Auction does).
+//
+// The returned slice maps each row to its matched column (-1 for
+// unmatched) and is owned by the solver: it is valid until the next
+// Solve call and must not be retained. Weight and matched counts are
+// computed from the final assignment in ascending row order, so the
+// full result is bit-identical for every worker count.
+func (s *SparseSolver) Solve(sp Sparse, kind Kind, eps float64, workers int) (colOf []int, weight float64, matched int, err error) {
+	if err := sp.Validate(); err != nil {
+		return nil, 0, 0, err
+	}
+	if kind != KindHungarian && kind != KindAuction {
+		return nil, 0, 0, fmt.Errorf("matching: unknown sparse kernel %d", int(kind))
+	}
+	ext := sp.Cols + sp.Rows // real columns plus one exit per row
+	s.colOf = grownInt(s.colOf, sp.Rows)
+	s.rowOf = grownInt(s.rowOf, ext)
+	for r := 0; r < sp.Rows; r++ {
+		s.colOf[r] = -1
+	}
+	for c := 0; c < ext; c++ {
+		s.rowOf[c] = -1
+	}
+	if sp.Rows == 0 {
+		return s.colOf, 0, 0, nil
+	}
+
+	switch kind {
+	case KindHungarian:
+		s.u = grownFloat(s.u, sp.Rows)
+		s.v = grownFloat(s.v, ext)
+		s.minv = grownFloat(s.minv, ext)
+		s.way = grownInt(s.way, ext)
+		s.used = grownBool(s.used, ext)
+		for r := 0; r < sp.Rows; r++ {
+			s.u[r] = 0
+		}
+		inf := math.Inf(1)
+		for c := 0; c < ext; c++ {
+			s.v[c] = 0
+			s.minv[c] = inf
+			s.used[c] = false
+		}
+	case KindAuction:
+		if eps <= 0 {
+			eps = 1e-6
+		}
+		s.price = grownFloat(s.price, sp.Cols)
+		for c := 0; c < sp.Cols; c++ {
+			s.price[c] = 0
+		}
+	}
+
+	ncomp := s.decompose(sp)
+	if workers > ncomp {
+		workers = ncomp
+	}
+	if workers <= 1 {
+		s.ensureWorkers(1)
+		for c := 0; c < ncomp; c++ {
+			s.solveComponent(sp, kind, eps, c, &s.workers[0])
+		}
+	} else {
+		// Kept out of line so the serial hot path carries no closure
+		// captures (they would heap-allocate on every solve).
+		s.solveParallel(sp, kind, eps, ncomp, workers)
+	}
+
+	// Settle in ascending row order — deterministic across worker
+	// counts — mapping exit columns back to "unmatched".
+	for r := 0; r < sp.Rows; r++ {
+		c := s.colOf[r]
+		if c < 0 || c >= sp.Cols {
+			s.colOf[r] = -1
+			continue
+		}
+		for k := sp.RowPtr[r]; k < sp.RowPtr[r+1]; k++ {
+			if sp.Col[k] == c {
+				weight += sp.W[k]
+				break
+			}
+		}
+		matched++
+	}
+	return s.colOf, weight, matched, nil
+}
+
+// solveParallel fans the components out over a bounded worker pool.
+// Components touch disjoint rows and columns, so the shared state
+// (colOf, rowOf, u, v, minv, way, used, price) is written at disjoint
+// indices by construction; only the touched/queue lists are per-worker.
+func (s *SparseSolver) solveParallel(sp Sparse, kind Kind, eps float64, ncomp, workers int) {
+	s.ensureWorkers(workers)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(ws *workerScratch) {
+			defer wg.Done()
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= ncomp {
+					return
+				}
+				s.solveComponent(sp, kind, eps, c, ws)
+			}
+		}(&s.workers[w])
+	}
+	wg.Wait()
+}
+
+// solveComponent dispatches one component to the kernel.
+func (s *SparseSolver) solveComponent(sp Sparse, kind Kind, eps float64, comp int, ws *workerScratch) {
+	rows := s.rowsByComp[s.compPtr[comp]:s.compPtr[comp+1]]
+	if kind == KindAuction {
+		s.auctionComponent(sp, eps, rows, ws)
+		return
+	}
+	for _, r := range rows {
+		s.augmentRow(sp, r, ws)
+	}
+}
+
+// augmentRow extends the matching by one shortest augmenting path from
+// row r0 — one outer iteration of the Jonker-Volgenant scheme the dense
+// Hungarian runs, restated over adjacency lists. Edge weights w become
+// costs −w; row r's exit column (id Cols+r) costs 0 and represents
+// staying unmatched, so only positive-weight matches ever improve the
+// objective and edges with w ≤ 0 need no relaxing at all. The Dijkstra
+// frontier only ever reaches columns of r0's component, and the scratch
+// it dirties is reset through the touched list, which is what makes a
+// window of many small components cheap. Frontier ties break toward the
+// smallest extended column id, mirroring the dense solver's ascending
+// column scan.
+func (s *SparseSolver) augmentRow(sp Sparse, r0 int, ws *workerScratch) {
+	touched := ws.touched[:0]
+	inf := math.Inf(1)
+	j0 := -1 // frontier column; -1 while the path is still just r0
+	for {
+		i0 := r0
+		if j0 >= 0 {
+			i0 = s.rowOf[j0]
+		}
+		// Relax i0's positive edges and its exit column against the
+		// current potentials (the dual updates below keep the reduced
+		// cost through every settled column at zero, so no explicit
+		// path-length bookkeeping is needed).
+		for k := sp.RowPtr[i0]; k < sp.RowPtr[i0+1]; k++ {
+			c := sp.Col[k]
+			w := sp.W[k]
+			if w <= 0 || s.used[c] {
+				continue
+			}
+			cur := -w - s.u[i0] - s.v[c]
+			if cur < s.minv[c] {
+				if s.minv[c] == inf {
+					touched = append(touched, c)
+				}
+				s.minv[c] = cur
+				s.way[c] = j0
+			}
+		}
+		if ec := sp.Cols + i0; !s.used[ec] {
+			cur := -s.u[i0] - s.v[ec]
+			if cur < s.minv[ec] {
+				if s.minv[ec] == inf {
+					touched = append(touched, ec)
+				}
+				s.minv[ec] = cur
+				s.way[ec] = j0
+			}
+		}
+		// Settle the reachable column with the least tentative cost,
+		// ties to the smallest id. i0's exit is always relaxable and
+		// never already settled (i0 appears on the path at most once),
+		// so a candidate always exists.
+		delta, j1 := inf, -1
+		for _, c := range touched {
+			if s.used[c] {
+				continue
+			}
+			if s.minv[c] < delta || (s.minv[c] == delta && c < j1) {
+				delta, j1 = s.minv[c], c
+			}
+		}
+		if j1 < 0 {
+			break // unreachable per the invariant above; guard anyway
+		}
+		// Dual update: settled columns and their rows absorb delta so
+		// the reduced cost through every settled column stays zero;
+		// unsettled tentative costs shift down to stay relative to the
+		// new frontier. (A settled exit column would end the loop below
+		// before any further update, so rowOf here is always a row.)
+		s.u[r0] += delta
+		for _, c := range touched {
+			if s.used[c] {
+				s.u[s.rowOf[c]] += delta
+				s.v[c] -= delta
+			} else {
+				s.minv[c] -= delta
+			}
+		}
+		s.used[j1] = true
+		j0 = j1
+		if s.rowOf[j1] < 0 {
+			break // free column: augment
+		}
+	}
+	// Augment: walk the way pointers back to r0, shifting each column
+	// onto the row its predecessor column released.
+	if j0 >= 0 && s.rowOf[j0] < 0 {
+		for j0 >= 0 {
+			jPrev := s.way[j0]
+			r := r0
+			if jPrev >= 0 {
+				r = s.rowOf[jPrev]
+			}
+			s.rowOf[j0] = r
+			s.colOf[r] = j0
+			j0 = jPrev
+		}
+	}
+	// Reset only what this row dirtied.
+	for _, c := range touched {
+		s.minv[c] = inf
+		s.used[c] = false
+	}
+	ws.touched = touched[:0]
+}
+
+// auctionComponent runs Bertsekas' auction over one component's rows,
+// mirroring the dense Auction bid for bid: same 0-value reservation,
+// same bid increment, same LIFO processing order. (The dense global
+// stack preserves each component's relative pop order and prices never
+// cross components, so solving per component reproduces the dense run's
+// per-component bid sequence exactly.)
+func (s *SparseSolver) auctionComponent(sp Sparse, eps float64, rows []int, ws *workerScratch) {
+	maxW := 0.0
+	nedges := 0
+	for _, r := range rows {
+		for k := sp.RowPtr[r]; k < sp.RowPtr[r+1]; k++ {
+			if sp.W[k] > maxW {
+				maxW = sp.W[k]
+			}
+		}
+		nedges += sp.RowPtr[r+1] - sp.RowPtr[r]
+	}
+	if maxW == 0 {
+		return // no positive weight: unmatched everywhere is optimal
+	}
+	queue := append(ws.queue[:0], rows...)
+	// Termination bound, as in the dense Auction: every bid raises one
+	// column's price by ≥ ε and a column priced above maxW draws no
+	// further bids. The component's distinct column count is bounded by
+	// its edge count — the cheap conservative stand-in; the bound is a
+	// proof of termination, not a truncation.
+	bound := math.Ceil(float64(nedges)*(maxW/eps+2)) + float64(len(rows))
+	maxBids := math.MaxInt
+	if bound < float64(math.MaxInt) {
+		maxBids = int(bound)
+	}
+	for len(queue) > 0 && maxBids > 0 {
+		maxBids--
+		r := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+
+		// Best and second-best column values for row r; staying
+		// unmatched is worth 0 and acts as the reservation, so edges
+		// with w ≤ 0 can never contribute to either.
+		best := -1
+		bestV := 0.0
+		secondV := 0.0
+		for k := sp.RowPtr[r]; k < sp.RowPtr[r+1]; k++ {
+			c := sp.Col[k]
+			w := sp.W[k]
+			if w <= 0 {
+				continue
+			}
+			v := w - s.price[c]
+			if best < 0 || v > bestV {
+				if best >= 0 && bestV > secondV {
+					secondV = bestV
+				}
+				best, bestV = c, v
+			} else if v > secondV {
+				secondV = v
+			}
+		}
+		if best < 0 || bestV <= 0 {
+			continue // unmatched is optimal for this row
+		}
+		s.price[best] += bestV - secondV + eps
+
+		if prev := s.rowOf[best]; prev >= 0 {
+			s.colOf[prev] = -1
+			queue = append(queue, prev)
+		}
+		s.rowOf[best] = r
+		s.colOf[r] = best
+	}
+	ws.queue = queue[:0]
+}
+
+// SparseHungarian solves sp with the sparse Hungarian kernel on a
+// throwaway solver — the convenience form for tests and offline tools;
+// hot paths hold a SparseSolver and call Solve.
+func SparseHungarian(sp Sparse) (Assignment, error) {
+	return sparseSolve(sp, KindHungarian, 0)
+}
+
+// SparseAuction solves sp with the sparse auction kernel on a
+// throwaway solver. eps is the bid increment, as in Auction.
+func SparseAuction(sp Sparse, eps float64) (Assignment, error) {
+	return sparseSolve(sp, KindAuction, eps)
+}
+
+func sparseSolve(sp Sparse, kind Kind, eps float64) (Assignment, error) {
+	var s SparseSolver
+	colOf, weight, matched, err := s.Solve(sp, kind, eps, 1)
+	if err != nil {
+		return Assignment{}, err
+	}
+	out := Assignment{ColOf: make([]int, len(colOf)), Weight: weight, Matched: matched}
+	copy(out.ColOf, colOf)
+	return out, nil
+}

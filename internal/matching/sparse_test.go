@@ -1,0 +1,329 @@
+package matching
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// randomSparse builds a random CSR instance. Continuous weights make
+// the maximum-weight matching unique with probability one, which is
+// what lets the tests assert assignment identity, not just weight
+// equality; quantize collapses weights onto {1,2,3} to manufacture the
+// degenerate ties where only weights are comparable.
+func randomSparse(rng *rand.Rand, rows, cols int, density float64, quantize bool) Sparse {
+	sp := Sparse{Rows: rows, Cols: cols, RowPtr: make([]int, rows+1)}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if rng.Float64() >= density {
+				continue
+			}
+			w := rng.Float64()*20 - 4 // some negatives
+			if quantize {
+				w = float64(1 + rng.Intn(3))
+			}
+			sp.Col = append(sp.Col, c)
+			sp.W = append(sp.W, w)
+		}
+		sp.RowPtr[r+1] = len(sp.Col)
+	}
+	return sp
+}
+
+// denseOf expands a sparse instance to the dense matrix the oracle
+// solvers take, absent pairs Forbidden.
+func denseOf(sp Sparse) [][]float64 {
+	w := make([][]float64, sp.Rows)
+	for r := range w {
+		w[r] = make([]float64, sp.Cols)
+		for c := range w[r] {
+			w[r][c] = Forbidden
+		}
+		for k := sp.RowPtr[r]; k < sp.RowPtr[r+1]; k++ {
+			w[r][sp.Col[k]] = sp.W[k]
+		}
+	}
+	return w
+}
+
+// TestSparseHungarianMatchesDenseOnRandom: on random continuous
+// instances across the sparsity range, the sparse kernel must agree
+// with the dense Hungarian oracle in weight AND assignment — the
+// optimum is unique with probability one, so any tie-break divergence
+// would surface as a different ColOf.
+func TestSparseHungarianMatchesDenseOnRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 400; trial++ {
+		rows := 1 + rng.Intn(9)
+		cols := 1 + rng.Intn(12)
+		density := 0.05 + rng.Float64()*0.95
+		sp := randomSparse(rng, rows, cols, density, false)
+		d, err := Hungarian(denseOf(sp))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := SparseHungarian(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(d.Weight-s.Weight) > 1e-9 {
+			t.Fatalf("trial %d: sparse weight %.12f vs dense %.12f\n%v", trial, s.Weight, d.Weight, denseOf(sp))
+		}
+		if !reflect.DeepEqual(d.ColOf, s.ColOf) {
+			t.Fatalf("trial %d: sparse assignment %v vs dense %v\n%v", trial, s.ColOf, d.ColOf, denseOf(sp))
+		}
+		if s.Matched != d.Matched {
+			t.Fatalf("trial %d: sparse matched %d vs dense %d", trial, s.Matched, d.Matched)
+		}
+	}
+}
+
+// TestSparseHungarianAgainstBruteForce pins the sparse kernel to the
+// exhaustive optimum on small instances, independently of the dense
+// implementation.
+func TestSparseHungarianAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 200; trial++ {
+		sp := randomSparse(rng, 1+rng.Intn(6), 1+rng.Intn(6), 0.1+rng.Float64()*0.9, trial%3 == 0)
+		s, err := SparseHungarian(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := bruteForce(denseOf(sp)); math.Abs(s.Weight-want) > 1e-9 {
+			t.Fatalf("trial %d: sparse %.9f != brute force %.9f on %v", trial, s.Weight, want, denseOf(sp))
+		}
+	}
+}
+
+// TestSparseDecomposedEqualsWholeMatrix is the exactness property of
+// the component decomposition (the satellite contract): on random
+// sparse rectangular instances, the component-decomposed solve equals
+// the whole-matrix Hungarian optimum in total weight, and — continuous
+// weights making the optimum unique, so canonical tie-breaking is never
+// exercised against a second optimum — is bit-identical in assignments.
+func TestSparseDecomposedEqualsWholeMatrix(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := 1 + rng.Intn(14)
+		cols := 1 + rng.Intn(20)
+		// Low densities make many components; high make one.
+		sp := randomSparse(rng, rows, cols, 0.02+rng.Float64()*0.5, false)
+		d, err := Hungarian(denseOf(sp))
+		if err != nil {
+			return false
+		}
+		s, err := SparseHungarian(sp)
+		if err != nil {
+			return false
+		}
+		return math.Abs(d.Weight-s.Weight) <= 1e-9 && reflect.DeepEqual(d.ColOf, s.ColOf)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSparseQuantizedWeightEquality covers the degenerate tied-weight
+// regime: assignments may legitimately differ between equally-optimal
+// matchings, but the total weight must still match the dense optimum
+// exactly.
+func TestSparseQuantizedWeightEquality(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 300; trial++ {
+		sp := randomSparse(rng, 1+rng.Intn(10), 1+rng.Intn(12), 0.05+rng.Float64()*0.9, true)
+		d, err := Hungarian(denseOf(sp))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := SparseHungarian(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(d.Weight-s.Weight) > 1e-9 {
+			t.Fatalf("trial %d: sparse %.9f vs dense %.9f on tied weights\n%v", trial, s.Weight, d.Weight, denseOf(sp))
+		}
+	}
+}
+
+// TestSparseComponentEdgeCases fuzzes the shapes the decomposition must
+// not trip over: singleton tasks, drivers shared by zero tasks
+// (untouched columns), rows with no candidates at all, a fully
+// connected window collapsing to one component, and all-non-positive
+// instances where unmatched everywhere is the optimum.
+func TestSparseComponentEdgeCases(t *testing.T) {
+	cases := map[string]Sparse{
+		"empty": {Rows: 0, Cols: 0, RowPtr: []int{0}},
+		"singletons": {
+			Rows: 3, Cols: 5,
+			RowPtr: []int{0, 1, 2, 3},
+			Col:    []int{0, 2, 4},
+			W:      []float64{5, 7, 3},
+		},
+		"edgeless rows": {
+			Rows: 3, Cols: 2,
+			RowPtr: []int{0, 0, 1, 1},
+			Col:    []int{1},
+			W:      []float64{2},
+		},
+		"untouched columns": {
+			Rows: 2, Cols: 6,
+			RowPtr: []int{0, 1, 2},
+			Col:    []int{3, 3},
+			W:      []float64{4, 9},
+		},
+		"fully connected": {
+			Rows: 3, Cols: 3,
+			RowPtr: []int{0, 3, 6, 9},
+			Col:    []int{0, 1, 2, 0, 1, 2, 0, 1, 2},
+			W:      []float64{1, 8, 2, 7, 3, 6, 4, 5, 9},
+		},
+		"all non-positive": {
+			Rows: 2, Cols: 2,
+			RowPtr: []int{0, 2, 4},
+			Col:    []int{0, 1, 0, 1},
+			W:      []float64{-1, 0, -3, -0.5},
+		},
+		"chain": { // r0-c0-r1-c1-r2: one snake component
+			Rows: 3, Cols: 2,
+			RowPtr: []int{0, 1, 3, 4},
+			Col:    []int{0, 0, 1, 1},
+			W:      []float64{5, 6, 2, 4},
+		},
+	}
+	for name, sp := range cases {
+		d, err := Hungarian(denseOf(sp))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, kind := range []Kind{KindHungarian, KindAuction} {
+			var solver SparseSolver
+			colOf, weight, matched, err := solver.Solve(sp, kind, 1e-6, 1)
+			if err != nil {
+				t.Fatalf("%s/%v: %v", name, kind, err)
+			}
+			if math.Abs(weight-d.Weight) > float64(sp.Rows)*1e-6+1e-9 {
+				t.Errorf("%s/%v: weight %.9f, dense optimum %.9f", name, kind, weight, d.Weight)
+			}
+			if kind == KindHungarian {
+				// Normalize nil vs empty: Solve hands back a zero-length
+				// view of its scratch for row-less instances.
+				if matched != d.Matched || !reflect.DeepEqual(append([]int{}, colOf...), append([]int{}, d.ColOf...)) {
+					t.Errorf("%s: assignment %v (matched %d), dense %v (%d)", name, colOf, matched, d.ColOf, d.Matched)
+				}
+			}
+		}
+	}
+}
+
+// TestSparseAuctionBitCompatibleWithDense: the per-component auction
+// must reproduce the dense auction bid for bid — including on
+// quantized tied weights, where the ε-step price wars happen — because
+// the dense LIFO stack preserves each component's relative order and
+// prices never leak across components.
+func TestSparseAuctionBitCompatibleWithDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 300; trial++ {
+		sp := randomSparse(rng, 1+rng.Intn(8), 1+rng.Intn(10), 0.05+rng.Float64()*0.9, trial%2 == 0)
+		const eps = 1e-4
+		d, err := Auction(denseOf(sp), eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := SparseAuction(sp, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(d.ColOf, s.ColOf) || d.Matched != s.Matched {
+			t.Fatalf("trial %d: sparse auction %v vs dense %v on\n%v", trial, s.ColOf, d.ColOf, denseOf(sp))
+		}
+		if math.Abs(d.Weight-s.Weight) > 1e-9 {
+			t.Fatalf("trial %d: sparse auction weight %.12f vs dense %.12f", trial, s.Weight, d.Weight)
+		}
+	}
+}
+
+// TestSparseWorkerCountIndependence: the solve must be bit-identical
+// across worker counts — components are solved independently and merged
+// in canonical order, so concurrency must never show in the result.
+func TestSparseWorkerCountIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 120; trial++ {
+		sp := randomSparse(rng, 1+rng.Intn(16), 1+rng.Intn(24), 0.02+rng.Float64()*0.4, trial%4 == 0)
+		for _, kind := range []Kind{KindHungarian, KindAuction} {
+			var base SparseSolver
+			want, wWeight, wMatched, err := base.Solve(sp, kind, 1e-5, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantCopy := append([]int(nil), want...)
+			for _, workers := range []int{2, 4, 7} {
+				var solver SparseSolver
+				got, gWeight, gMatched, err := solver.Solve(sp, kind, 1e-5, workers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(wantCopy, got) || wWeight != gWeight || wMatched != gMatched {
+					t.Fatalf("trial %d %v: workers=%d diverged: %v (w=%.12f m=%d) vs %v (w=%.12f m=%d)",
+						trial, kind, workers, got, gWeight, gMatched, wantCopy, wWeight, wMatched)
+				}
+			}
+		}
+	}
+}
+
+// TestSparseSolverZeroAllocSteadyState is the zero-allocation contract
+// of the hot path: once the solver's scratch is warm, repeated serial
+// solves must not touch the allocator.
+func TestSparseSolverZeroAllocSteadyState(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	sp := randomSparse(rng, 12, 40, 0.15, false)
+	var solver SparseSolver
+	if _, _, _, err := solver.Solve(sp, KindHungarian, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []Kind{KindHungarian, KindAuction} {
+		kind := kind
+		if _, _, _, err := solver.Solve(sp, kind, 1e-5, 1); err != nil {
+			t.Fatal(err) // warm this kernel's scratch too
+		}
+		allocs := testing.AllocsPerRun(50, func() {
+			if _, _, _, err := solver.Solve(sp, kind, 1e-5, 1); err != nil {
+				t.Error(err)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("%v: %v allocs per warm solve, want 0", kind, allocs)
+		}
+	}
+}
+
+// TestSparseValidate rejects malformed CSR structures loudly.
+func TestSparseValidate(t *testing.T) {
+	bad := map[string]Sparse{
+		"rowptr len":     {Rows: 2, Cols: 2, RowPtr: []int{0, 1}},
+		"rowptr start":   {Rows: 1, Cols: 1, RowPtr: []int{1, 1}},
+		"rowptr order":   {Rows: 2, Cols: 2, RowPtr: []int{0, 2, 1}, Col: []int{0, 1}, W: []float64{1, 2}},
+		"short edges":    {Rows: 1, Cols: 2, RowPtr: []int{0, 2}, Col: []int{0}, W: []float64{1}},
+		"col range":      {Rows: 1, Cols: 2, RowPtr: []int{0, 1}, Col: []int{2}, W: []float64{1}},
+		"col descending": {Rows: 1, Cols: 3, RowPtr: []int{0, 2}, Col: []int{2, 1}, W: []float64{1, 2}},
+		"col duplicate":  {Rows: 1, Cols: 3, RowPtr: []int{0, 2}, Col: []int{1, 1}, W: []float64{1, 2}},
+	}
+	for name, sp := range bad {
+		if err := sp.Validate(); err == nil {
+			t.Errorf("%s: invalid instance accepted", name)
+		}
+		var solver SparseSolver
+		if _, _, _, err := solver.Solve(sp, KindHungarian, 0, 1); err == nil {
+			t.Errorf("%s: Solve accepted invalid instance", name)
+		}
+	}
+	if _, _, _, err := new(SparseSolver).Solve(Sparse{RowPtr: []int{0}}, Kind(99), 0, 1); err == nil {
+		t.Error("unknown kernel accepted")
+	}
+	good := Sparse{Rows: 1, Cols: 2, RowPtr: []int{0, 1}, Col: []int{1}, W: []float64{3}}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid instance rejected: %v", err)
+	}
+}

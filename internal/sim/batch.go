@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 
 	"repro/internal/matching"
@@ -181,6 +182,36 @@ func (e *Engine) RunBatchedScenario(tasks []model.Task, events []model.MarketEve
 // decision time and commits the matches, reporting each order's outcome
 // through the run's decision hook when one is installed.
 //
+// The production path (closeBatchSparse) builds the window as a sparse
+// candidate graph, splits it into connected task–driver components and
+// solves each one independently with the sparse kernels of
+// internal/matching, reusing pooled scratch so a steady-state window
+// costs no allocations. The pre-decomposition dense path is retained as
+// the differential oracle behind Engine.DenseWindows: both commit an
+// exact maximum-weight assignment, bit-identical whenever the window's
+// optimum is unique — the window differential tests sweep exactly that,
+// and the per-window audit proves equal weight even on the degenerate
+// windows where several exact optima tie bitwise (orders lying on a
+// driver's route home cost zero margin for every such driver) and each
+// path commits its own canonical optimum.
+func (e *Engine) closeBatch(r *eventRun, batch []int, decisionAt float64, algo BatchAlgorithm) {
+	if len(batch) == 0 {
+		return // every order of the window was cancelled
+	}
+	if e.auditHook != nil {
+		e.auditHook(r, batch, decisionAt)
+	}
+	if e.DenseWindows {
+		e.closeBatchDense(r, batch, decisionAt, algo)
+		return
+	}
+	e.closeBatchSparse(r, batch, decisionAt, algo)
+}
+
+// closeBatchDense is the pre-decomposition window solve — one dense
+// Hungarian/Auction instance over the whole window — kept verbatim as
+// the oracle the sparse path is differentially tested against.
+//
 // The weight matrix is compacted in two canonical steps. First, each
 // row keeps only its top len(batch) candidates by (margin, then driver
 // index): a maximum-weight matching never needs more — if an optimal
@@ -194,10 +225,7 @@ func (e *Engine) RunBatchedScenario(tasks []model.Task, events []model.MarketEve
 // Every candidate source produces the identical candidate sets (the
 // differential contract) and both steps are deterministic, so results
 // stay bit-identical across sources and shard counts.
-func (e *Engine) closeBatch(r *eventRun, batch []int, decisionAt float64, algo BatchAlgorithm) {
-	if len(batch) == 0 {
-		return // every order of the window was cancelled
-	}
+func (e *Engine) closeBatchDense(r *eventRun, batch []int, decisionAt float64, algo BatchAlgorithm) {
 	// Per-task candidate sets — pruned to the decisive top — and the
 	// sorted union of their drivers.
 	cands := make([][]Candidate, len(batch))
@@ -278,6 +306,148 @@ func (e *Engine) closeBatch(r *eventRun, batch []int, decisionAt float64, algo B
 		r.assignTask(ti, Candidate{Driver: drv, Arrival: arrivals[bi][j], Margin: w[bi][j]}, r.tasks[ti])
 		if r.onDecided != nil {
 			r.onDecided(TaskDecision{Task: ti, Assigned: true, Driver: drv, PickupAt: arrivals[bi][j], At: decisionAt})
+		}
+	}
+}
+
+// windowScratch is the batcher's pooled per-window working set. One
+// instance lives on the engine and is reused across every window of
+// every batched run, so the steady-state hot path — candidate arena,
+// driver→column maps, the CSR edge arrays and the solver's own scratch
+// — never touches the allocator. Driver-indexed arrays are epoch-
+// stamped instead of cleared: bumping epoch invalidates the whole map
+// in O(1), and entries for drivers added mid-stream (AddDriver) carry
+// epoch 0, which is never current.
+type windowScratch struct {
+	arena  []Candidate // kept candidate edges, row spans concatenated
+	rowPtr []int       // len batch+1: row spans into arena, reused as CSR RowPtr
+
+	epoch    int
+	colEpoch []int // driver -> epoch the driver was last seen
+	colIdx   []int // driver -> compact column, valid when colEpoch is current
+	union    []int // compact column -> driver, ascending
+
+	col []int     // CSR column ids, parallel to arena
+	w   []float64 // CSR margins
+	arr []float64 // per-edge pickup arrival times
+
+	solver matching.SparseSolver
+}
+
+// closeBatchSparse is the production window solve: the window as a
+// sparse candidate graph, decomposed into connected components and
+// solved exactly per component (concurrently across Engine.MatchWorkers
+// goroutines when configured) by internal/matching's sparse kernels.
+//
+// The graph keeps the dense path's two canonical compactions — top
+// len(batch) candidates per row by (margin, driver), columns renumbered
+// over the ascending union of surviving drivers — and adds a third that
+// is equally exact: candidates with non-positive margin are dropped
+// while building the rows, because individual rationality already bars
+// them from every assignment. Rows are laid out in batch order and each
+// row's edges in ascending driver order, so the solve is deterministic
+// and the commit loop below replays decisions in exactly the dense
+// path's order — which is what keeps the two paths, all candidate
+// sources, every shard count and every worker count bit-identical.
+func (e *Engine) closeBatchSparse(r *eventRun, batch []int, decisionAt float64, algo BatchAlgorithm) {
+	ws := e.winScratch
+	if ws == nil {
+		ws = &windowScratch{}
+		e.winScratch = ws
+	}
+	for len(ws.colEpoch) < len(e.Drivers) {
+		ws.colEpoch = append(ws.colEpoch, 0)
+		ws.colIdx = append(ws.colIdx, 0)
+	}
+	ws.epoch++
+
+	// Rows: query, filter to positive margins, prune to the decisive
+	// top-k, restore ascending driver order within the row.
+	ws.arena = ws.arena[:0]
+	ws.rowPtr = append(ws.rowPtr[:0], 0)
+	ws.union = ws.union[:0]
+	for _, ti := range batch {
+		r.cands = e.source.Candidates(r.tasks[ti], decisionAt, r.cands[:0])
+		start := len(ws.arena)
+		for _, c := range r.cands {
+			if c.Margin > 0 {
+				ws.arena = append(ws.arena, c)
+			}
+		}
+		if row := ws.arena[start:]; len(row) > len(batch) {
+			slices.SortFunc(row, func(a, b Candidate) int {
+				if a.Margin != b.Margin {
+					if a.Margin > b.Margin {
+						return -1
+					}
+					return 1
+				}
+				return a.Driver - b.Driver
+			})
+			ws.arena = ws.arena[:start+len(batch)]
+			slices.SortFunc(ws.arena[start:], func(a, b Candidate) int { return a.Driver - b.Driver })
+		}
+		for _, c := range ws.arena[start:] {
+			if ws.colEpoch[c.Driver] != ws.epoch {
+				ws.colEpoch[c.Driver] = ws.epoch
+				ws.union = append(ws.union, c.Driver)
+			}
+		}
+		ws.rowPtr = append(ws.rowPtr, len(ws.arena))
+	}
+	slices.Sort(ws.union)
+	for j, drv := range ws.union {
+		ws.colIdx[drv] = j
+	}
+
+	// CSR edge arrays over the compact column space. Ascending driver
+	// order within a row maps to ascending column ids because the
+	// renumbering is monotone.
+	ws.col = ws.col[:0]
+	ws.w = ws.w[:0]
+	ws.arr = ws.arr[:0]
+	for _, c := range ws.arena {
+		ws.col = append(ws.col, ws.colIdx[c.Driver])
+		ws.w = append(ws.w, c.Margin)
+		ws.arr = append(ws.arr, c.Arrival)
+	}
+	sp := matching.Sparse{
+		Rows: len(batch), Cols: len(ws.union),
+		RowPtr: ws.rowPtr, Col: ws.col, W: ws.w,
+	}
+
+	kind, eps := matching.KindHungarian, 0.0
+	if algo == BatchAuction {
+		// Same ε as the dense oracle; see closeBatchDense.
+		kind, eps = matching.KindAuction, 1e-4
+	}
+	workers := e.MatchWorkers
+	if workers < 1 {
+		workers = 1
+	}
+	colOf, _, _, err := ws.solver.Solve(sp, kind, eps, workers)
+	if err != nil {
+		// The CSR is well-formed by construction.
+		panic(fmt.Sprintf("sim: batch matching failed: %v", err))
+	}
+
+	for bi, ti := range batch {
+		j := colOf[bi]
+		if j < 0 {
+			r.res.Rejected++
+			if r.onDecided != nil {
+				r.onDecided(TaskDecision{Task: ti, Driver: -1, At: decisionAt})
+			}
+			continue
+		}
+		k := ws.rowPtr[bi]
+		for ws.col[k] != j {
+			k++
+		}
+		drv := ws.union[j]
+		r.assignTask(ti, Candidate{Driver: drv, Arrival: ws.arr[k], Margin: ws.w[k]}, r.tasks[ti])
+		if r.onDecided != nil {
+			r.onDecided(TaskDecision{Task: ti, Assigned: true, Driver: drv, PickupAt: ws.arr[k], At: decisionAt})
 		}
 	}
 }

@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
-	"sort"
+	"slices"
 	"sync"
 
 	"repro/internal/geo"
@@ -251,13 +251,26 @@ func (s *ShardedSource) Candidates(task model.Task, now float64, buf []Candidate
 // mergeInto k-way-merges the active shards' sorted candidate slices
 // into buf by ascending driver id. The active shard count is small (a
 // radius rarely touches more than a handful of zones), so a linear
-// scan over the heads beats a heap.
+// scan over the heads beats a heap. The exact output size is known
+// upfront, so buf is grown once instead of through append's doubling —
+// on the batched hot path, which queries candidates per order per
+// window into a pooled buffer, that keeps steady-state merges
+// allocation-free.
 func (s *ShardedSource) mergeInto(buf []Candidate) []Candidate {
 	switch len(s.active) {
 	case 0:
 		return buf
 	case 1:
 		return append(buf, s.out[s.active[0]]...)
+	}
+	total := 0
+	for _, z := range s.active {
+		total += len(s.out[z])
+	}
+	if cap(buf)-len(buf) < total {
+		grown := make([]Candidate, len(buf), len(buf)+total)
+		copy(grown, buf)
+		buf = grown
 	}
 	heads := s.heads[:len(s.active)]
 	for k := range heads {
@@ -288,7 +301,7 @@ func (s *ShardedSource) queryShard(z int, task model.Task, now, minRetire, servi
 	ids := s.ids[z][:0]
 	s.idx[z].NearReachable(task.Source, s.maxSpeed, task.StartBy, now, minRetire,
 		func(id int) { ids = append(ids, id) })
-	sort.Ints(ids)
+	slices.Sort(ids)
 	out := s.out[z][:0]
 	for _, i := range ids {
 		if c, ok := s.e.candidateFor(i, task, now, service, serviceCost); ok {

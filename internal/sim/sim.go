@@ -169,10 +169,29 @@ type Engine struct {
 	// speed (InstantClock).
 	Clock Clock
 
-	states  []driverState
-	present []bool // false: not yet joined, or retired
-	rng     *rand.Rand
-	source  CandidateSource
+	// MatchWorkers bounds the goroutines solving a batched window's
+	// independent task–driver components concurrently; values below 2
+	// solve serially. Results are bit-identical for every worker count
+	// (the window differential tests sweep it) — the knob is purely
+	// operational, like shard counts.
+	MatchWorkers int
+
+	// DenseWindows forces batched windows through the pre-decomposition
+	// dense solve — the differential oracle for the sparse component
+	// path. Assignments are identical either way; only speed and
+	// allocation behaviour change. Tests and the bench harness flip it;
+	// production leaves it false.
+	DenseWindows bool
+
+	states     []driverState
+	present    []bool // false: not yet joined, or retired
+	rng        *rand.Rand
+	source     CandidateSource
+	winScratch *windowScratch // pooled batched-window working set
+
+	// auditHook, when set by tests, observes every batched window right
+	// before it is solved and committed.
+	auditHook func(r *eventRun, batch []int, decisionAt float64)
 }
 
 // New returns an engine over the given market and drivers. It returns an

@@ -3,7 +3,7 @@ package sim
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"repro/internal/geo"
 	"repro/internal/model"
@@ -135,7 +135,7 @@ func (s *GridSource) Candidates(task model.Task, now float64, buf []Candidate) [
 		func(id int) { s.ids = append(s.ids, id) })
 	// The index visits in ring/bucket order; restore the canonical
 	// ascending driver order the dispatchers' tie-breaking depends on.
-	sort.Ints(s.ids)
+	slices.Sort(s.ids)
 
 	service := e.Market.TravelTime(task.Source, task.Dest, 0)
 	serviceCost := e.Market.ServiceCost(task)

@@ -10,13 +10,18 @@
 #   BENCH_4.json — the streaming-batched trajectory: the same day
 #     window-matched by Engine.RunBatched vs through a WithBatching
 #     dispatch.Service, pricing the open-loop batched API.
+#   BENCH_5.json — the window-kernel trajectory: the same batched day
+#     cleared by the dense whole-matrix oracle vs the sparse
+#     component-decomposed solve, with per-task allocation accounting
+#     (allocs_per_task / bytes_per_task). This suite runs a denser day
+#     than the others (windows only earn their keep holding many
+#     orders): ~40 orders per 300 s window at 12k orders/day.
 #
 # All are machine-readable JSON so perf changes diff against a fixed
 # trajectory.
 #
 # Usage: scripts/bench.sh [extra `rideshare bench` flags]
-# Output: BENCH_2.json, BENCH_3.json and BENCH_4.json at the repository
-# root.
+# Output: BENCH_2.json through BENCH_5.json at the repository root.
 #
 # Extra flags apply to the dispatch run only — forwarding them to the
 # streaming runs too would let a user -out/-shards override clobber the
@@ -26,4 +31,5 @@ set -eu
 cd "$(dirname "$0")/.."
 go run ./cmd/rideshare bench -out BENCH_2.json "$@"
 go run ./cmd/rideshare bench -streaming -shards 4 -out BENCH_3.json
-exec go run ./cmd/rideshare bench -batched -shards 4 -out BENCH_4.json
+go run ./cmd/rideshare bench -batched -shards 4 -out BENCH_4.json
+exec go run ./cmd/rideshare bench -windows -tasks 12000 -batch-window 300 -shards 4 -out BENCH_5.json

@@ -28,7 +28,9 @@ check() {
   fi
 }
 
-check ./internal/sim 91.0
-check ./dispatch 80.7
-check ./internal/matching 97.7
+# Floors raised with the sparse window-matching PR (sim 91.0 -> 92.5,
+# dispatch 80.7 -> 84.0, matching 97.7 -> 98.0 after its tests landed).
+check ./internal/sim 92.5
+check ./dispatch 84.0
+check ./internal/matching 98.0
 echo "coverage_check: all floors held"

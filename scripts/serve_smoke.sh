@@ -40,9 +40,12 @@ echo "serve_smoke: clean shutdown"
 # Second leg: the same drill against a batched market (-batch-window).
 # -realtime arms the wall-clock window timer, so the final window is
 # decided even with no follow-up traffic; loadgen's pending accounting
-# covers the rest.
+# covers the rest. -match-workers exercises the component worker pool
+# and -pprof-addr the profiling listener (probed below).
+PPROF_PORT=$((PORT + 1))
 /tmp/rideshare-smoke serve -addr "127.0.0.1:$PORT" -drivers 500 -shards 2 \
-  -batch-window 30 -batch-algo hungarian -realtime &
+  -batch-window 30 -batch-algo hungarian -realtime \
+  -match-workers 2 -pprof-addr "127.0.0.1:$PPROF_PORT" &
 SERVE_PID=$!
 trap 'kill "$SERVE_PID" 2>/dev/null || true' EXIT
 
@@ -56,6 +59,15 @@ until curl -sf "http://127.0.0.1:$PORT/healthz" >/dev/null 2>&1; do
   sleep 0.1
 done
 echo "serve_smoke: batched healthz OK"
+
+# The profiling surface must answer on its own listener, never on the
+# market port.
+curl -sf "http://127.0.0.1:$PPROF_PORT/debug/pprof/" >/dev/null
+if curl -sf "http://127.0.0.1:$PORT/debug/pprof/" >/dev/null 2>&1; then
+  echo "serve_smoke: pprof leaked onto the market port" >&2
+  exit 1
+fi
+echo "serve_smoke: pprof OK"
 
 /tmp/rideshare-smoke loadgen -addr "http://127.0.0.1:$PORT" -tasks 200 -workers 4 -cancel 0.1
 
