@@ -15,8 +15,10 @@ import (
 	"time"
 
 	"repro/dispatch"
+	"repro/internal/model"
 	"repro/internal/online"
 	"repro/internal/sim"
+	"repro/internal/stats"
 	"repro/internal/trace"
 )
 
@@ -56,6 +58,14 @@ type benchResult struct {
 	// fraction of the dense path's allocations eliminated.
 	SpeedupVsDense  float64 `json:"speedup_vs_dense,omitempty"`
 	AllocCutVsDense float64 `json:"alloc_cut_vs_dense,omitempty"`
+	// The -maxprocs sweep's column family: the GOMAXPROCS value this
+	// leg ran under, the day's revenue (part of the cross-leg identity
+	// check), per-decision wall-latency percentiles, and the speedup
+	// over the sweep's first leg (procs=1 when the sweep includes it).
+	GoMaxProcs      int                   `json:"go_maxprocs,omitempty"`
+	Revenue         float64               `json:"revenue,omitempty"`
+	Latency         *stats.LatencySummary `json:"latency,omitempty"`
+	SpeedupVsProcs1 float64               `json:"speedup_vs_procs1,omitempty"`
 }
 
 // benchReport is the top-level JSON document.
@@ -63,6 +73,7 @@ type benchReport struct {
 	Schema     string        `json:"schema"`
 	Command    string        `json:"command"`
 	GoMaxProcs int           `json:"go_maxprocs"`
+	NumCPU     int           `json:"num_cpu,omitempty"`
 	Reps       int           `json:"reps"`
 	Results    []benchResult `json:"results"`
 }
@@ -93,9 +104,18 @@ func cmdBench(args []string) error {
 	batchWindow := fs.Float64("batch-window", 60, "window seconds for the -batched and -windows suites")
 	batchAlgo := fs.String("batch-algo", "hungarian", "batch solver for the -batched and -windows suites: hungarian or auction")
 	matchWorkers := fs.Int("match-workers", 1, "component-solver goroutines for the -windows suite's sparse leg")
+	maxprocsList := fs.String("maxprocs", "", "comma-separated GOMAXPROCS legs to sweep (0 = all CPUs); pairs with -windows or -batched, adds per-decision latency percentiles, and writes BENCH_6.json by default")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	// A sweep scales the component solver with the leg's GOMAXPROCS
+	// unless the user pinned -match-workers explicitly.
+	workersSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "match-workers" {
+			workersSet = true
+		}
+	})
 	if err := checkPositive("bench", map[string]int{"-tasks": *tasks, "-reps": *reps, "-match-workers": *matchWorkers}); err != nil {
 		return err
 	}
@@ -116,6 +136,29 @@ func cmdBench(args []string) error {
 	}
 	if suites > 1 {
 		return fmt.Errorf("bench: -streaming, -batched and -windows are separate suites; pick one")
+	}
+	var procs []int
+	if *maxprocsList != "" {
+		if !*windows && !*batched {
+			return fmt.Errorf("bench: -maxprocs sweeps the -windows or -batched suite; pick one of those")
+		}
+		raw, err := parseIntList(*maxprocsList)
+		if err != nil {
+			return fmt.Errorf("bench: -maxprocs: %w", err)
+		}
+		seen := make(map[int]bool)
+		for _, p := range raw {
+			if p < 0 {
+				return fmt.Errorf("bench: -maxprocs entries must be ≥ 0 (0 = all CPUs), got %d", p)
+			}
+			if p == 0 {
+				p = runtime.NumCPU()
+			}
+			if !seen[p] {
+				seen[p] = true
+				procs = append(procs, p)
+			}
+		}
 	}
 	batchPolicy, err := dispatch.ParseBatchAlgorithm(*batchAlgo)
 	if err != nil {
@@ -150,6 +193,17 @@ func cmdBench(args []string) error {
 		if *windows {
 			*out = "BENCH_5.json"
 		}
+		if len(procs) > 0 {
+			*out = "BENCH_6.json"
+		}
+	}
+	if len(procs) > 0 {
+		if *windows {
+			return benchWindowsMaxprocs(*out, *tasks, driverCounts, shardCounts, *reps, *seed,
+				*batchWindow, batchPolicy, *matchWorkers, workersSet, procs)
+		}
+		return benchBatchedMaxprocs(*out, *tasks, driverCounts, shardCounts, *reps, *seed,
+			*batchWindow, batchPolicy, *matchWorkers, workersSet, procs)
 	}
 	if *streaming {
 		return benchStreaming(*out, *tasks, driverCounts, shardCounts, *reps, *seed)
@@ -673,6 +727,254 @@ func benchWindows(out string, tasks int, driverCounts, shardCounts []int, reps i
 			report.Results = append(report.Results, r)
 			fmt.Fprintf(os.Stderr, "%-48s %8.3fs  %8.0f tasks/s  %9.0f allocs/task  %.2fx vs dense\n",
 				name, median, float64(tasks)/median, medAllocs, r.SpeedupVsDense)
+		}
+	}
+	return writeBenchReport(out, report)
+}
+
+// maxShards collapses a -shards list to the single candidate-source
+// configuration the maxprocs sweeps time: the largest requested count,
+// where the parallel fan-out has the most shards to spread across.
+func maxShards(shardCounts []int) int {
+	shards := 1
+	for _, s := range shardCounts {
+		if s > shards {
+			shards = s
+		}
+	}
+	return shards
+}
+
+// checkSweepIdentity enforces the maxprocs sweep's bit-identity bar:
+// every GOMAXPROCS leg must reproduce the first leg's books exactly —
+// same served and rejected counts, bitwise-equal revenue. The parallel
+// query fan-out and the component solver both preserve the merge order,
+// so equality here is exact, not tolerance-based; any drift is a bug.
+func checkSweepIdentity(suite string, p int, served, rejected, baseServed, baseRejected int, revenue, baseRevenue float64) error {
+	if served != baseServed || rejected != baseRejected {
+		return fmt.Errorf("bench: %s at GOMAXPROCS=%d served %d/rejected %d vs first leg %d/%d — legs diverged, this is a bug",
+			suite, p, served, rejected, baseServed, baseRejected)
+	}
+	if revenue != baseRevenue {
+		return fmt.Errorf("bench: %s at GOMAXPROCS=%d revenue %.12g vs first leg %.12g — legs diverged, this is a bug",
+			suite, p, revenue, baseRevenue)
+	}
+	return nil
+}
+
+// benchWindowsMaxprocs sweeps GOMAXPROCS over the sparse windowed
+// kernel at the engine level: the same batched day is replayed through
+// Engine.NewBatchedStream once per requested processor count, with the
+// per-shard query fan-out and the component solver free to use the
+// leg's processors (MatchWorkers follows GOMAXPROCS unless the user
+// pinned -match-workers). Every SubmitTask — the call that pays for
+// due window closes — is individually timed into an HDR-style
+// histogram, so the latency columns price the decision tail, not just
+// mean throughput. All legs must produce bit-identical books.
+func benchWindowsMaxprocs(out string, tasks int, driverCounts, shardCounts []int, reps int, seed int64,
+	window float64, algo dispatch.BatchAlgorithm, workers int, workersSet bool, procs []int) error {
+	simAlgo := sim.BatchHungarian
+	if algo == dispatch.Auction {
+		simAlgo = sim.BatchAuction
+	}
+	shards := maxShards(shardCounts)
+	if len(shardCounts) > 1 {
+		fmt.Fprintf(os.Stderr, "bench: -maxprocs times one candidate source; using sharded-%d (the largest of -shards %v)\n",
+			shards, shardCounts)
+	}
+	report := benchReport{
+		Schema:     "rideshare-bench/v1",
+		Command:    fmt.Sprintf("rideshare bench -windows -maxprocs %v -batch-window %g -batch-algo %v", procs, window, algo),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Reps:       reps,
+	}
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	for _, drivers := range driverCounts {
+		cfg := trace.NewConfig(seed, tasks, drivers, trace.Hitchhiking)
+		tr := trace.NewGenerator(cfg).Generate(nil)
+		// The canonical streaming feed: the day's orders in publish
+		// order, exactly as the batched differential tests replay them.
+		day := make([]model.Task, len(tr.Tasks))
+		copy(day, tr.Tasks)
+		sort.SliceStable(day, func(a, b int) bool { return day[a].Publish < day[b].Publish })
+
+		var baseRes sim.Result
+		var baseSec float64
+		for li, p := range procs {
+			runtime.GOMAXPROCS(p)
+			w := workers
+			if !workersSet {
+				w = p
+			}
+			eng, err := sim.New(cfg.Market, tr.Drivers, 1)
+			if err != nil {
+				return err
+			}
+			if shards > 1 {
+				eng.SetCandidateSource(sim.NewShardedSource(shards))
+			}
+			eng.MatchWorkers = w
+
+			var res sim.Result
+			hist := &stats.LatencyHist{}
+			times := make([]float64, 0, reps)
+			for r := 0; r < reps; r++ {
+				st, err := eng.NewBatchedStream(window, simAlgo, nil)
+				if err != nil {
+					return err
+				}
+				start := time.Now()
+				for i := range day {
+					t0 := time.Now()
+					st.SubmitTask(day[i])
+					hist.Record(time.Since(t0).Seconds())
+				}
+				t0 := time.Now()
+				res = st.Finish()
+				hist.Record(time.Since(t0).Seconds())
+				times = append(times, time.Since(start).Seconds())
+			}
+			sort.Float64s(times)
+			median := times[len(times)/2]
+
+			if li == 0 {
+				baseRes, baseSec = res, median
+			} else if err := checkSweepIdentity("-windows sweep", p,
+				res.Served, res.Rejected, baseRes.Served, baseRes.Rejected,
+				res.Revenue, baseRes.Revenue); err != nil {
+				return err
+			}
+
+			sum := hist.Summary()
+			r := benchResult{
+				Name:    fmt.Sprintf("windows/drivers=%d/sharded-%d/sparse/procs=%d", drivers, shards, p),
+				Drivers: drivers, Tasks: tasks,
+				Source: "sharded", Shards: shards,
+				Kernel: "sparse", Workers: w,
+				Seconds: median, TasksPerSec: float64(tasks) / median,
+				Served: res.Served, Revenue: res.Revenue,
+				GoMaxProcs: p, Latency: &sum,
+			}
+			if li > 0 {
+				r.SpeedupVsProcs1 = baseSec / median
+			}
+			report.Results = append(report.Results, r)
+			fmt.Fprintf(os.Stderr, "%-52s %8.3fs  %8.0f tasks/s  p50 %.3fms  p99 %.3fms  p999 %.3fms\n",
+				r.Name, median, r.TasksPerSec, sum.P50Ms, sum.P99Ms, sum.P999Ms)
+		}
+	}
+	return writeBenchReport(out, report)
+}
+
+// benchBatchedMaxprocs sweeps GOMAXPROCS over the public batched
+// service: the same day is replayed submission-by-submission through a
+// WithBatching dispatch.Service once per requested processor count,
+// timing each SubmitTask and the window-deciding Close into the latency
+// histogram. The service's match workers follow the leg's GOMAXPROCS
+// unless -match-workers pinned them. All legs must balance to the same
+// books — the sweep doubles as a concurrency differential test of the
+// whole public stack.
+func benchBatchedMaxprocs(out string, tasks int, driverCounts, shardCounts []int, reps int, seed int64,
+	window float64, algo dispatch.BatchAlgorithm, workers int, workersSet bool, procs []int) error {
+	shards := maxShards(shardCounts)
+	if len(shardCounts) > 1 {
+		fmt.Fprintf(os.Stderr, "bench: -maxprocs times one candidate source; using sharded-%d (the largest of -shards %v)\n",
+			shards, shardCounts)
+	}
+	report := benchReport{
+		Schema:     "rideshare-bench/v1",
+		Command:    fmt.Sprintf("rideshare bench -batched -maxprocs %v -batch-window %g -batch-algo %v", procs, window, algo),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Reps:       reps,
+	}
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	ctx := context.Background()
+	for _, drivers := range driverCounts {
+		cfg := trace.NewConfig(seed, tasks, drivers, trace.Hitchhiking)
+		tr := trace.NewGenerator(cfg).Generate(nil)
+
+		market := dispatch.Market{}
+		for i, d := range tr.Drivers {
+			market.Drivers = append(market.Drivers, toDispatchDriver(i, d))
+		}
+		feed := make([]dispatch.Task, len(tr.Tasks))
+		for i, t := range tr.Tasks {
+			feed[i] = toDispatchTask(i, t)
+		}
+		sort.SliceStable(feed, func(a, b int) bool { return feed[a].Publish < feed[b].Publish })
+
+		var baseStats dispatch.Stats
+		var baseSec float64
+		for li, p := range procs {
+			runtime.GOMAXPROCS(p)
+			w := workers
+			if !workersSet {
+				w = p
+			}
+			opts := []dispatch.Option{
+				dispatch.WithBatching(window, algo),
+				dispatch.WithSeed(1), dispatch.WithStrictTimes(),
+			}
+			if shards > 1 {
+				opts = append(opts, dispatch.WithShards(shards))
+			}
+			if w > 1 {
+				opts = append(opts, dispatch.WithMatchWorkers(w))
+			}
+
+			var svcStats dispatch.Stats
+			hist := &stats.LatencyHist{}
+			times := make([]float64, 0, reps)
+			for r := 0; r < reps; r++ {
+				svc, err := dispatch.New(market, opts...)
+				if err != nil {
+					return fmt.Errorf("bench: batched service: %w", err)
+				}
+				start := time.Now()
+				for i := range feed {
+					t0 := time.Now()
+					if _, err := svc.SubmitTask(ctx, feed[i]); err != nil {
+						return fmt.Errorf("bench: batched submit %d: %w", feed[i].ID, err)
+					}
+					hist.Record(time.Since(t0).Seconds())
+				}
+				t0 := time.Now()
+				svcStats, err = svc.Close()
+				if err != nil {
+					return err
+				}
+				hist.Record(time.Since(t0).Seconds())
+				times = append(times, time.Since(start).Seconds())
+			}
+			sort.Float64s(times)
+			median := times[len(times)/2]
+
+			if li == 0 {
+				baseStats, baseSec = svcStats, median
+			} else if err := checkSweepIdentity("-batched sweep", p,
+				svcStats.Served, svcStats.Rejected, baseStats.Served, baseStats.Rejected,
+				svcStats.Revenue, baseStats.Revenue); err != nil {
+				return err
+			}
+
+			sum := hist.Summary()
+			r := benchResult{
+				Name:    fmt.Sprintf("batched/drivers=%d/sharded-%d/service/procs=%d", drivers, shards, p),
+				Drivers: drivers, Tasks: tasks,
+				Source: "sharded", Shards: shards,
+				Mode: "streaming", Workers: w,
+				Seconds: median, TasksPerSec: float64(tasks) / median,
+				Served: svcStats.Served, Revenue: svcStats.Revenue,
+				GoMaxProcs: p, Latency: &sum,
+			}
+			if li > 0 {
+				r.SpeedupVsProcs1 = baseSec / median
+			}
+			report.Results = append(report.Results, r)
+			fmt.Fprintf(os.Stderr, "%-52s %8.3fs  %8.0f tasks/s  p50 %.3fms  p99 %.3fms  p999 %.3fms\n",
+				r.Name, median, r.TasksPerSec, sum.P50Ms, sum.P99Ms, sum.P999Ms)
 		}
 	}
 	return writeBenchReport(out, report)

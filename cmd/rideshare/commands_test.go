@@ -176,6 +176,15 @@ func TestCmdFlagValidation(t *testing.T) {
 		{"loadgen -tasks 0", func() error { return cmdLoadgen([]string{"-tasks", "0"}) }},
 		{"loadgen -workers 0", func() error { return cmdLoadgen([]string{"-workers", "0"}) }},
 		{"loadgen -cancel 2", func() error { return cmdLoadgen([]string{"-cancel", "2"}) }},
+		{"loadgen -rate -5", func() error { return cmdLoadgen([]string{"-rate", "-5"}) }},
+		{"serve -max-pending -1", func() error { return cmdServe([]string{"-max-pending", "-1"}) }},
+		{"bench -maxprocs without a suite", func() error { return cmdBench([]string{"-maxprocs", "1,2"}) }},
+		{"bench -windows -maxprocs -2", func() error {
+			return cmdBench([]string{"-windows", "-maxprocs", "1,-2"})
+		}},
+		{"bench -batched -maxprocs x", func() error {
+			return cmdBench([]string{"-batched", "-maxprocs", "x"})
+		}},
 	}
 	for _, tc := range cases {
 		if err := tc.run(); err == nil {
@@ -412,6 +421,93 @@ func TestCmdBenchWindowsWritesJSON(t *testing.T) {
 	}
 	if dense.SpeedupVsDense != 0 {
 		t.Fatalf("dense leg carries speedup_vs_dense %g", dense.SpeedupVsDense)
+	}
+}
+
+// TestCmdBenchMaxprocsWritesJSON: the -maxprocs sweep writes one
+// result per GOMAXPROCS leg with the latency column family populated
+// and ordered, a go_maxprocs column that actually varies (including a
+// leg above 1 even on a single-core host — the parallel branches still
+// execute), and bit-identical books across legs.
+func TestCmdBenchMaxprocsWritesJSON(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "bench6.json")
+	if err := cmdBench([]string{"-windows", "-maxprocs", "1,2", "-drivers", "150", "-shards", "2",
+		"-tasks", "80", "-reps", "1", "-batch-window", "600", "-out", out}); err != nil {
+		t.Fatalf("bench -windows -maxprocs: %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report struct {
+		Schema  string `json:"schema"`
+		NumCPU  int    `json:"num_cpu"`
+		Results []struct {
+			Name       string  `json:"name"`
+			GoMaxProcs int     `json:"go_maxprocs"`
+			Workers    int     `json:"workers"`
+			Served     int     `json:"served"`
+			Revenue    float64 `json:"revenue"`
+			Seconds    float64 `json:"seconds"`
+			Latency    *struct {
+				N     int64   `json:"n"`
+				P50   float64 `json:"p50_ms"`
+				P95   float64 `json:"p95_ms"`
+				P99   float64 `json:"p99_ms"`
+				P999  float64 `json:"p999_ms"`
+				MaxMs float64 `json:"max_ms"`
+			} `json:"latency"`
+			SpeedupVsProcs1 float64 `json:"speedup_vs_procs1"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("bench -maxprocs output is not valid JSON: %v", err)
+	}
+	if report.Schema != "rideshare-bench/v1" || report.NumCPU < 1 {
+		t.Fatalf("schema %q, num_cpu %d", report.Schema, report.NumCPU)
+	}
+	if len(report.Results) != 2 {
+		t.Fatalf("results = %d, want 2 legs", len(report.Results))
+	}
+	base := report.Results[0]
+	sawMulti := false
+	for i, r := range report.Results {
+		if r.GoMaxProcs != i+1 {
+			t.Fatalf("leg %d go_maxprocs = %d, want %d", i, r.GoMaxProcs, i+1)
+		}
+		if r.GoMaxProcs > 1 {
+			sawMulti = true
+		}
+		if r.Workers != r.GoMaxProcs {
+			t.Fatalf("leg %d workers = %d, want to follow go_maxprocs %d", i, r.Workers, r.GoMaxProcs)
+		}
+		if r.Served != base.Served || r.Revenue != base.Revenue {
+			t.Fatalf("leg %d books diverged: served %d/%d revenue %g/%g",
+				i, r.Served, base.Served, r.Revenue, base.Revenue)
+		}
+		if r.Seconds <= 0 {
+			t.Fatalf("leg %d non-positive timing", i)
+		}
+		l := r.Latency
+		if l == nil || l.N == 0 {
+			t.Fatalf("leg %d missing latency columns: %+v", i, r)
+		}
+		if !(l.P50 <= l.P95 && l.P95 <= l.P99 && l.P99 <= l.P999 && l.P999 <= l.MaxMs) {
+			t.Fatalf("leg %d latency percentiles unordered: %+v", i, *l)
+		}
+		if l.P50 <= 0 {
+			t.Fatalf("leg %d latency p50 not populated: %+v", i, *l)
+		}
+	}
+	if !sawMulti {
+		t.Fatal("no leg ran with go_maxprocs > 1")
+	}
+	if base.SpeedupVsProcs1 != 0 {
+		t.Fatalf("first leg carries speedup_vs_procs1 %g", base.SpeedupVsProcs1)
+	}
+	if report.Results[1].SpeedupVsProcs1 <= 0 {
+		t.Fatalf("second leg missing speedup_vs_procs1: %+v", report.Results[1])
 	}
 }
 

@@ -3,9 +3,11 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"net/http"
 	"os"
@@ -15,17 +17,35 @@ import (
 	"time"
 
 	"repro/dispatch"
+	"repro/internal/stats"
 	"repro/internal/trace"
 )
 
 // cmdLoadgen is the traffic half of the serve front end: it generates a
 // synthetic day of rider orders and drives them against a running
-// `rideshare serve` instance over HTTP — concurrent submitters, a
-// configurable cancellation rate — then reads back the server's settled
-// stats. It is both a demo client and the sustained-load check the
-// acceptance bar asks for (≥ 1k tasks end-to-end).
+// `rideshare serve` instance over HTTP, then reads back the server's
+// settled stats. Two pacing modes:
+//
+//   - Closed loop (default): -workers concurrent submitters, each
+//     firing its next order as soon as the previous answer lands. Good
+//     for sustained-throughput smoke checks.
+//   - Open loop (-rate R): orders fire on a fixed schedule of R per
+//     second regardless of how fast the server answers — the wrk2-style
+//     discipline for saturation measurements. Latency is measured from
+//     each order's *intended* send time, so server-side queueing delays
+//     are charged to the server instead of silently thinning the load
+//     (no coordinated omission).
+//
+// Either way the report carries an HDR-style latency distribution
+// (p50/p90/p95/p99/p999/max) over successful submissions, and 429
+// responses from a server running with an admission bound
+// (-max-pending) are counted as Overloaded sheds, not errors.
 
 type loadgenReport struct {
+	// Tasks is the number of submissions attempted; Submitted counts
+	// only the ones the server accepted (shed and failed submissions
+	// are in Overloaded and SubmitErrors respectively).
+	Tasks     int `json:"tasks"`
 	Submitted int `json:"submitted"`
 	Assigned  int `json:"assigned"`
 	Rejected  int `json:"rejected"`
@@ -35,13 +55,28 @@ type loadgenReport struct {
 	// window has closed by then. Orders still undecided (the server's
 	// final window never closed) remain counted here.
 	Pending int `json:"pending,omitempty"`
-	Cancels int `json:"cancellations_sent"`
-	Errors  int `json:"errors"`
-	// FirstError carries the first failure's text so a non-zero Errors
+	// Overloaded counts submissions the server shed with HTTP 429 at
+	// its admission bound — backpressure working as designed, reported
+	// separately from errors.
+	Overloaded int `json:"overloaded,omitempty"`
+	Cancels    int `json:"cancellations_sent"`
+	// Errors are split by request kind so a failing cancel or poll
+	// cannot masquerade as a submission failure.
+	SubmitErrors int `json:"submit_errors"`
+	CancelErrors int `json:"cancel_errors"`
+	PollErrors   int `json:"poll_errors"`
+	// FirstError carries the first failure's text so a non-zero error
 	// count in a smoke run is diagnosable from the report alone.
 	FirstError string  `json:"first_error,omitempty"`
 	Seconds    float64 `json:"seconds"`
-	PerSec     float64 `json:"tasks_per_sec"`
+	// PerSec is successful submissions per wall second — shed and
+	// failed POSTs do not inflate throughput.
+	PerSec float64 `json:"tasks_per_sec"`
+	// TargetRate echoes -rate on open-loop runs, 0 on closed-loop ones.
+	TargetRate float64 `json:"target_rate,omitempty"`
+	// Latency is the distribution of successful submission round trips;
+	// open-loop runs measure from the intended send time.
+	Latency stats.LatencySummary `json:"latency"`
 }
 
 func cmdLoadgen(args []string) error {
@@ -49,7 +84,8 @@ func cmdLoadgen(args []string) error {
 	baseURL := fs.String("addr", "http://127.0.0.1:8080", "base URL of the rideshare serve instance")
 	tasks := fs.Int("tasks", 1000, "orders to submit")
 	seed := fs.Int64("seed", 1, "order generation seed")
-	workers := fs.Int("workers", 4, "concurrent submitter goroutines")
+	workers := fs.Int("workers", 4, "concurrent submitter goroutines (closed loop; ignored with -rate)")
+	rate := fs.Float64("rate", 0, "open-loop target submissions per second; 0 keeps the closed-loop worker model")
 	cancel := fs.Float64("cancel", 0, "fraction of assigned orders cancelled right after assignment")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -60,6 +96,9 @@ func cmdLoadgen(args []string) error {
 	if err := checkFraction("loadgen", map[string]float64{"-cancel": *cancel}); err != nil {
 		return err
 	}
+	if *rate < 0 || math.IsNaN(*rate) || math.IsInf(*rate, 0) {
+		return fmt.Errorf("loadgen: -rate %g, want a finite rate ≥ 0", *rate)
+	}
 
 	// Generate(nil) rather than GenerateTasks: the latter leaves tasks
 	// unpriced, and an unpriced order is never profitable to serve.
@@ -67,103 +106,169 @@ func cmdLoadgen(args []string) error {
 	gen := trace.NewGenerator(cfg).Generate(nil).Tasks
 	sort.Slice(gen, func(a, b int) bool { return gen[a].Publish < gen[b].Publish })
 
-	report, err := runLoad(*baseURL, *workers, *cancel, *seed, func(i int) dispatch.Task {
+	report, err := runLoad(*baseURL, *workers, *rate, *cancel, *seed, func(i int) dispatch.Task {
 		return toDispatchTask(i, gen[i])
 	}, len(gen))
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "loadgen: %d submitted (%d assigned, %d rejected, %d pending, %d errors) in %.2fs — %.0f tasks/s\n",
-		report.Submitted, report.Assigned, report.Rejected, report.Pending, report.Errors, report.Seconds, report.PerSec)
+	fmt.Fprintf(os.Stderr, "loadgen: %d/%d submitted (%d assigned, %d rejected, %d pending, %d overloaded) in %.2fs — %.0f tasks/s, p50 %.2fms p99 %.2fms p999 %.2fms\n",
+		report.Submitted, report.Tasks, report.Assigned, report.Rejected, report.Pending,
+		report.Overloaded, report.Seconds, report.PerSec,
+		report.Latency.P50Ms, report.Latency.P99Ms, report.Latency.P999Ms)
 
 	resp, err := http.Get(*baseURL + "/v1/stats")
 	if err != nil {
 		return fmt.Errorf("loadgen: stats: %w", err)
 	}
 	defer resp.Body.Close()
-	stats, _ := io.ReadAll(resp.Body)
-	fmt.Printf("server stats: %s", stats)
+	srvStats, _ := io.ReadAll(resp.Body)
+	fmt.Printf("server stats: %s", srvStats)
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	return enc.Encode(report)
 }
 
-// runLoad submits mk(0..n-1) against the server with the given worker
-// count, optionally cancelling a fraction of assigned orders, and
-// aggregates the client-side view. Workers stripe the publish-sorted
-// order stream round-robin, so submission order is approximately
-// time-ordered and the server's late-event clamping absorbs the rest.
-// Against a batched server, submissions come back pending; each pending
-// order is re-polled once after the stream drains, by which time later
-// traffic has closed all but (at most) the final window.
-func runLoad(baseURL string, workers int, cancelFrac float64, seed int64, mk func(i int) dispatch.Task, n int) (loadgenReport, error) {
-	client := &http.Client{Timeout: 30 * time.Second}
-	var assigned, rejected, errs, cancels atomic.Int64
-	var mu sync.Mutex
-	var pendingIDs []int
-	withdrawn := make(map[int]bool) // cancels this client landed on pending orders
-	var firstErr string
-	fail := func(err error) {
-		errs.Add(1)
-		mu.Lock()
-		if firstErr == "" {
-			firstErr = err.Error()
-		}
-		mu.Unlock()
+// loadRun aggregates one runLoad invocation's counters; workers and the
+// open-loop pacer share it through atomics plus one mutex for the
+// pending bookkeeping.
+type loadRun struct {
+	client  *http.Client
+	baseURL string
+	mk      func(i int) dispatch.Task
+	// cancelPlan[i] is the deterministic coin flip for cancelling order
+	// i, fixed upfront so the two pacing modes and any worker
+	// interleaving draw identical cancel traffic for one seed.
+	cancelPlan []bool
+
+	submitted, assigned, rejected, overloaded atomic.Int64
+	cancels, submitErrs, cancelErrs, pollErrs atomic.Int64
+	latency                                   stats.LatencyHist
+
+	mu         sync.Mutex
+	pendingIDs []int
+	withdrawn  map[int]bool // cancels this client landed on pending orders
+	firstErr   string
+}
+
+func (lr *loadRun) fail(counter *atomic.Int64, err error) {
+	counter.Add(1)
+	lr.mu.Lock()
+	if lr.firstErr == "" {
+		lr.firstErr = err.Error()
 	}
+	lr.mu.Unlock()
+}
+
+// doTask runs order i end to end: submit, record latency against the
+// intended send time, then any planned cancellation. Overload sheds
+// (HTTP 429) are counted and abandoned — an open-loop generator does
+// not retry, it measures.
+func (lr *loadRun) doTask(i int, sched time.Time) {
+	task := lr.mk(i)
+	var a dispatch.Assignment
+	err := postJSON(lr.client, lr.baseURL+"/v1/tasks", task, &a)
+	if err != nil {
+		var se *httpStatusError
+		if errors.As(err, &se) && se.Status == http.StatusTooManyRequests {
+			lr.overloaded.Add(1)
+			return
+		}
+		lr.fail(&lr.submitErrs, err)
+		return
+	}
+	lr.latency.Record(time.Since(sched).Seconds())
+	lr.submitted.Add(1)
+
+	wantCancel := lr.cancelPlan != nil && lr.cancelPlan[i]
+	if a.Pending {
+		lr.mu.Lock()
+		lr.pendingIDs = append(lr.pendingIDs, task.ID)
+		lr.mu.Unlock()
+		// A batched rider can still change her mind while the window is
+		// open.
+		if wantCancel {
+			var out dispatch.CancelOutcome
+			url := fmt.Sprintf("%s/v1/tasks/%d/cancel", lr.baseURL, task.ID)
+			if err := postJSON(lr.client, url, map[string]float64{"at": a.DecidedAt + 1}, &out); err != nil {
+				lr.fail(&lr.cancelErrs, err)
+				return
+			}
+			lr.cancels.Add(1)
+			if out.Cancelled {
+				lr.mu.Lock()
+				lr.withdrawn[task.ID] = true
+				lr.mu.Unlock()
+			}
+		}
+		return
+	}
+	if !a.Assigned {
+		lr.rejected.Add(1)
+		return
+	}
+	lr.assigned.Add(1)
+	if wantCancel {
+		var out dispatch.CancelOutcome
+		url := fmt.Sprintf("%s/v1/tasks/%d/cancel", lr.baseURL, task.ID)
+		if err := postJSON(lr.client, url, map[string]float64{"at": a.DecidedAt + 1}, &out); err != nil {
+			lr.fail(&lr.cancelErrs, err)
+			return
+		}
+		lr.cancels.Add(1)
+	}
+}
+
+// runLoad submits mk(0..n-1) against the server and aggregates the
+// client-side view. rate 0 runs a closed loop: workers stripe the
+// publish-sorted order stream round-robin, each submitting as fast as
+// answers arrive. rate > 0 runs an open loop: order i fires at
+// start + i/rate on its own goroutine whether or not earlier orders
+// have been answered, and latency is charged from that scheduled
+// instant. Against a batched server, submissions come back pending;
+// each pending order is re-polled once after the stream drains, by
+// which time later traffic has closed all but (at most) the final
+// window.
+func runLoad(baseURL string, workers int, rate, cancelFrac float64, seed int64, mk func(i int) dispatch.Task, n int) (loadgenReport, error) {
+	lr := &loadRun{
+		client:    &http.Client{Timeout: 30 * time.Second},
+		baseURL:   baseURL,
+		mk:        mk,
+		withdrawn: make(map[int]bool),
+	}
+	if cancelFrac > 0 {
+		rng := rand.New(rand.NewSource(seed))
+		lr.cancelPlan = make([]bool, n)
+		for i := range lr.cancelPlan {
+			lr.cancelPlan[i] = rng.Float64() < cancelFrac
+		}
+	}
+
 	start := time.Now()
 	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		w := w
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			rng := rand.New(rand.NewSource(seed + int64(w)))
-			for i := w; i < n; i += workers {
-				task := mk(i)
-				var a dispatch.Assignment
-				if err := postJSON(client, baseURL+"/v1/tasks", task, &a); err != nil {
-					fail(err)
-					continue
-				}
-				if a.Pending {
-					mu.Lock()
-					pendingIDs = append(pendingIDs, task.ID)
-					mu.Unlock()
-					// A batched rider can still change her mind while the
-					// window is open.
-					if cancelFrac > 0 && rng.Float64() < cancelFrac {
-						var out dispatch.CancelOutcome
-						url := fmt.Sprintf("%s/v1/tasks/%d/cancel", baseURL, task.ID)
-						if err := postJSON(client, url, map[string]float64{"at": a.DecidedAt + 1}, &out); err != nil {
-							fail(err)
-							continue
-						}
-						cancels.Add(1)
-						if out.Cancelled {
-							mu.Lock()
-							withdrawn[task.ID] = true
-							mu.Unlock()
-						}
-					}
-					continue
-				}
-				if !a.Assigned {
-					rejected.Add(1)
-					continue
-				}
-				assigned.Add(1)
-				if cancelFrac > 0 && rng.Float64() < cancelFrac {
-					var out dispatch.CancelOutcome
-					url := fmt.Sprintf("%s/v1/tasks/%d/cancel", baseURL, task.ID)
-					if err := postJSON(client, url, map[string]float64{"at": a.DecidedAt + 1}, &out); err != nil {
-						fail(err)
-						continue
-					}
-					cancels.Add(1)
-				}
+	if rate > 0 {
+		interval := time.Duration(float64(time.Second) / rate)
+		for i := 0; i < n; i++ {
+			sched := start.Add(time.Duration(i) * interval)
+			if d := time.Until(sched); d > 0 {
+				time.Sleep(d)
 			}
-		}()
+			wg.Add(1)
+			go func(i int, sched time.Time) {
+				defer wg.Done()
+				lr.doTask(i, sched)
+			}(i, sched)
+		}
+	} else {
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; i < n; i += workers {
+					lr.doTask(i, time.Now())
+				}
+			}(w)
+		}
 	}
 	wg.Wait()
 	// The timed window ends here: the sequential decision polls below
@@ -175,44 +280,62 @@ func runLoad(baseURL string, workers int, cancelFrac float64, seed int64, mk fun
 	// order this client successfully withdrew is a cancellation, not a
 	// platform rejection — it is already counted under Cancels.
 	stillPending := 0
-	for _, id := range pendingIDs {
-		if withdrawn[id] {
+	for _, id := range lr.pendingIDs {
+		if lr.withdrawn[id] {
 			continue
 		}
 		var a dispatch.Assignment
-		if err := fetchJSON(client, fmt.Sprintf("%s/v1/tasks/%d", baseURL, id), &a); err != nil {
-			fail(err)
+		if err := fetchJSON(lr.client, fmt.Sprintf("%s/v1/tasks/%d", baseURL, id), &a); err != nil {
+			lr.fail(&lr.pollErrs, err)
 			continue
 		}
 		switch {
 		case a.Pending:
 			stillPending++
 		case a.Assigned:
-			assigned.Add(1)
+			lr.assigned.Add(1)
 		default:
-			rejected.Add(1)
+			lr.rejected.Add(1)
 		}
 	}
 
 	report := loadgenReport{
-		Submitted:  n,
-		Assigned:   int(assigned.Load()),
-		Rejected:   int(rejected.Load()),
-		Pending:    stillPending,
-		Cancels:    int(cancels.Load()),
-		Errors:     int(errs.Load()),
-		FirstError: firstErr,
-		Seconds:    elapsed,
-		PerSec:     float64(n) / elapsed,
+		Tasks:        n,
+		Submitted:    int(lr.submitted.Load()),
+		Assigned:     int(lr.assigned.Load()),
+		Rejected:     int(lr.rejected.Load()),
+		Pending:      stillPending,
+		Overloaded:   int(lr.overloaded.Load()),
+		Cancels:      int(lr.cancels.Load()),
+		SubmitErrors: int(lr.submitErrs.Load()),
+		CancelErrors: int(lr.cancelErrs.Load()),
+		PollErrors:   int(lr.pollErrs.Load()),
+		FirstError:   lr.firstErr,
+		Seconds:      elapsed,
+		PerSec:       float64(lr.submitted.Load()) / elapsed,
+		TargetRate:   rate,
+		Latency:      lr.latency.Summary(),
 	}
-	if report.Errors > 0 {
-		return report, fmt.Errorf("loadgen: %d of %d requests failed (first: %s)", report.Errors, n, firstErr)
+	if failed := report.SubmitErrors + report.CancelErrors + report.PollErrors; failed > 0 {
+		return report, fmt.Errorf("loadgen: %d requests failed (first: %s)", failed, report.FirstError)
 	}
 	return report, nil
 }
 
-// fetchJSON fetches url and decodes the JSON response into out, treating
-// any non-2xx status as an error.
+// httpStatusError is a non-2xx HTTP response, keeping the status code
+// inspectable so callers can tell backpressure (429) from failure.
+type httpStatusError struct {
+	URL    string
+	Status int
+	Msg    string
+}
+
+func (e *httpStatusError) Error() string {
+	return fmt.Sprintf("%s: status %d: %s", e.URL, e.Status, e.Msg)
+}
+
+// fetchJSON fetches url and decodes the JSON response into out,
+// returning an *httpStatusError for any non-2xx status.
 func fetchJSON(client *http.Client, url string, out any) error {
 	resp, err := client.Get(url)
 	if err != nil {
@@ -221,13 +344,13 @@ func fetchJSON(client *http.Client, url string, out any) error {
 	defer resp.Body.Close()
 	if resp.StatusCode/100 != 2 {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return fmt.Errorf("%s: %s: %s", url, resp.Status, msg)
+		return &httpStatusError{URL: url, Status: resp.StatusCode, Msg: string(bytes.TrimSpace(msg))}
 	}
 	return json.NewDecoder(resp.Body).Decode(out)
 }
 
-// postJSON posts v and decodes the JSON response into out, treating any
-// non-2xx status as an error.
+// postJSON posts v and decodes the JSON response into out, returning an
+// *httpStatusError for any non-2xx status.
 func postJSON(client *http.Client, url string, v, out any) error {
 	body, err := json.Marshal(v)
 	if err != nil {
@@ -240,7 +363,7 @@ func postJSON(client *http.Client, url string, v, out any) error {
 	defer resp.Body.Close()
 	if resp.StatusCode/100 != 2 {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return fmt.Errorf("%s: %s: %s", url, resp.Status, msg)
+		return &httpStatusError{URL: url, Status: resp.StatusCode, Msg: string(bytes.TrimSpace(msg))}
 	}
 	return json.NewDecoder(resp.Body).Decode(out)
 }

@@ -10,6 +10,7 @@ import (
 	_ "net/http/pprof" // registers /debug/pprof on the default mux for -pprof-addr
 	"os"
 	"os/signal"
+	"runtime"
 	"strconv"
 	"syscall"
 	"time"
@@ -69,9 +70,13 @@ func cmdServe(args []string) error {
 	batchWindow := fs.Float64("batch-window", 0, "batched dispatch: accumulate orders for this many seconds and clear each window with a maximum-weight matching (0 = instant dispatch)")
 	batchAlgo := fs.String("batch-algo", "hungarian", "batched dispatch solver: hungarian or auction")
 	matchWorkers := fs.Int("match-workers", 1, "concurrent solvers for a batch window's independent components (identical assignments, higher throughput; needs -batch-window)")
-	pprofAddr := fs.String("pprof-addr", "", "optional listen address for a net/http/pprof debug server (e.g. localhost:6060); empty disables it")
+	maxPending := fs.Int("max-pending", 0, "admission bound: shed submissions with 429 once the open batch window (batched) or the submissions in flight (instant) reach this many (0 = unbounded)")
+	pprofAddr := fs.String("pprof-addr", "", "optional listen address for a net/http/pprof debug server (e.g. localhost:6060) with mutex profiling enabled; empty disables it")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *maxPending < 0 {
+		return fmt.Errorf("serve: -max-pending %d, want ≥ 0", *maxPending)
 	}
 	counts := map[string]int{"-shards": *shards, "-match-workers": *matchWorkers}
 	if *tracePath == "" {
@@ -139,6 +144,9 @@ func cmdServe(args []string) error {
 	if *matchWorkers > 1 {
 		opts = append(opts, dispatch.WithMatchWorkers(*matchWorkers))
 	}
+	if *maxPending > 0 {
+		opts = append(opts, dispatch.WithMaxPending(*maxPending))
+	}
 	svc, err := dispatch.New(market, opts...)
 	if err != nil {
 		return fmt.Errorf("serve: %w", err)
@@ -147,15 +155,22 @@ func cmdServe(args []string) error {
 	// The profiling server lives on its own listener so the debug
 	// surface never shares a port with the market API; it serves the
 	// default mux, where the net/http/pprof import registered its
-	// handlers, and dies with the process. See EXPERIMENTS.md for the
-	// loadgen-driven profiling recipe.
+	// handlers, and is shut down with the main listener below — a
+	// leaked debug port must not outlive the market. Mutex profiling is
+	// sampled only while the rail is up: /debug/pprof/mutex is how the
+	// shard fan-out's merge rendezvous shows up under load. See
+	// EXPERIMENTS.md for the loadgen-driven profiling recipe.
+	var pprofSrv *http.Server
 	if *pprofAddr != "" {
-		go func(addr string) {
-			fmt.Fprintf(os.Stderr, "serve: pprof on http://%s/debug/pprof/\n", addr)
-			if err := http.ListenAndServe(addr, nil); err != nil {
+		runtime.SetMutexProfileFraction(5)
+		defer runtime.SetMutexProfileFraction(0)
+		pprofSrv = &http.Server{Addr: *pprofAddr, Handler: http.DefaultServeMux}
+		go func() {
+			fmt.Fprintf(os.Stderr, "serve: pprof on http://%s/debug/pprof/\n", pprofSrv.Addr)
+			if err := pprofSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				fmt.Fprintf(os.Stderr, "serve: pprof server: %v\n", err)
 			}
-		}(*pprofAddr)
+		}()
 	}
 
 	// done unblocks long-lived handlers (the SSE feed) ahead of
@@ -178,6 +193,9 @@ func cmdServe(args []string) error {
 
 	select {
 	case err := <-errc:
+		if pprofSrv != nil {
+			pprofSrv.Close()
+		}
 		svc.Close()
 		return fmt.Errorf("serve: %w", err)
 	case <-ctx.Done():
@@ -188,6 +206,11 @@ func cmdServe(args []string) error {
 	defer cancel()
 	if err := srv.Shutdown(shutCtx); err != nil {
 		srv.Close()
+	}
+	if pprofSrv != nil {
+		if err := pprofSrv.Shutdown(shutCtx); err != nil {
+			pprofSrv.Close()
+		}
 	}
 	stats, err := svc.Close()
 	if err != nil {
@@ -211,12 +234,15 @@ func newServeMux(svc *dispatch.Service, done <-chan struct{}) http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]any{
-			"status":  "ok",
-			"now":     stats.Now,
-			"drivers": stats.Drivers,
-			"present": stats.PresentDrivers,
-			"tasks":   stats.Tasks,
-			"pending": stats.Pending,
+			"status":      "ok",
+			"now":         stats.Now,
+			"drivers":     stats.Drivers,
+			"present":     stats.PresentDrivers,
+			"tasks":       stats.Tasks,
+			"pending":     stats.Pending,
+			"max_pending": stats.MaxPending,
+			"shed":        stats.Shed,
+			"feed_drops":  stats.FeedDrops,
 		})
 	})
 
@@ -368,6 +394,12 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 func httpError(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
 	switch {
+	case errors.Is(err, dispatch.ErrOverloaded):
+		// Backpressure, not failure: the submission was shed at the
+		// admission bound and the rider should retry after the market
+		// drains (a batched market decides its window within seconds).
+		status = http.StatusTooManyRequests
+		w.Header().Set("Retry-After", "1")
 	case errors.Is(err, dispatch.ErrClosed):
 		status = http.StatusServiceUnavailable
 	case errors.Is(err, dispatch.ErrUnknownTask), errors.Is(err, dispatch.ErrUnknownDriver):

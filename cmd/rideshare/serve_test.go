@@ -2,6 +2,7 @@ package main
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -175,7 +176,7 @@ func TestServeSustainsLoad(t *testing.T) {
 	tasks := trace.NewGenerator(cfg).Generate(nil).Tasks
 	sort.Slice(tasks, func(a, b int) bool { return tasks[a].Publish < tasks[b].Publish })
 
-	report, err := runLoad(srv.URL, 8, 0.1, 42, func(i int) dispatch.Task {
+	report, err := runLoad(srv.URL, 8, 0, 0.1, 42, func(i int) dispatch.Task {
 		mt := tasks[i]
 		return dispatch.Task{ID: i, Publish: mt.Publish, Source: dispatch.Point(mt.Source),
 			Dest: dispatch.Point(mt.Dest), StartBy: mt.StartBy, EndBy: mt.EndBy, Price: mt.Price, WTP: mt.WTP}
@@ -183,11 +184,14 @@ func TestServeSustainsLoad(t *testing.T) {
 	if err != nil {
 		t.Fatalf("load run: %v (%+v)", err, report)
 	}
-	if report.Submitted != n || report.Errors != 0 {
+	if report.Submitted != n || report.SubmitErrors != 0 || report.CancelErrors != 0 || report.PollErrors != 0 {
 		t.Fatalf("report %+v", report)
 	}
 	if report.Assigned == 0 {
 		t.Fatal("no task was ever assigned")
+	}
+	if report.Latency.N != int64(n) || report.Latency.P50Ms <= 0 || report.Latency.P50Ms > report.Latency.MaxMs {
+		t.Fatalf("latency summary not populated sanely: %+v", report.Latency)
 	}
 
 	var stats dispatch.Stats
@@ -316,7 +320,7 @@ func TestServeBatchedSustainsLoad(t *testing.T) {
 	tasks := trace.NewGenerator(cfg).Generate(nil).Tasks
 	sort.Slice(tasks, func(a, b int) bool { return tasks[a].Publish < tasks[b].Publish })
 
-	report, err := runLoad(srv.URL, 8, 0.1, 42, func(i int) dispatch.Task {
+	report, err := runLoad(srv.URL, 8, 0, 0.1, 42, func(i int) dispatch.Task {
 		mt := tasks[i]
 		return dispatch.Task{ID: i, Publish: mt.Publish, Source: dispatch.Point(mt.Source),
 			Dest: dispatch.Point(mt.Dest), StartBy: mt.StartBy, EndBy: mt.EndBy, Price: mt.Price, WTP: mt.WTP}
@@ -324,7 +328,7 @@ func TestServeBatchedSustainsLoad(t *testing.T) {
 	if err != nil {
 		t.Fatalf("load run: %v (%+v)", err, report)
 	}
-	if report.Submitted != n || report.Errors != 0 {
+	if report.Submitted != n || report.SubmitErrors != 0 || report.CancelErrors != 0 || report.PollErrors != 0 {
 		t.Fatalf("report %+v", report)
 	}
 	if report.Assigned == 0 {
@@ -339,6 +343,129 @@ func TestServeBatchedSustainsLoad(t *testing.T) {
 		t.Fatalf("server saw %d of %d tasks", stats.Tasks, n)
 	}
 	if stats.Served+stats.Rejected+stats.Cancelled+stats.Pending != n {
+		t.Fatalf("books do not balance: %+v", stats)
+	}
+}
+
+// overloadServeTask builds a valid order near the synthetic fleet's
+// home region with the given publish time, for the admission tests.
+func overloadServeTask(id int, publish float64) dispatch.Task {
+	base := dispatch.Point{Lat: 41.15, Lon: -8.61}
+	return dispatch.Task{
+		ID: id, Publish: publish,
+		Source:  dispatch.Point{Lat: base.Lat + 0.001, Lon: base.Lon},
+		Dest:    dispatch.Point{Lat: base.Lat + 0.01, Lon: base.Lon + 0.01},
+		StartBy: publish + 900, EndBy: publish + 4500, Price: 10,
+	}
+}
+
+// TestServeOverloadSheds is the backpressure acceptance check: a
+// batched server with an admission bound answers submissions beyond
+// the cap with 429 + Retry-After while the window is open, keeps the
+// pending queue bounded at the cap, exposes the shed count through
+// /healthz, and still admits the submission that closes the window so
+// a full market can never wedge.
+func TestServeOverloadSheds(t *testing.T) {
+	srv, _ := newTestServer(t, 40, dispatch.WithSeed(2),
+		dispatch.WithBatching(600, dispatch.Hungarian), dispatch.WithMaxPending(8))
+	client := &http.Client{}
+
+	const n = 100
+	admitted, shed := 0, 0
+	for i := 0; i < n; i++ {
+		body, _ := json.Marshal(overloadServeTask(i, float64(i)))
+		resp, err := client.Post(srv.URL+"/v1/tasks", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		resp.Body.Close()
+		switch {
+		case resp.StatusCode/100 == 2:
+			admitted++
+		case resp.StatusCode == http.StatusTooManyRequests:
+			shed++
+			if resp.Header.Get("Retry-After") == "" {
+				t.Fatalf("submit %d: 429 without Retry-After", i)
+			}
+		default:
+			t.Fatalf("submit %d: status %d", i, resp.StatusCode)
+		}
+	}
+	if admitted != 8 || shed != n-8 {
+		t.Fatalf("admitted %d shed %d, want 8/%d", admitted, shed, n-8)
+	}
+
+	var health struct {
+		Pending    int `json:"pending"`
+		MaxPending int `json:"max_pending"`
+		Shed       int `json:"shed"`
+	}
+	if code := getJSON(t, srv.URL+"/healthz", &health); code != 200 {
+		t.Fatalf("healthz: %d", code)
+	}
+	if health.Pending != 8 || health.MaxPending != 8 || health.Shed != n-8 {
+		t.Fatalf("healthz %+v", health)
+	}
+
+	// The submission at the window close drains the window first and is
+	// admitted even though it finds the queue at the cap.
+	var a dispatch.Assignment
+	if err := postJSON(client, srv.URL+"/v1/tasks", overloadServeTask(n, 600), &a); err != nil {
+		t.Fatalf("window-closing submission shed: %v", err)
+	}
+	if !a.Pending {
+		t.Fatalf("window-closing submission: %+v", a)
+	}
+
+	var stats dispatch.Stats
+	if code := getJSON(t, srv.URL+"/v1/stats", &stats); code != 200 {
+		t.Fatalf("stats: %d", code)
+	}
+	if stats.Tasks != 9 || stats.Shed != n-8 || stats.Pending != 1 {
+		t.Fatalf("stats %+v", stats)
+	}
+	if stats.Served+stats.Rejected+stats.Cancelled+stats.Pending != stats.Tasks {
+		t.Fatalf("books do not balance: %+v", stats)
+	}
+}
+
+// TestServeLoadgenCountsSheds drives runLoad against a bounded batched
+// market: shed submissions land in Overloaded (not in errors, not in
+// the latency distribution), throughput counts successes only, and the
+// client's view of the shed count matches the server's.
+func TestServeLoadgenCountsSheds(t *testing.T) {
+	srv, _ := newTestServer(t, 40, dispatch.WithSeed(2),
+		dispatch.WithBatching(600, dispatch.Hungarian), dispatch.WithMaxPending(8))
+
+	const n = 60
+	report, err := runLoad(srv.URL, 4, 0, 0, 7, func(i int) dispatch.Task {
+		return overloadServeTask(i, float64(i))
+	}, n)
+	if err != nil {
+		t.Fatalf("load run: %v (%+v)", err, report)
+	}
+	if report.Submitted != 8 || report.Overloaded != n-8 {
+		t.Fatalf("submitted %d overloaded %d, want 8/%d (%+v)",
+			report.Submitted, report.Overloaded, n-8, report)
+	}
+	if report.SubmitErrors != 0 || report.CancelErrors != 0 || report.PollErrors != 0 {
+		t.Fatalf("sheds leaked into the error columns: %+v", report)
+	}
+	if report.Latency.N != 8 {
+		t.Fatalf("latency N = %d, want the 8 successes only", report.Latency.N)
+	}
+	if report.Pending != 8 {
+		t.Fatalf("pending %d, want the full bounded window (%+v)", report.Pending, report)
+	}
+
+	var stats dispatch.Stats
+	if code := getJSON(t, srv.URL+"/v1/stats", &stats); code != 200 {
+		t.Fatalf("stats: %d", code)
+	}
+	if stats.Tasks != 8 || stats.Pending != 8 || stats.Shed != n-8 {
+		t.Fatalf("stats %+v", stats)
+	}
+	if stats.Served+stats.Rejected+stats.Cancelled+stats.Pending != stats.Tasks {
 		t.Fatalf("books do not balance: %+v", stats)
 	}
 }

@@ -47,6 +47,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/geo"
@@ -168,6 +169,18 @@ type Stats struct {
 	Pending int     `json:"pending,omitempty"`
 	Revenue float64 `json:"revenue"`
 	Profit  float64 `json:"profit"` // drivers' total profit (Eq. 4)
+
+	// Shed counts submissions refused with ErrOverloaded at the
+	// WithMaxPending admission bound. Shed submissions never register,
+	// so they are outside Tasks and the books identity above.
+	Shed int `json:"shed,omitempty"`
+	// MaxPending echoes the WithMaxPending bound, 0 when admission is
+	// unbounded.
+	MaxPending int `json:"max_pending,omitempty"`
+	// FeedDrops counts events dropped across all feed subscribers whose
+	// buffers were full (each drop run is followed by an EventGap notice
+	// on the affected subscriber's channel).
+	FeedDrops int `json:"feed_drops,omitempty"`
 }
 
 // Service is a running dispatch market. It is safe for concurrent use:
@@ -201,8 +214,17 @@ type Service struct {
 	final      *sim.Result
 	finalStats Stats
 
-	subs    map[int]chan Event
-	nextSub int
+	// Admission bound (WithMaxPending). shed and inflight are atomics
+	// because the instant-mode gate runs before the mutex is taken —
+	// that is the point: a submission blocked behind a slow decision
+	// must be refusable without waiting for it.
+	maxPending int
+	shed       atomic.Int64
+	inflight   atomic.Int64
+
+	subs      map[int]*subscriber
+	nextSub   int
+	feedDrops int // total events dropped across all subscribers
 }
 
 // New opens a dispatch service over the market. Drivers with a positive
@@ -230,14 +252,15 @@ func New(m Market, opts ...Option) (*Service, error) {
 	}
 
 	s := &Service{
-		strict:    cfg.strict,
-		drivers:   make(map[int]int, len(m.Drivers)),
-		retired:   make(map[int]bool),
-		tasks:     make(map[int]int),
-		decided:   make(map[int]Assignment),
-		batched:   cfg.batchWindow > 0,
-		liveBatch: cfg.batchWindow > 0 && cfg.realTime,
-		subs:      make(map[int]chan Event),
+		strict:     cfg.strict,
+		drivers:    make(map[int]int, len(m.Drivers)),
+		retired:    make(map[int]bool),
+		tasks:      make(map[int]int),
+		decided:    make(map[int]Assignment),
+		batched:    cfg.batchWindow > 0,
+		liveBatch:  cfg.batchWindow > 0 && cfg.realTime,
+		maxPending: cfg.maxPending,
+		subs:       make(map[int]*subscriber),
 	}
 	drivers := make([]model.Driver, len(m.Drivers))
 	var fleet []model.MarketEvent
@@ -405,6 +428,32 @@ func toModelTask(t Task) (model.Task, error) {
 	return mt, nil
 }
 
+// checkAdmission enforces the WithMaxPending bound of a batched
+// service for a submission timestamped at. The submission is shed while
+// the open window already holds maxPending undecided orders — unless
+// its effective time reaches the window's close, in which case
+// processing it drains the window first and admission is granted so a
+// full window can never wedge the market. Must be called with the
+// mutex held.
+func (s *Service) checkAdmission(at float64) error {
+	due, open := s.st.BatchDue()
+	if !open {
+		return nil
+	}
+	pending := s.st.PendingTasks()
+	if pending < s.maxPending {
+		return nil
+	}
+	if now := s.st.Now(); at < now {
+		at = now
+	}
+	if at >= due {
+		return nil
+	}
+	s.shed.Add(1)
+	return fmt.Errorf("%w: %d orders pending in the open window (cap %d)", ErrOverloaded, pending, s.maxPending)
+}
+
 // checkTime enforces the service's ordering policy for a submission
 // timestamped at. It must be called with the mutex held.
 func (s *Service) checkTime(at float64) error {
@@ -417,10 +466,24 @@ func (s *Service) checkTime(at float64) error {
 // SubmitTask submits one rider order and returns the platform's
 // instant decision: the assigned driver, or a rejection. The decision
 // happens at the task's publish time (clamped to the service's current
-// time if the submission is late).
+// time if the submission is late). A service built WithMaxPending may
+// instead shed the submission with ErrOverloaded — nothing is
+// registered and the rider may retry.
 func (s *Service) SubmitTask(ctx context.Context, t Task) (Assignment, error) {
 	if err := ctx.Err(); err != nil {
 		return Assignment{}, err
+	}
+	if s.maxPending > 0 && !s.batched {
+		// Instant mode bounds submissions in flight. The gate sits
+		// before the mutex so a pile-up behind a slow decision (pacing
+		// clock, saturated hardware) is refused immediately instead of
+		// joining the convoy.
+		if n := s.inflight.Add(1); n > int64(s.maxPending) {
+			s.inflight.Add(-1)
+			s.shed.Add(1)
+			return Assignment{}, fmt.Errorf("%w: %d submissions in flight (cap %d)", ErrOverloaded, n, s.maxPending)
+		}
+		defer s.inflight.Add(-1)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -429,6 +492,11 @@ func (s *Service) SubmitTask(ctx context.Context, t Task) (Assignment, error) {
 	}
 	if _, dup := s.tasks[t.ID]; dup {
 		return Assignment{}, fmt.Errorf("%w: %d", ErrDuplicateTask, t.ID)
+	}
+	if s.maxPending > 0 && s.batched {
+		if err := s.checkAdmission(t.Publish); err != nil {
+			return Assignment{}, err
+		}
 	}
 	mt, err := toModelTask(t)
 	if err != nil {
@@ -646,6 +714,9 @@ func (s *Service) stats(res sim.Result) Stats {
 		Pending:        s.st.PendingTasks(),
 		Revenue:        res.Revenue,
 		Profit:         res.TotalProfit,
+		Shed:           int(s.shed.Load()),
+		MaxPending:     s.maxPending,
+		FeedDrops:      s.feedDrops,
 	}
 }
 
@@ -671,8 +742,8 @@ func (s *Service) Close() (Stats, error) {
 	s.final = &res
 	s.finalStats = stats
 	s.closed = true
-	for id, ch := range s.subs {
-		close(ch)
+	for id, sub := range s.subs {
+		close(sub.ch)
 		delete(s.subs, id)
 	}
 	return stats, nil

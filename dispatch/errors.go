@@ -44,4 +44,12 @@ var (
 	// ErrInvalidOption: a functional option was given an unusable
 	// value (e.g. WithShards(0)).
 	ErrInvalidOption = errors.New("dispatch: invalid option")
+
+	// ErrOverloaded: the service is at its WithMaxPending admission
+	// bound — the open batch window already holds the maximum number of
+	// undecided orders (batched mode), or the maximum number of
+	// submissions are in flight (instant mode). The submission was shed
+	// without registering the task; the rider may retry. Front ends map
+	// this to HTTP 429.
+	ErrOverloaded = errors.New("dispatch: overloaded, submission shed")
 )

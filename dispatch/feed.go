@@ -28,6 +28,13 @@ const (
 	// The entry carries no task or driver (both -1); Batch holds the
 	// window's stats. It follows the window's per-task decisions.
 	EventBatchClosed EventType = "batch_closed"
+	// EventGap: this subscriber's buffer overflowed and Dropped events
+	// were lost between the previous entry and this notice. The gap
+	// entry carries no task or driver (both -1). A subscriber that sees
+	// one should resynchronize via Decision / Snapshot rather than
+	// assume it observed every decision. Trailing drops with no later
+	// delivery to carry the notice are visible in Stats.FeedDrops.
+	EventGap EventType = "gap"
 )
 
 // BatchStats summarizes one closed dispatch window of a batched
@@ -55,6 +62,17 @@ type Event struct {
 	// Batch carries the closed window's stats on EventBatchClosed
 	// entries, nil otherwise.
 	Batch *BatchStats `json:"batch,omitempty"`
+	// Dropped carries the length of the preceding drop run on EventGap
+	// entries, 0 otherwise.
+	Dropped int `json:"dropped,omitempty"`
+}
+
+// subscriber is one attached feed listener. run counts the events
+// dropped since the listener last received one; the next successful
+// delivery is preceded by an EventGap notice carrying that count.
+type subscriber struct {
+	ch  chan Event
+	run int
 }
 
 // Subscribe attaches a listener to the service's event feed and returns
@@ -62,7 +80,10 @@ type Event struct {
 // decision made after the subscription is delivered in order; a
 // subscriber that falls more than buffer events behind has the excess
 // dropped rather than stalling the market (buffer ≤ 0 selects 256).
-// The channel is closed by cancel and by Service.Close.
+// Drops are not silent: each is counted in Stats.FeedDrops, and the
+// subscriber's next delivery is preceded by an EventGap entry whose
+// Dropped field says how many events it missed. The channel is closed
+// by cancel and by Service.Close.
 func (s *Service) Subscribe(buffer int) (<-chan Event, func()) {
 	if buffer <= 0 {
 		buffer = 256
@@ -76,24 +97,41 @@ func (s *Service) Subscribe(buffer int) (<-chan Event, func()) {
 	}
 	id := s.nextSub
 	s.nextSub++
-	s.subs[id] = ch
+	s.subs[id] = &subscriber{ch: ch}
 	return ch, func() {
 		s.mu.Lock()
 		defer s.mu.Unlock()
-		if c, ok := s.subs[id]; ok {
+		if sub, ok := s.subs[id]; ok {
 			delete(s.subs, id)
-			close(c)
+			close(sub.ch)
 		}
 	}
 }
 
 // publish fans an event out to every subscriber, dropping it for any
-// subscriber whose buffer is full. Must be called with the mutex held.
+// subscriber whose buffer is full. A drop starts (or extends) the
+// subscriber's gap run; the run is flushed as an EventGap notice ahead
+// of the next event that fits, so a lagging listener always learns how
+// much it missed. Must be called with the mutex held.
 func (s *Service) publish(ev Event) {
-	for _, ch := range s.subs {
+	for _, sub := range s.subs {
+		if sub.run > 0 {
+			// A gap notice must precede ev to keep the feed ordered; if
+			// the buffer still has no room, ev joins the run instead.
+			select {
+			case sub.ch <- Event{Type: EventGap, At: ev.At, TaskID: -1, DriverID: -1, Dropped: sub.run}:
+				sub.run = 0
+			default:
+				sub.run++
+				s.feedDrops++
+				continue
+			}
+		}
 		select {
-		case ch <- ev:
+		case sub.ch <- ev:
 		default:
+			sub.run++
+			s.feedDrops++
 		}
 	}
 }

@@ -153,6 +153,7 @@ type config struct {
 	strict       bool
 	batchWindow  float64 // 0: instant dispatch
 	batchAlgo    BatchAlgorithm
+	maxPending   int // 0: unbounded admission
 }
 
 // Option configures a Service at construction.
@@ -222,6 +223,28 @@ func WithBatching(window float64, algo BatchAlgorithm) Option {
 			return err
 		}
 		c.batchWindow, c.batchAlgo = window, algo
+		return nil
+	}
+}
+
+// WithMaxPending bounds admission so overload sheds load instead of
+// growing the market's queues without limit. On a batched service
+// (WithBatching), a submission is shed with ErrOverloaded while the
+// open window already holds n undecided orders — unless the submission
+// itself closes that window first, in which case it is admitted so the
+// market can always drain. On an instant service the bound applies to
+// submissions in flight: at most n SubmitTask calls may be inside the
+// service at once (meaningful when a pacing WithClock or slow hardware
+// makes each decision take real time). A shed submission registers
+// nothing: the task does not count toward Stats.Tasks, only
+// Stats.Shed. n must be ≥ 1; without this option admission is
+// unbounded.
+func WithMaxPending(n int) Option {
+	return func(c *config) error {
+		if n < 1 {
+			return fmt.Errorf("%w: max pending %d, want ≥ 1", ErrInvalidOption, n)
+		}
+		c.maxPending = n
 		return nil
 	}
 }

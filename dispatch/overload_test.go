@@ -1,0 +1,225 @@
+package dispatch
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+// overloadMarket builds a small hand-placed market for admission tests.
+func overloadMarket() Market {
+	base := Point{Lat: 41.15, Lon: -8.61}
+	near := func(dlat, dlon float64) Point { return Point{Lat: base.Lat + dlat, Lon: base.Lon + dlon} }
+	var drivers []Driver
+	for i := 0; i < 4; i++ {
+		drivers = append(drivers, Driver{
+			ID: 100 + i, Source: near(0.001*float64(i), 0), Dest: near(0.02, 0.02),
+			Start: 0, End: 7200,
+		})
+	}
+	return Market{Drivers: drivers}
+}
+
+func overloadTask(id int, publish float64) Task {
+	base := Point{Lat: 41.15, Lon: -8.61}
+	return Task{
+		ID: id, Publish: publish,
+		Source:  Point{Lat: base.Lat + 0.001, Lon: base.Lon},
+		Dest:    Point{Lat: base.Lat + 0.01, Lon: base.Lon + 0.01},
+		StartBy: publish + 900, EndBy: publish + 4500, Price: 10,
+	}
+}
+
+func TestWithMaxPendingValidation(t *testing.T) {
+	for _, n := range []int{0, -3} {
+		if _, err := New(overloadMarket(), WithMaxPending(n)); !errors.Is(err, ErrInvalidOption) {
+			t.Fatalf("WithMaxPending(%d): err = %v, want ErrInvalidOption", n, err)
+		}
+	}
+}
+
+// TestBatchedAdmissionBound drives a batched service into its
+// WithMaxPending bound: the window fills to the cap, the next
+// submission is shed with ErrOverloaded, and a submission that closes
+// the window is admitted regardless — a full window can never wedge
+// the market. The shed submission stays outside the books.
+func TestBatchedAdmissionBound(t *testing.T) {
+	ctx := context.Background()
+	svc, err := New(overloadMarket(), WithBatching(60, Hungarian), WithMaxPending(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		a, err := svc.SubmitTask(ctx, overloadTask(i, float64(i)))
+		if err != nil {
+			t.Fatalf("SubmitTask(%d): %v", i, err)
+		}
+		if !a.Pending {
+			t.Fatalf("SubmitTask(%d): not pending: %+v", i, a)
+		}
+	}
+	// The window [0, 60) holds 3 undecided orders: the cap.
+	if _, err := svc.SubmitTask(ctx, overloadTask(3, 3)); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("submission over cap: err = %v, want ErrOverloaded", err)
+	}
+	snap, err := svc.Snapshot(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Pending != 3 || snap.Shed != 1 || snap.MaxPending != 3 || snap.Tasks != 3 {
+		t.Fatalf("snapshot after shed: %+v", snap)
+	}
+	// A shed ID was never registered, so it may be resubmitted later.
+	if _, err := svc.SubmitTask(ctx, overloadTask(3, 3)); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("retry while still full: err = %v, want ErrOverloaded", err)
+	}
+
+	// A submission at the window close drains the window first and is
+	// admitted even though the window it finds is at the cap.
+	a, err := svc.SubmitTask(ctx, overloadTask(4, 60))
+	if err != nil {
+		t.Fatalf("window-closing submission shed: %v", err)
+	}
+	if !a.Pending {
+		t.Fatalf("window-closing submission: %+v", a)
+	}
+
+	stats, err := svc.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Tasks != 4 {
+		t.Fatalf("final Tasks = %d, want 4 (sheds excluded)", stats.Tasks)
+	}
+	if stats.Served+stats.Rejected+stats.Cancelled+stats.Pending != stats.Tasks {
+		t.Fatalf("books do not balance: %+v", stats)
+	}
+	if stats.Shed != 2 {
+		t.Fatalf("final Shed = %d, want 2", stats.Shed)
+	}
+}
+
+// gateClock blocks inside Advance while armed, holding its caller (and
+// the service mutex) in the middle of a decision so a test can pile a
+// second submission on top deterministically.
+type gateClock struct {
+	armed   atomic.Bool
+	entered chan struct{}
+	release chan struct{}
+}
+
+func (c *gateClock) Advance(from, to float64) {
+	if !c.armed.Load() {
+		return
+	}
+	c.entered <- struct{}{}
+	<-c.release
+}
+
+// TestInstantAdmissionInflight pins an instant service mid-decision
+// with a blocking clock and proves the in-flight bound sheds the next
+// submission without waiting for the mutex.
+func TestInstantAdmissionInflight(t *testing.T) {
+	ctx := context.Background()
+	clk := &gateClock{entered: make(chan struct{}), release: make(chan struct{})}
+	svc, err := New(overloadMarket(), WithMaxPending(1), WithClock(clk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First submission starts the market clock; the gate is not armed,
+	// so it decides immediately.
+	if _, err := svc.SubmitTask(ctx, overloadTask(0, 0)); err != nil {
+		t.Fatal(err)
+	}
+
+	clk.armed.Store(true)
+	done := make(chan error, 1)
+	go func() {
+		_, err := svc.SubmitTask(ctx, overloadTask(1, 10))
+		done <- err
+	}()
+	<-clk.entered // submission 1 is now mid-decision, in flight
+
+	if _, err := svc.SubmitTask(ctx, overloadTask(2, 11)); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("submission over in-flight cap: err = %v, want ErrOverloaded", err)
+	}
+
+	clk.armed.Store(false)
+	clk.release <- struct{}{}
+	if err := <-done; err != nil {
+		t.Fatalf("in-flight submission failed: %v", err)
+	}
+
+	stats, err := svc.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Tasks != 2 || stats.Shed != 1 {
+		t.Fatalf("final stats %+v, want 2 tasks and 1 shed", stats)
+	}
+	if stats.Served+stats.Rejected+stats.Cancelled+stats.Pending != stats.Tasks {
+		t.Fatalf("books do not balance: %+v", stats)
+	}
+}
+
+// TestFeedGapNotice drives a tiny subscriber buffer to overflow and
+// checks the drop contract: every drop is counted in Stats.FeedDrops,
+// and the next delivery that fits is preceded by an EventGap entry
+// carrying the run length.
+func TestFeedGapNotice(t *testing.T) {
+	ctx := context.Background()
+	svc, err := New(overloadMarket())
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed, cancel := svc.Subscribe(2)
+	defer cancel()
+
+	// Two decisions fill the buffer; two more overflow it (the second
+	// overflow cannot even fit its gap notice).
+	for i := 0; i < 4; i++ {
+		if _, err := svc.SubmitTask(ctx, overloadTask(i, float64(i))); err != nil {
+			t.Fatalf("SubmitTask(%d): %v", i, err)
+		}
+	}
+	snap, err := svc.Snapshot(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.FeedDrops != 2 {
+		t.Fatalf("FeedDrops = %d, want 2", snap.FeedDrops)
+	}
+
+	// Drain the two buffered decisions, making room for the gap notice.
+	for i := 0; i < 2; i++ {
+		ev := <-feed
+		if ev.Type == EventGap {
+			t.Fatalf("premature gap notice: %+v", ev)
+		}
+		if ev.TaskID != i {
+			t.Fatalf("event %d: task %d, want %d", i, ev.TaskID, i)
+		}
+	}
+
+	// The next decision is preceded by the gap notice for the 2-drop run.
+	if _, err := svc.SubmitTask(ctx, overloadTask(4, 4)); err != nil {
+		t.Fatal(err)
+	}
+	gap := <-feed
+	if gap.Type != EventGap || gap.Dropped != 2 {
+		t.Fatalf("gap notice = %+v, want EventGap with Dropped=2", gap)
+	}
+	ev := <-feed
+	if ev.Type == EventGap || ev.TaskID != 4 {
+		t.Fatalf("post-gap event = %+v, want task 4's decision", ev)
+	}
+
+	stats, err := svc.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.FeedDrops != 2 {
+		t.Fatalf("final FeedDrops = %d, want 2", stats.FeedDrops)
+	}
+}

@@ -225,16 +225,22 @@ func (s *ShardedSource) Candidates(task model.Task, now float64, buf []Candidate
 
 	// Fan out only when the runtime can actually run shards in
 	// parallel: on a single-P runtime goroutines are pure overhead and
-	// the serial path computes the identical result.
+	// the serial path computes the identical result. The caller takes
+	// the first shard itself rather than parking at the rendezvous —
+	// one fewer goroutine spawn per query, and with two active shards
+	// (the common radius) the only spawn overlaps the caller's own
+	// shard work. Shards write disjoint s.out slots, so the split
+	// cannot perturb the merge.
 	if len(s.active) > 1 && !s.Serial && runtime.GOMAXPROCS(0) > 1 {
 		var wg sync.WaitGroup
-		for _, z := range s.active {
-			wg.Add(1)
+		wg.Add(len(s.active) - 1)
+		for _, z := range s.active[1:] {
 			go func(z int) {
 				defer wg.Done()
 				s.queryShard(z, task, now, minRetire, service, serviceCost)
 			}(z)
 		}
+		s.queryShard(s.active[0], task, now, minRetire, service, serviceCost)
 		wg.Wait()
 	} else {
 		for _, z := range s.active {

@@ -16,12 +16,18 @@
 #     (allocs_per_task / bytes_per_task). This suite runs a denser day
 #     than the others (windows only earn their keep holding many
 #     orders): ~40 orders per 300 s window at 12k orders/day.
+#   BENCH_6.json — the multi-core trajectory: the sparse windowed
+#     kernel swept across GOMAXPROCS legs (1, 2, 4, and all CPUs) on
+#     the same dense day, with per-decision latency percentiles
+#     (p50/p95/p99/p999) alongside tasks/sec. Every leg must produce
+#     bit-identical books — the sweep doubles as a concurrency
+#     differential test.
 #
 # All are machine-readable JSON so perf changes diff against a fixed
 # trajectory.
 #
 # Usage: scripts/bench.sh [extra `rideshare bench` flags]
-# Output: BENCH_2.json through BENCH_5.json at the repository root.
+# Output: BENCH_2.json through BENCH_6.json at the repository root.
 #
 # Extra flags apply to the dispatch run only — forwarding them to the
 # streaming runs too would let a user -out/-shards override clobber the
@@ -32,4 +38,5 @@ cd "$(dirname "$0")/.."
 go run ./cmd/rideshare bench -out BENCH_2.json "$@"
 go run ./cmd/rideshare bench -streaming -shards 4 -out BENCH_3.json
 go run ./cmd/rideshare bench -batched -shards 4 -out BENCH_4.json
-exec go run ./cmd/rideshare bench -windows -tasks 12000 -batch-window 300 -shards 4 -out BENCH_5.json
+go run ./cmd/rideshare bench -windows -tasks 12000 -batch-window 300 -shards 4 -out BENCH_5.json
+exec go run ./cmd/rideshare bench -windows -maxprocs 1,2,4,0 -tasks 12000 -batch-window 300 -shards 4 -out BENCH_6.json
