@@ -92,7 +92,7 @@ func parseIntList(s string) ([]int, error) {
 
 func cmdBench(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
-	out := fs.String("out", "", "output JSON file (- for stdout; default BENCH_2.json, BENCH_3.json with -streaming, BENCH_4.json with -batched, or BENCH_5.json with -windows)")
+	out := fs.String("out", "", "output JSON file (- for stdout; default BENCH_2.json, BENCH_3.json with -streaming, BENCH_4.json with -batched, BENCH_5.json with -windows, or BENCH_7.json with -oracle)")
 	tasks := fs.Int("tasks", 1000, "orders per simulated day")
 	driversList := fs.String("drivers", "10000,50000", "comma-separated fleet sizes")
 	shardsList := fs.String("shards", "1,2,4,8", "comma-separated shard counts to time")
@@ -101,6 +101,10 @@ func cmdBench(args []string) error {
 	streaming := fs.Bool("streaming", false, "measure streaming overhead: batch drain vs dispatch.Service replay of the same day")
 	batched := fs.Bool("batched", false, "measure streaming-batched overhead: Engine.RunBatched drain vs a WithBatching dispatch.Service replay of the same day")
 	windows := fs.Bool("windows", false, "measure window-clearing kernels: dense whole-matrix vs sparse component-decomposed solve of the same batched day, with per-task allocation accounting")
+	oracle := fs.Bool("oracle", false, "run the offline-optimum oracle suite: three online policies vs the warm-started sparse branch and bound on the same churned day, with a {1,2,4}-worker determinism sweep")
+	churn := fs.Float64("churn", 0.2, "driver churn fraction for the -oracle suite")
+	cancel := fs.Float64("cancel", 0.15, "rider cancellation fraction for the -oracle suite")
+	topk := fs.Int("topk", 8, "rail top-k column pruning for the -oracle suite's hindsight compile (0 = exact, small days only)")
 	batchWindow := fs.Float64("batch-window", 60, "window seconds for the -batched and -windows suites")
 	batchAlgo := fs.String("batch-algo", "hungarian", "batch solver for the -batched and -windows suites: hungarian or auction")
 	matchWorkers := fs.Int("match-workers", 1, "component-solver goroutines for the -windows suite's sparse leg")
@@ -129,13 +133,24 @@ func cmdBench(args []string) error {
 		return fmt.Errorf("bench: -windows needs a positive -batch-window, got %g", *batchWindow)
 	}
 	suites := 0
-	for _, on := range []bool{*streaming, *batched, *windows} {
+	for _, on := range []bool{*streaming, *batched, *windows, *oracle} {
 		if on {
 			suites++
 		}
 	}
 	if suites > 1 {
-		return fmt.Errorf("bench: -streaming, -batched and -windows are separate suites; pick one")
+		return fmt.Errorf("bench: -streaming, -batched, -windows and -oracle are separate suites; pick one")
+	}
+	if *oracle {
+		if *churn < 0 || *churn > 1 || *cancel < 0 || *cancel > 1 {
+			return fmt.Errorf("bench: -churn and -cancel must be in [0,1], got %g and %g", *churn, *cancel)
+		}
+		if *topk < 0 {
+			return fmt.Errorf("bench: -topk must be ≥ 0, got %d", *topk)
+		}
+		if *batchWindow == 0 {
+			return fmt.Errorf("bench: -oracle needs a positive -batch-window, got %g", *batchWindow)
+		}
 	}
 	var procs []int
 	if *maxprocsList != "" {
@@ -196,6 +211,13 @@ func cmdBench(args []string) error {
 		if len(procs) > 0 {
 			*out = "BENCH_6.json"
 		}
+		if *oracle {
+			*out = "BENCH_7.json"
+		}
+	}
+	if *oracle {
+		return benchOracle(*out, *tasks, driverCounts, *reps, *seed,
+			*batchWindow, *churn, *cancel, *topk, *matchWorkers)
 	}
 	if len(procs) > 0 {
 		if *windows {

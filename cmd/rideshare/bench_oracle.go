@@ -1,0 +1,273 @@
+package main
+
+// The -oracle suite prices the offline-optimum rail end to end: one
+// churned day is dispatched by the three online policies (instant
+// maxMargin, batched Hungarian, batched auction), compiled once into a
+// hindsight instance with every policy's own pairs force-kept, and
+// solved by the sparse branch and bound at worker counts {1, 2, 4}.
+// The policy rows report revenue/served regret and the competitive
+// ratio against the rail optimum; the solver rows report wall time,
+// allocations per component, and the exactness ledger. All worker legs
+// must produce bit-identical solutions — the suite errors out if any
+// diverges, doubling as the determinism check of the fan-out.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"repro/internal/bound"
+	"repro/internal/offline"
+	"repro/internal/online"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// oracleWorkerSweep is the fixed determinism sweep; every leg must
+// reproduce the first one bit for bit.
+var oracleWorkerSweep = []int{1, 2, 4}
+
+// oraclePolicyRow is one (policy, density) cell of BENCH_7.
+type oraclePolicyRow struct {
+	Policy  string `json:"policy"`
+	Drivers int    `json:"drivers"`
+	Tasks   int    `json:"tasks"`
+
+	PolicySeconds  float64 `json:"policy_seconds"`
+	OnlineRevenue  float64 `json:"online_revenue"`
+	OfflineRevenue float64 `json:"offline_revenue"`
+	OnlineServed   int     `json:"online_served"`
+	OfflineServed  int     `json:"offline_served"`
+
+	RevenueRegret    float64 `json:"revenue_regret"`
+	ServedRegret     int     `json:"served_regret"`
+	CompetitiveRatio float64 `json:"competitive_ratio"`
+}
+
+// oracleSolverLeg is one (density, workers) timing of the rail solve.
+type oracleSolverLeg struct {
+	Drivers int `json:"drivers"`
+	Workers int `json:"workers"`
+
+	CompileSeconds float64 `json:"compile_seconds"`
+	SolveSeconds   float64 `json:"solve_seconds"` // median over -reps re-solves
+
+	Objective       float64 `json:"objective"`
+	UpperBound      float64 `json:"upper_bound"`
+	Exact           bool    `json:"exact"`
+	Components      int     `json:"components"`
+	ExactComponents int     `json:"exact_components"`
+	Nodes           int64   `json:"nodes"`
+	Pairs           int     `json:"pairs"`
+	Arcs            int     `json:"arcs"`
+
+	AllocsPerComponent float64 `json:"allocs_per_component"`
+	WarmKept           int     `json:"warm_kept"`
+	WarmDropped        int     `json:"warm_dropped"`
+	LPSolved           int     `json:"lp_solved"`
+	LPFixed            int     `json:"lp_fixed"`
+}
+
+type oracleReport struct {
+	Schema     string  `json:"schema"`
+	Command    string  `json:"command"`
+	GoMaxProcs int     `json:"go_maxprocs"`
+	Reps       int     `json:"reps"`
+	Tasks      int     `json:"tasks"`
+	Window     float64 `json:"batch_window"`
+	Churn      float64 `json:"churn"`
+	Cancel     float64 `json:"cancel"`
+	TopK       int     `json:"topk"`
+
+	Rows   []oraclePolicyRow `json:"rows"`
+	Solver []oracleSolverLeg `json:"solver"`
+}
+
+func benchOracle(out string, tasks int, driverCounts []int, reps int, seed int64,
+	window, churn, cancel float64, topk, compileWorkers int) error {
+	report := oracleReport{
+		Schema: "rideshare-oracle-bench/v1",
+		Command: fmt.Sprintf("rideshare bench -oracle -tasks %d -batch-window %g -churn %g -cancel %g -topk %d",
+			tasks, window, churn, cancel, topk),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Reps:       reps, Tasks: tasks, Window: window,
+		Churn: churn, Cancel: cancel, TopK: topk,
+	}
+
+	for _, drivers := range driverCounts {
+		cfg := trace.NewConfig(seed, tasks, drivers, trace.Hitchhiking)
+		tr := trace.NewGenerator(cfg).Generate(nil)
+		if churn > 0 || cancel > 0 {
+			tr.Events = trace.WithChurn(tr, trace.DefaultChurn(seed, churn, cancel))
+		}
+		eng, err := sim.New(cfg.Market, tr.Drivers, seed)
+		if err != nil {
+			return err
+		}
+		eng.MatchWorkers = compileWorkers
+
+		type policyRun struct {
+			name    string
+			seconds float64
+			res     sim.Result
+		}
+		runs := make([]policyRun, 3)
+		runs[0].name = "maxMargin"
+		runs[1].name = "batched(hungarian)"
+		runs[2].name = "batched(auction)"
+		for i := range runs {
+			start := time.Now()
+			switch i {
+			case 0:
+				runs[i].res = eng.RunScenario(tr.Tasks, tr.Events, online.MaxMargin{})
+			case 1:
+				runs[i].res = eng.RunBatchedScenario(tr.Tasks, tr.Events, window, sim.BatchHungarian)
+			case 2:
+				runs[i].res = eng.RunBatchedScenario(tr.Tasks, tr.Events, window, sim.BatchAuction)
+			}
+			runs[i].seconds = time.Since(start).Seconds()
+		}
+
+		var keep [][2]int32
+		best := 0
+		for i, r := range runs {
+			for m, d := range r.res.Assignment {
+				keep = append(keep, [2]int32{int32(m), int32(d)})
+			}
+			if r.res.Revenue > runs[best].res.Revenue {
+				best = i
+			}
+		}
+
+		t0 := time.Now()
+		in, err := offline.Compile(cfg.Market, tr, offline.Options{
+			Objective: offline.ObjectiveRevenue,
+			TopK:      topk,
+			Keep:      keep,
+			Workers:   compileWorkers,
+		})
+		if err != nil {
+			return fmt.Errorf("bench: oracle compile at %d drivers: %w", drivers, err)
+		}
+		compileSec := time.Since(t0).Seconds()
+
+		var baseSol bound.SparseSolution
+		var baseTD []int32
+		for li, workers := range oracleWorkerSweep {
+			var solver bound.SparseSolver
+			opt := bound.SparseOptions{
+				Workers: workers, Warm: runs[best].res.DriverPaths,
+				LP: true, SkipPaths: true,
+			}
+			var sol bound.SparseSolution
+			times := make([]float64, 0, reps)
+			allocs := make([]float64, 0, reps)
+			var m0, m1 runtime.MemStats
+			for r := 0; r < reps; r++ {
+				runtime.GC()
+				runtime.ReadMemStats(&m0)
+				start := time.Now()
+				sol, err = solver.Solve(in, opt)
+				times = append(times, time.Since(start).Seconds())
+				runtime.ReadMemStats(&m1)
+				if err != nil {
+					return fmt.Errorf("bench: oracle solve at %d drivers, %d workers: %w", drivers, workers, err)
+				}
+				allocs = append(allocs, float64(m1.Mallocs-m0.Mallocs))
+			}
+			sort.Float64s(times)
+			sort.Float64s(allocs)
+			median := times[len(times)/2]
+			medAllocs := allocs[len(allocs)/2]
+
+			if li == 0 {
+				baseSol = sol
+				baseTD = append([]int32(nil), sol.TaskDriver...)
+			} else {
+				// The determinism bar: every worker count must reproduce
+				// the serial solve bit for bit — objective, bound, node
+				// count, and the full task→driver map.
+				if sol.Objective != baseSol.Objective || sol.UpperBound != baseSol.UpperBound ||
+					sol.Nodes != baseSol.Nodes || sol.Exact != baseSol.Exact {
+					return fmt.Errorf("bench: oracle solve at %d drivers diverged at %d workers: obj %.12g/%.12g ub %.12g/%.12g nodes %d/%d — this is a bug",
+						drivers, workers, sol.Objective, baseSol.Objective, sol.UpperBound, baseSol.UpperBound, sol.Nodes, baseSol.Nodes)
+				}
+				for ti := range sol.TaskDriver {
+					if sol.TaskDriver[ti] != baseTD[ti] {
+						return fmt.Errorf("bench: oracle solve at %d drivers diverged at %d workers: task %d → driver %d vs %d — this is a bug",
+							drivers, workers, ti, sol.TaskDriver[ti], baseTD[ti])
+					}
+				}
+			}
+
+			leg := oracleSolverLeg{
+				Drivers: drivers, Workers: workers,
+				CompileSeconds: compileSec, SolveSeconds: median,
+				Objective: sol.Objective, UpperBound: sol.UpperBound,
+				Exact: sol.Exact, Components: sol.Components,
+				ExactComponents: sol.ExactComponents, Nodes: sol.Nodes,
+				Pairs: in.Stats.Pairs, Arcs: in.Stats.Arcs,
+				WarmKept: sol.WarmKept, WarmDropped: sol.WarmDropped,
+				LPSolved: sol.LPSolved, LPFixed: sol.LPFixed,
+			}
+			if sol.Components > 0 {
+				leg.AllocsPerComponent = medAllocs / float64(sol.Components)
+			}
+			report.Solver = append(report.Solver, leg)
+			fmt.Fprintf(os.Stderr, "oracle/drivers=%d/workers=%d  compile %6.3fs  solve %7.4fs  %5d/%d comps exact  %6.1f allocs/comp\n",
+				drivers, workers, compileSec, median, sol.ExactComponents, sol.Components, leg.AllocsPerComponent)
+		}
+
+		offServed := 0
+		for _, d := range baseTD {
+			if d >= 0 {
+				offServed++
+			}
+		}
+		for _, r := range runs {
+			row := oraclePolicyRow{
+				Policy: r.name, Drivers: drivers, Tasks: tasks,
+				PolicySeconds: r.seconds,
+				OnlineRevenue: r.res.Revenue, OfflineRevenue: baseSol.Objective,
+				OnlineServed: r.res.Served, OfflineServed: offServed,
+				RevenueRegret: baseSol.Objective - r.res.Revenue,
+				ServedRegret:  offServed - r.res.Served,
+			}
+			switch {
+			case baseSol.Objective > 0:
+				row.CompetitiveRatio = r.res.Revenue / baseSol.Objective
+			case r.res.Revenue == 0:
+				row.CompetitiveRatio = 1
+			}
+			if row.CompetitiveRatio <= 0 || row.CompetitiveRatio > 1 {
+				return fmt.Errorf("bench: oracle ratio %.9f for %s at %d drivers outside (0,1] — the rail must dominate every policy, this is a bug",
+					row.CompetitiveRatio, r.name, drivers)
+			}
+			report.Rows = append(report.Rows, row)
+			fmt.Fprintf(os.Stderr, "oracle/drivers=%d/%-20s revenue %12.2f vs offline %12.2f  ratio %.4f\n",
+				drivers, r.name, r.res.Revenue, baseSol.Objective, row.CompetitiveRatio)
+		}
+	}
+
+	w := os.Stdout
+	if out != "-" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		return err
+	}
+	if out != "-" {
+		fmt.Fprintf(os.Stderr, "wrote %s (%d rows, %d solver legs)\n", out, len(report.Rows), len(report.Solver))
+	}
+	return nil
+}

@@ -1,0 +1,114 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCmdBenchOracleWritesJSON: the -oracle suite writes one policy
+// row per (policy, density) with competitive ratios inside (0,1] — the
+// in-command dominance check would have errored otherwise — and one
+// solver leg per (density, workers ∈ {1,2,4}) with the worker-sweep
+// identity check already enforced before anything is written.
+func TestCmdBenchOracleWritesJSON(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "bench7.json")
+	if err := cmdBench([]string{"-oracle", "-drivers", "15,40", "-tasks", "70",
+		"-reps", "2", "-batch-window", "45", "-churn", "0.3", "-cancel", "0.2",
+		"-topk", "6", "-seed", "11", "-out", out}); err != nil {
+		t.Fatalf("bench -oracle: %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report oracleReport
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("bench -oracle output is not valid JSON: %v", err)
+	}
+	if report.Schema != "rideshare-oracle-bench/v1" {
+		t.Fatalf("schema = %q", report.Schema)
+	}
+	if len(report.Rows) != 2*3 {
+		t.Fatalf("rows = %d, want 6 (3 policies x 2 densities)", len(report.Rows))
+	}
+	for _, r := range report.Rows {
+		if r.CompetitiveRatio <= 0 || r.CompetitiveRatio > 1 {
+			t.Errorf("%s@%d: ratio %.6f outside (0,1]", r.Policy, r.Drivers, r.CompetitiveRatio)
+		}
+		if r.RevenueRegret < 0 {
+			t.Errorf("%s@%d: negative regret %.6f", r.Policy, r.Drivers, r.RevenueRegret)
+		}
+		if r.OfflineRevenue < r.OnlineRevenue {
+			t.Errorf("%s@%d: offline %.6f below online %.6f", r.Policy, r.Drivers, r.OfflineRevenue, r.OnlineRevenue)
+		}
+	}
+	if len(report.Solver) != 2*len(oracleWorkerSweep) {
+		t.Fatalf("solver legs = %d, want %d", len(report.Solver), 2*len(oracleWorkerSweep))
+	}
+	for i, leg := range report.Solver {
+		if leg.Workers != oracleWorkerSweep[i%len(oracleWorkerSweep)] {
+			t.Errorf("leg %d workers = %d", i, leg.Workers)
+		}
+		if leg.SolveSeconds <= 0 || leg.CompileSeconds <= 0 {
+			t.Errorf("leg %d: non-positive timing %+v", i, leg)
+		}
+		if leg.Components <= 0 || leg.ExactComponents > leg.Components {
+			t.Errorf("leg %d: bad component counts %+v", i, leg)
+		}
+		if leg.UpperBound < leg.Objective {
+			t.Errorf("leg %d: upper bound %.9f below objective %.9f", i, leg.UpperBound, leg.Objective)
+		}
+	}
+	// All legs of one density share the compiled instance and must have
+	// reported the identical solution.
+	for d := 0; d < 2; d++ {
+		base := report.Solver[d*len(oracleWorkerSweep)]
+		for _, leg := range report.Solver[d*len(oracleWorkerSweep) : (d+1)*len(oracleWorkerSweep)] {
+			if leg.Objective != base.Objective || leg.Nodes != base.Nodes {
+				t.Errorf("density %d: legs diverged: %+v vs %+v", d, leg, base)
+			}
+		}
+	}
+}
+
+// The tightness command's brute-force call is bounded: a cap that is
+// too small fails with a typed, actionable error instead of hanging,
+// and a non-positive cap is rejected at the flag boundary.
+func TestCmdTightnessMaxPaths(t *testing.T) {
+	if err := cmdTightness([]string{"-max-paths", "0"}); err == nil {
+		t.Error("-max-paths 0 accepted")
+	}
+	err := cmdTightness([]string{"-d", "6", "-max-paths", "1"})
+	if err == nil {
+		t.Fatal("-max-paths 1 solved D=6 — the cap is not reaching the solver")
+	}
+	if !strings.Contains(err.Error(), "-max-paths") {
+		t.Errorf("cap error gives no remediation hint: %v", err)
+	}
+	if err := cmdTightness([]string{"-d", "3", "-max-paths", "100000"}); err != nil {
+		t.Errorf("generous cap failed: %v", err)
+	}
+}
+
+func TestCmdBenchOracleFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"oracle+batched", []string{"-oracle", "-batched"}},
+		{"oracle+windows", []string{"-oracle", "-windows"}},
+		{"bad churn", []string{"-oracle", "-churn", "1.5"}},
+		{"bad cancel", []string{"-oracle", "-cancel", "-0.1"}},
+		{"bad topk", []string{"-oracle", "-topk", "-1"}},
+		{"zero window", []string{"-oracle", "-batch-window", "0"}},
+	}
+	for _, tc := range cases {
+		if err := cmdBench(tc.args); err == nil {
+			t.Errorf("%s accepted", tc.name)
+		}
+	}
+}

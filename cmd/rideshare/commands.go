@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -306,7 +307,7 @@ func cmdSimulate(args []string) error {
 
 func cmdExperiments(args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
-	fig := fs.String("fig", "all", "figure to regenerate: 3-9, welfare, surge, dispatch, churn, or all")
+	fig := fs.String("fig", "all", "figure to regenerate: 3-9, welfare, surge, dispatch, churn, regret, or all")
 	scale := fs.String("scale", "bench", "bench (scaled-down, fast) or paper (full §VI scale)")
 	seed := fs.Int64("seed", 1, "trace seed")
 	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "concurrent sweep workers")
@@ -405,6 +406,21 @@ func runExperiments(ctx context.Context, w io.Writer, cfg experiments.Config, fi
 			return err
 		}
 	}
+	if want("regret") {
+		// Three densities (sparse, mid, dense) keep the oracle solves
+		// affordable under -fig all; the bench -oracle suite is the
+		// full-scale version of this study.
+		rcfg := cfg
+		rcfg.Sweep = []int{cfg.Sweep[0], cfg.Sweep[len(cfg.Sweep)/2], cfg.Sweep[len(cfg.Sweep)-1]}
+		rc := experiments.RegretConfig{Churn: 0.25, Cancel: 0.2, TopK: 8, LP: true, NodeCap: 500_000}
+		points, err := experiments.RegretSweep(ctx, rcfg, rc)
+		if err != nil {
+			return err
+		}
+		if err := experiments.RenderText(w, experiments.RegretFigure(points, rcfg, rc)); err != nil {
+			return err
+		}
+	}
 	if want("dispatch") {
 		mid := cfg.Sweep[len(cfg.Sweep)/2]
 		rows, err := experiments.DispatchComparison(ctx, cfg, mid)
@@ -424,8 +440,12 @@ func cmdTightness(args []string) error {
 	fs := flag.NewFlagSet("tightness", flag.ContinueOnError)
 	d := fs.Int("d", 5, "task-map diameter D of the adversarial instance")
 	eps := fs.Float64("eps", 0.01, "profit gap ε of the adversarial instance")
+	maxPaths := fs.Int("max-paths", 200000, "per-driver path cap for the brute-force reference solve")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *maxPaths <= 0 {
+		return fmt.Errorf("tightness: -max-paths must be ≥ 1, got %d", *maxPaths)
 	}
 	mkt, drivers, tasks, err := offline.TightnessInstance(*d, *eps)
 	if err != nil {
@@ -436,8 +456,11 @@ func cmdTightness(args []string) error {
 		return err
 	}
 	ga := offline.Greedy(g)
-	exact, err := bound.BruteForce(g, 0)
+	exact, err := bound.BruteForce(g, *maxPaths)
 	if err != nil {
+		if errors.Is(err, bound.ErrPathLimit) {
+			return fmt.Errorf("tightness: instance too large to brute-force at D=%d (%w); lower -d or raise -max-paths", *d, err)
+		}
 		return err
 	}
 	fmt.Printf("Fig. 2 adversarial instance: D=%d, ε=%g\n", *d, *eps)

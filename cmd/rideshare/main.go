@@ -10,8 +10,9 @@
 //	             the extension studies (welfare, surge, dispatch, churn)
 //	bench        time full-day dispatch across candidate sources and
 //	             shard counts (batch vs streaming replay with -streaming,
-//	             engine vs streaming-batched with -batched), writing a
-//	             machine-readable JSON baseline
+//	             engine vs streaming-batched with -batched, online
+//	             policies vs the offline-optimum oracle with -oracle),
+//	             writing a machine-readable JSON baseline
 //	serve        run the live dispatch market as an HTTP/JSON service
 //	             over the public dispatch package — instant dispatch, or
 //	             windowed batch matching with -batch-window
@@ -74,8 +75,8 @@ Usage:
   rideshare gen         -tasks N -drivers N [-model hitchhiking|home] [-seed S] [-churn R] [-cancel R] [-out trace.json]
   rideshare solve       -trace trace.json [-bound] [-naive]
   rideshare simulate    -trace trace.json [-algo maxmargin|nearest|random|batched|replan] [-batchwindow W -batchalgo hungarian|auction] [-shards N] [-churn R] [-cancel R] [-byvalue] [-realtime]
-  rideshare experiments [-fig 3|4|5|6|7|8|9|welfare|surge|dispatch|churn|all] [-scale bench|paper] [-seed S] [-shards N]
-  rideshare bench       [-drivers 10000,50000] [-shards 1,2,4,8] [-out BENCH_2.json] [-streaming | -batched [-batch-window W] [-batch-algo A]]
+  rideshare experiments [-fig 3|4|5|6|7|8|9|welfare|surge|dispatch|churn|regret|all] [-scale bench|paper] [-seed S] [-shards N]
+  rideshare bench       [-drivers 10000,50000] [-shards 1,2,4,8] [-out BENCH_2.json] [-streaming | -batched [-batch-window W] [-batch-algo A] | -oracle [-churn R] [-cancel R] [-topk K]]
   rideshare serve       [-addr :8080] [-drivers N | -trace trace.json] [-algo maxmargin|nearest|random] [-batch-window W -batch-algo hungarian|auction] [-shards N] [-realtime] [-seed S]
   rideshare loadgen     [-addr http://127.0.0.1:8080] [-tasks N] [-workers N] [-cancel R] [-seed S]
   rideshare tightness   [-d D] [-eps E]

@@ -1,12 +1,19 @@
 package bound
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
 	"repro/internal/lp"
 	"repro/internal/taskmap"
 )
+
+// ErrPathLimit reports that a per-driver path enumeration blew its cap.
+// Callers that feed untrusted instance sizes (the tightness CLI) match
+// it with errors.Is to distinguish "too big to brute-force" from a
+// genuinely malformed instance.
+var ErrPathLimit = errors.New("path limit exceeded")
 
 // This file contains the exact solvers for the small-scale evaluation
 // (§VI-B: "for n ≤ 50 and m ≤ 100, we can use the integer programming
@@ -195,7 +202,7 @@ func EnumeratePaths(g *taskmap.Graph, n, cap int) ([]taskmap.Path, error) {
 	var dfs func(last int) error
 	dfs = func(last int) error {
 		if len(out) > cap {
-			return fmt.Errorf("bound: driver %d exceeds %d paths", n, cap)
+			return fmt.Errorf("bound: driver %d exceeds %d paths: %w", n, cap, ErrPathLimit)
 		}
 		profit, err := g.PathProfit(n, cur)
 		if err != nil {

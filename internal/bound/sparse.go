@@ -1,0 +1,393 @@
+package bound
+
+// The oracle-rail solver: a warm-started, component-decomposed branch
+// and bound over a compiled offline.Instance. Where BruteForce walks
+// the dense taskmap, this solver works per connected component of the
+// hindsight pair graph, enumerating only each component's per-driver
+// positive-value paths, pruning with suffix bounds and (optionally) LP
+// reduced-cost fixing against the incumbent, and falling back to a
+// Lagrangian upper bound on components too big to enumerate. On small
+// instances it reproduces BruteForce bit for bit — same enumeration
+// order, same strict-improvement rule, same left-associated sums — so
+// the brute-force solver stays the differential oracle.
+//
+// Determinism: components are self-contained (every scratch buffer is
+// per worker) and merged in component order, so the result is
+// bit-identical for every Workers value.
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/lp"
+	"repro/internal/offline"
+	"repro/internal/taskmap"
+)
+
+// SparseOptions configures SparseSolver.Solve. The zero value solves
+// serially with BruteForce's path cap and no LP pruning.
+type SparseOptions struct {
+	// Workers bounds the component fan-out; values below 2 run
+	// serially. The solution is bit-identical for every value.
+	Workers int
+
+	// Warm holds one task list per ORIGINAL driver index (the shape of
+	// sim.Result.DriverPaths): the online policy's own assignment.
+	// Paths that are infeasible in hindsight, overlap an earlier
+	// driver's warm path, or have non-positive value are dropped and
+	// counted. The surviving set seeds each component's incumbent and
+	// the LP crash basis.
+	Warm [][]int
+
+	// PathCap bounds per-driver path enumeration (BruteForce's 5000
+	// when ≤ 0); CompPathCap bounds a component's total kept paths
+	// (default 200000). A component over either cap is not enumerated:
+	// it keeps the incumbent and reports a Lagrangian upper bound.
+	PathCap     int
+	CompPathCap int
+
+	// LP enables a per-component root LP (path-packing relaxation,
+	// warm-started from the incumbent columns) whose reduced costs fix
+	// out columns that cannot beat the incumbent. Components larger
+	// than LPMaxRows rows (tasks+drivers, default 256) or LPMaxCols
+	// path columns (default 2048) skip the LP.
+	LP        bool
+	LPMaxRows int
+	LPMaxCols int
+
+	// LagIters bounds the subgradient iterations of the fallback upper
+	// bound (default 60).
+	LagIters int
+
+	// NodeCap bounds the branch-and-bound nodes spent per component
+	// (default 5e6). A component that exhausts it keeps the better of
+	// the best solution found so far and the incumbent, turns inexact,
+	// and reports a Lagrangian upper bound. The abort point depends
+	// only on the component's own deterministic node order, so results
+	// stay bit-identical for every Workers value.
+	NodeCap int
+
+	// SkipPaths suppresses Solution.Paths materialization; with LP off
+	// and Workers < 2 the re-solve path then allocates nothing in
+	// steady state.
+	SkipPaths bool
+}
+
+// SparseSolution is the solver's result. TaskDriver aliases a solver
+// arena — valid until the next Solve.
+type SparseSolution struct {
+	Objective  float64
+	UpperBound float64 // ≥ Objective; equal when Exact
+	Exact      bool    // every component solved to optimality
+
+	Components      int
+	ExactComponents int
+	Nodes           int64 // B&B nodes over all components
+
+	WarmKept    int // warm paths that survived hindsight validation
+	WarmDropped int
+	LPSolved    int // component root LPs solved to optimality
+	LPFixed     int // path columns fixed out by reduced cost
+
+	// Paths lists the chosen paths in ascending original-driver order
+	// (BruteForce's order); nil under SkipPaths. TaskDriver maps each
+	// task to its serving original driver, or -1.
+	Paths      []taskmap.Path
+	TaskDriver []int32
+}
+
+// SparseSolver holds the reusable arenas. The zero value is ready;
+// buffers grow to the high-water mark and are reused across solves.
+type SparseSolver struct {
+	scratch []sparseScratch
+	compRes []compResult
+
+	taskDriver []int32
+	drvVal     []float64
+	drvHas     []bool
+
+	// optBuf keeps the normalized options addressable without letting
+	// them escape per call (the worker goroutines share the pointer).
+	optBuf SparseOptions
+}
+
+type pathRec struct {
+	off, n int32 // slots in scratch.pathSlots
+	value  float64
+}
+
+type chosenRec struct {
+	driver int32 // compact driver
+	off, n int32 // slots in the owning worker's chosenSlots
+	value  float64
+}
+
+type compResult struct {
+	objective float64 // left-assoc over the comp's drivers ascending
+	ub        float64
+	exact     bool
+	nodes     int
+	worker    int
+	firstRec  int
+	nRecs     int
+	lpSolved  int
+	lpFixed   int
+	warmKept  int
+	warmDrop  int
+}
+
+type dfsFrame struct {
+	slot int32
+	k    int32 // next successor-arc cursor
+	acc  float64
+}
+
+type sparseScratch struct {
+	id int
+
+	// enumeration (per component)
+	frames     []dfsFrame
+	paths      []pathRec
+	pathSlots  []int32
+	drvPathPtr []int32
+
+	// branch and bound (per component)
+	suffix             []float64
+	choice, bestChoice []int32
+	used               []bool // sized M, all-false invariant between uses
+	bb                 bbState
+
+	// per-driver DP (sized NSlots)
+	cur   []float64
+	prevS []int32
+
+	// greedy incumbent (per component)
+	dead   []bool // sized M, all-false invariant
+	gOff   []int32
+	gLen   []int32
+	gVal   []float64
+	gDone  []bool
+	gSlots []int32
+
+	// warm incumbent (per component)
+	wOff   []int32
+	wLen   []int32
+	wVal   []float64
+	wSlots []int32
+
+	// Lagrangian fallback
+	lambda []float64 // sized M, comp rows reset before use
+	grad   []int     // sized M, comp rows reset before use
+
+	// LP root
+	lps      lp.Solver
+	warmCols []int
+	drop     []bool
+	taskRow  []int32 // sized M, comp rows reset before use
+
+	// chosen output, persists across this worker's components
+	chosenSlots []int32
+	chosenRecs  []chosenRec
+}
+
+func growF64(s []float64, n int) []float64 {
+	if cap(s) < n {
+		s = append(s[:cap(s)], make([]float64, n-cap(s))...)
+	}
+	return s[:n]
+}
+
+func growI32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		s = append(s[:cap(s)], make([]int32, n-cap(s))...)
+	}
+	return s[:n]
+}
+
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		s = append(s[:cap(s)], make([]int, n-cap(s))...)
+	}
+	return s[:n]
+}
+
+func growBools(s []bool, n int) []bool {
+	if cap(s) < n {
+		s = append(s[:cap(s)], make([]bool, n-cap(s))...)
+	}
+	return s[:n]
+}
+
+func growFrames(s []dfsFrame, n int) []dfsFrame {
+	if cap(s) < n {
+		s = append(s[:cap(s)], make([]dfsFrame, n-cap(s))...)
+	}
+	return s[:n]
+}
+
+// Solve computes the hindsight optimum of the compiled instance.
+func (s *SparseSolver) Solve(in *offline.Instance, opt SparseOptions) (SparseSolution, error) {
+	if in == nil {
+		return SparseSolution{}, fmt.Errorf("bound: nil instance")
+	}
+	if opt.PathCap <= 0 {
+		opt.PathCap = 5000
+	}
+	if opt.CompPathCap <= 0 {
+		opt.CompPathCap = 200000
+	}
+	if opt.LPMaxRows <= 0 {
+		opt.LPMaxRows = 256
+	}
+	if opt.LPMaxCols <= 0 {
+		opt.LPMaxCols = 2048
+	}
+	if opt.LagIters <= 0 {
+		opt.LagIters = 60
+	}
+	if opt.NodeCap <= 0 {
+		opt.NodeCap = 5_000_000
+	}
+	s.optBuf = opt
+	optp := &s.optBuf
+
+	ncomp := in.NComp
+	workers := opt.Workers
+	if workers > ncomp {
+		workers = ncomp
+	}
+	if workers < 2 {
+		workers = 1
+	}
+	if cap(s.scratch) < workers {
+		s.scratch = append(s.scratch[:cap(s.scratch)], make([]sparseScratch, workers-cap(s.scratch))...)
+	}
+	s.scratch = s.scratch[:workers]
+	m, nslots := len(in.Tasks), in.NSlots()
+	for w := range s.scratch {
+		sc := &s.scratch[w]
+		sc.id = w
+		sc.used = growBools(sc.used, m)
+		sc.dead = growBools(sc.dead, m)
+		for i := 0; i < m; i++ {
+			sc.used[i] = false
+			sc.dead[i] = false
+		}
+		sc.cur = growF64(sc.cur, nslots)
+		sc.prevS = growI32(sc.prevS, nslots)
+		sc.lambda = growF64(sc.lambda, m)
+		sc.grad = growInts(sc.grad, m)
+		sc.taskRow = growI32(sc.taskRow, m)
+		sc.chosenSlots = sc.chosenSlots[:0]
+		sc.chosenRecs = sc.chosenRecs[:0]
+	}
+	if cap(s.compRes) < ncomp {
+		s.compRes = append(s.compRes[:cap(s.compRes)], make([]compResult, ncomp-cap(s.compRes))...)
+	}
+	s.compRes = s.compRes[:ncomp]
+
+	if workers == 1 {
+		for c := 0; c < ncomp; c++ {
+			s.solveComp(in, optp, c, &s.scratch[0])
+		}
+	} else {
+		var next int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func(sc *sparseScratch) {
+				defer wg.Done()
+				for {
+					c := int(atomic.AddInt64(&next, 1)) - 1
+					if c >= ncomp {
+						return
+					}
+					s.solveComp(in, optp, c, sc)
+				}
+			}(&s.scratch[w])
+		}
+		wg.Wait()
+	}
+
+	return s.merge(in, optp)
+}
+
+// merge folds the per-component results into the global solution in
+// component order, re-accumulating the objective over compact drivers
+// ascending — the same interleaving BruteForce's recursion uses.
+func (s *SparseSolver) merge(in *offline.Instance, opt *SparseOptions) (SparseSolution, error) {
+	m, ndrv := len(in.Tasks), in.NDrv()
+	s.taskDriver = growI32(s.taskDriver, m)
+	for i := 0; i < m; i++ {
+		s.taskDriver[i] = -1
+	}
+	s.drvVal = growF64(s.drvVal, ndrv)
+	s.drvHas = growBools(s.drvHas, ndrv)
+	for d := 0; d < ndrv; d++ {
+		s.drvHas[d] = false
+	}
+
+	sol := SparseSolution{Exact: true, Components: in.NComp, TaskDriver: s.taskDriver}
+	gap := 0.0 // Σ (ub − incumbent) over inexact components
+	for c := range s.compRes {
+		res := &s.compRes[c]
+		if !res.exact {
+			gap += res.ub - res.objective
+		}
+		sol.Nodes += int64(res.nodes)
+		sol.LPSolved += res.lpSolved
+		sol.LPFixed += res.lpFixed
+		sol.WarmKept += res.warmKept
+		sol.WarmDropped += res.warmDrop
+		if res.exact {
+			sol.ExactComponents++
+		} else {
+			sol.Exact = false
+		}
+		sc := &s.scratch[res.worker]
+		for r := res.firstRec; r < res.firstRec+res.nRecs; r++ {
+			rec := sc.chosenRecs[r]
+			s.drvVal[rec.driver] = rec.value
+			s.drvHas[rec.driver] = true
+			orig := int32(in.DrvID[rec.driver])
+			for _, slot := range sc.chosenSlots[rec.off : rec.off+rec.n] {
+				s.taskDriver[in.DrvTask[slot]] = orig
+			}
+		}
+	}
+	for d := 0; d < ndrv; d++ {
+		if s.drvHas[d] {
+			sol.Objective += s.drvVal[d]
+		}
+	}
+	// The bound is the objective plus the inexact components' gaps, so
+	// an all-exact solve reports UpperBound == Objective bit for bit.
+	sol.UpperBound = sol.Objective + gap
+	if !opt.SkipPaths {
+		for d := 0; d < ndrv; d++ {
+			if !s.drvHas[d] {
+				continue
+			}
+			// Find the rec again (component of driver d).
+			c := in.Comp.CompOfCol[d]
+			res := &s.compRes[c]
+			sc := &s.scratch[res.worker]
+			for r := res.firstRec; r < res.firstRec+res.nRecs; r++ {
+				rec := sc.chosenRecs[r]
+				if int(rec.driver) != d {
+					continue
+				}
+				tasks := make([]int, rec.n)
+				for i, slot := range sc.chosenSlots[rec.off : rec.off+rec.n] {
+					tasks[i] = int(in.DrvTask[slot])
+				}
+				sol.Paths = append(sol.Paths, taskmap.Path{
+					Driver: in.DrvID[d], Tasks: tasks, Profit: rec.value,
+				})
+				break
+			}
+		}
+	}
+	return sol, nil
+}

@@ -17,6 +17,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"sync/atomic"
 	"text/tabwriter"
 
 	"repro/internal/bound"
@@ -175,6 +176,7 @@ func Fig5PerformanceRatio(ctx context.Context, cfg Config, dm trace.DriverModel)
 	// belongs to sweep point k/reps, replication k%reps.
 	reps := cfg.replications()
 	ratios := make([][3]float64, len(cfg.Sweep)*reps)
+	var fallbacks atomic.Int64
 	err := forEachIndex(ctx, cfg.Workers, len(ratios), func(k int) error {
 		n, seed := cfg.Sweep[k/reps], cfg.Seed+int64(k%reps)
 		p, err := buildProblem(cfg, seed, n, dm)
@@ -185,7 +187,10 @@ func Fig5PerformanceRatio(ctx context.Context, cfg Config, dm trace.DriverModel)
 		if err != nil {
 			return err
 		}
-		ub := upperBound(p, sols[0].Profit, cfg)
+		ub, fellBack := upperBound(p, sols[0].Profit, cfg)
+		if fellBack {
+			fallbacks.Add(1)
+		}
 		for i := range names {
 			ratios[k][i] = core.PerformanceRatio(sols[i].Profit, ub)
 		}
@@ -209,8 +214,8 @@ func Fig5PerformanceRatio(ctx context.Context, cfg Config, dm trace.DriverModel)
 		Title:  fmt.Sprintf("Performance Ratio (%v model)", dm),
 		XLabel: "number of drivers", YLabel: "profit / Z*_f",
 		Series: series,
-		Notes: fmt.Sprintf("%d tasks; %d replication(s); bound: colgen (small) / Lagrangian %d iters (large)",
-			cfg.Tasks, reps, cfg.BoundIters),
+		Notes: fmt.Sprintf("%d tasks; %d replication(s); bound: colgen (small) / Lagrangian %d iters (large); colgen-fallbacks=%d",
+			cfg.Tasks, reps, cfg.BoundIters, fallbacks.Load()),
 	}, nil
 }
 
@@ -334,15 +339,20 @@ func solveAll(p *core.Problem, seed int64, shards int) ([]core.Solution, error) 
 }
 
 // upperBound computes the Z*_f estimate for a sweep point: exact column
-// generation when small, Lagrangian subgradient otherwise.
-func upperBound(p *core.Problem, greedyLB float64, cfg Config) float64 {
+// generation when small, Lagrangian subgradient otherwise. fellBack
+// reports that column generation was attempted but errored — the
+// Lagrangian result is still a valid bound, but the study surfaces the
+// count so a misbehaving master LP cannot hide behind a weaker bound.
+func upperBound(p *core.Problem, greedyLB float64, cfg Config) (float64, bool) {
 	g := p.Graph()
 	if g.N()+g.M() <= 150 {
-		if r, _, err := bound.ColumnGeneration(g); err == nil {
-			return r.Bound
+		r, _, err := bound.ColumnGeneration(g)
+		if err == nil {
+			return r.Bound, false
 		}
+		return bound.Lagrangian(g, greedyLB, cfg.BoundIters).Bound, true
 	}
-	return bound.Lagrangian(g, greedyLB, cfg.BoundIters).Bound
+	return bound.Lagrangian(g, greedyLB, cfg.BoundIters).Bound, false
 }
 
 // RenderText writes the figure as an aligned text table, one row per X

@@ -216,7 +216,7 @@ func DispatchComparison(ctx context.Context, cfg Config, drivers int) ([]Dispatc
 	if err != nil {
 		return nil, err
 	}
-	ub := upperBound(p, greedySol.Profit, cfg)
+	ub, _ := upperBound(p, greedySol.Profit, cfg)
 	eng, err := sim.New(p.Market, p.Drivers, cfg.Seed)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,244 @@
+package experiments
+
+// The oracle-rail study: how much revenue did each online policy leave
+// on the table against a clairvoyant dispatcher on the same day? For
+// every density the three policies (instant maxMargin, batched
+// Hungarian, batched auction) run over an identical churn/cancellation
+// trace; the trace is then compiled once into a hindsight instance
+// (revenue objective, rail pruning, every policy's own assignments
+// force-kept so the rail stays at or above all of them) and solved by
+// the sparse branch and bound, warm-started from the best policy.
+//
+// The rail optimum is a lower bound on the true hindsight optimum, so
+// the reported competitive ratios are upper bounds on the policies'
+// true ratios — the forced pairs keep every ratio ≤ 1.
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/bound"
+	"repro/internal/offline"
+	"repro/internal/online"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// RegretPolicies names the online policies of the study, in row order.
+var RegretPolicies = []string{"maxMargin", "batched(hungarian)", "batched(auction)"}
+
+// RegretRow is one (policy, density) cell of the study.
+type RegretRow struct {
+	Policy  string `json:"policy"`
+	Drivers int    `json:"drivers"`
+
+	OnlineRevenue  float64 `json:"online_revenue"`
+	OfflineRevenue float64 `json:"offline_revenue"`
+	OnlineServed   int     `json:"online_served"`
+	OfflineServed  int     `json:"offline_served"`
+
+	RevenueRegret    float64 `json:"revenue_regret"`    // offline − online
+	CompetitiveRatio float64 `json:"competitive_ratio"` // online / offline, ∈ (0, 1]
+}
+
+// RegretPoint bundles one density's shared oracle solve.
+type RegretPoint struct {
+	Drivers int          `json:"drivers"`
+	Rows    []RegretRow  `json:"rows"`
+	Oracle  RegretOracle `json:"oracle"`
+}
+
+// RegretOracle records how the hindsight optimum was obtained.
+type RegretOracle struct {
+	CompileSeconds  float64 `json:"compile_seconds"`
+	SolveSeconds    float64 `json:"solve_seconds"`
+	Exact           bool    `json:"exact"`
+	Components      int     `json:"components"`
+	ExactComponents int     `json:"exact_components"`
+	Pairs           int     `json:"pairs"`
+	Arcs            int     `json:"arcs"`
+	Nodes           int64   `json:"nodes"`
+	UpperBound      float64 `json:"upper_bound"`
+	WarmKept        int     `json:"warm_kept"`
+	WarmDropped     int     `json:"warm_dropped"`
+	LPSolved        int     `json:"lp_solved"`
+	LPFixed         int     `json:"lp_fixed"`
+}
+
+// RegretConfig parameterizes RegretSweep beyond the base Config.
+type RegretConfig struct {
+	// Churn and Cancel are the trace.DefaultChurn fractions of drivers
+	// joining/retiring mid-day and riders cancelling.
+	Churn  float64
+	Cancel float64
+
+	// Window is the batched policies' dispatch window in seconds
+	// (default 45).
+	Window float64
+
+	// TopK is the rail pruning width of the hindsight compile (default
+	// 8; 0 compiles the exact instance — only viable on small days).
+	TopK int
+
+	// Solver knobs, passed through to bound.SparseOptions.
+	LP      bool
+	PathCap int
+	NodeCap int
+}
+
+// RegretSweep runs the oracle-rail study over cfg.Sweep. The returned
+// points are ordered like the sweep; every policy row shares its
+// density's single compiled instance and oracle solve.
+func RegretSweep(ctx context.Context, cfg Config, rc RegretConfig) ([]RegretPoint, error) {
+	if rc.Window <= 0 {
+		rc.Window = 45
+	}
+	if rc.TopK < 0 {
+		return nil, fmt.Errorf("experiments: negative TopK %d", rc.TopK)
+	}
+	points := make([]RegretPoint, len(cfg.Sweep))
+	for pi, n := range cfg.Sweep {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		pt, err := regretPoint(cfg, rc, n)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: regret @%d drivers: %w", n, err)
+		}
+		points[pi] = pt
+	}
+	return points, nil
+}
+
+// regretPoint runs one density: three policies, one shared oracle.
+func regretPoint(cfg Config, rc RegretConfig, drivers int) (RegretPoint, error) {
+	tcfg := trace.NewConfig(cfg.Seed, cfg.Tasks, drivers, trace.Hitchhiking)
+	tr := trace.NewGenerator(tcfg).Generate(nil)
+	if rc.Churn > 0 || rc.Cancel > 0 {
+		tr.Events = trace.WithChurn(tr, trace.DefaultChurn(cfg.Seed, rc.Churn, rc.Cancel))
+	}
+
+	eng, err := sim.New(tcfg.Market, tr.Drivers, cfg.Seed)
+	if err != nil {
+		return RegretPoint{}, err
+	}
+	eng.MatchWorkers = cfg.Workers
+	results := []sim.Result{
+		eng.RunScenario(tr.Tasks, tr.Events, online.MaxMargin{}),
+		eng.RunBatchedScenario(tr.Tasks, tr.Events, rc.Window, sim.BatchHungarian),
+		eng.RunBatchedScenario(tr.Tasks, tr.Events, rc.Window, sim.BatchAuction),
+	}
+
+	// Force-keep every policy's pairs so the rail optimum dominates
+	// them all; warm-start from the highest-revenue policy.
+	var keep [][2]int32
+	bestPolicy := 0
+	for i, res := range results {
+		for m, d := range res.Assignment {
+			keep = append(keep, [2]int32{int32(m), int32(d)})
+		}
+		if res.Revenue > results[bestPolicy].Revenue {
+			bestPolicy = i
+		}
+	}
+
+	t0 := time.Now()
+	in, err := offline.Compile(tcfg.Market, tr, offline.Options{
+		Objective: offline.ObjectiveRevenue,
+		TopK:      rc.TopK,
+		Keep:      keep,
+		Workers:   cfg.Workers,
+	})
+	if err != nil {
+		return RegretPoint{}, err
+	}
+	compileSec := time.Since(t0).Seconds()
+
+	var solver bound.SparseSolver
+	t0 = time.Now()
+	sol, err := solver.Solve(in, bound.SparseOptions{
+		Workers: cfg.Workers,
+		Warm:    results[bestPolicy].DriverPaths,
+		LP:      rc.LP,
+		PathCap: rc.PathCap,
+		NodeCap: rc.NodeCap,
+	})
+	if err != nil {
+		return RegretPoint{}, err
+	}
+	solveSec := time.Since(t0).Seconds()
+
+	offServed := 0
+	for _, d := range sol.TaskDriver {
+		if d >= 0 {
+			offServed++
+		}
+	}
+	pt := RegretPoint{
+		Drivers: drivers,
+		Oracle: RegretOracle{
+			CompileSeconds:  compileSec,
+			SolveSeconds:    solveSec,
+			Exact:           sol.Exact,
+			Components:      sol.Components,
+			ExactComponents: sol.ExactComponents,
+			Pairs:           in.Stats.Pairs,
+			Arcs:            in.Stats.Arcs,
+			Nodes:           sol.Nodes,
+			UpperBound:      sol.UpperBound,
+			WarmKept:        sol.WarmKept,
+			WarmDropped:     sol.WarmDropped,
+			LPSolved:        sol.LPSolved,
+			LPFixed:         sol.LPFixed,
+		},
+	}
+	for i, res := range results {
+		row := RegretRow{
+			Policy:         RegretPolicies[i],
+			Drivers:        drivers,
+			OnlineRevenue:  res.Revenue,
+			OfflineRevenue: sol.Objective,
+			OnlineServed:   res.Served,
+			OfflineServed:  offServed,
+			RevenueRegret:  sol.Objective - res.Revenue,
+		}
+		switch {
+		case sol.Objective > 0:
+			row.CompetitiveRatio = res.Revenue / sol.Objective
+		case res.Revenue == 0:
+			row.CompetitiveRatio = 1 // both zero: the policy left nothing behind
+		default:
+			row.CompetitiveRatio = 0
+		}
+		pt.Rows = append(pt.Rows, row)
+	}
+	return pt, nil
+}
+
+// RegretFigure renders the sweep as a competitive-ratio figure, one
+// series per policy.
+func RegretFigure(points []RegretPoint, cfg Config, rc RegretConfig) Figure {
+	series := make([]Series, len(RegretPolicies))
+	for i, name := range RegretPolicies {
+		series[i] = Series{Name: name}
+	}
+	exact := 0
+	for _, pt := range points {
+		if pt.Oracle.Exact {
+			exact++
+		}
+		for i, row := range pt.Rows {
+			series[i].X = append(series[i].X, float64(pt.Drivers))
+			series[i].Y = append(series[i].Y, row.CompetitiveRatio)
+		}
+	}
+	return Figure{
+		ID:     "regret",
+		Title:  "Competitive Ratio vs Hindsight Optimum",
+		XLabel: "number of drivers", YLabel: "online revenue / offline optimum",
+		Series: series,
+		Notes: fmt.Sprintf("%d tasks; churn=%.2f cancel=%.2f; rail top-%d; %d/%d oracle solves exact",
+			cfg.Tasks, rc.Churn, rc.Cancel, rc.TopK, exact, len(points)),
+	}
+}

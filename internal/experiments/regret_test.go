@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+)
+
+// The central soundness property of the oracle rail: because every
+// online policy's own assignment is force-kept into the hindsight
+// instance, the rail optimum dominates each policy's revenue on any
+// trace — churn, cancellations, batching and all — so every reported
+// competitive ratio lands in (0, 1].
+func TestRegretOfflineDominatesOnline(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		cfg := Config{Seed: seed, Tasks: 60, Sweep: []int{6, 14}, Workers: 2}
+		// The small NodeCap keeps the suite fast under -race and
+		// exercises the abort path; dominance holds regardless of
+		// exactness because the incumbent already contains every
+		// policy's force-kept assignment.
+		rc := RegretConfig{Churn: 0.3, Cancel: 0.25, Window: 40, TopK: 6, LP: true, NodeCap: 50_000}
+		points, err := RegretSweep(context.Background(), cfg, rc)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(points) != len(cfg.Sweep) {
+			t.Fatalf("seed %d: %d points, want %d", seed, len(points), len(cfg.Sweep))
+		}
+		for _, pt := range points {
+			if len(pt.Rows) != len(RegretPolicies) {
+				t.Fatalf("seed %d @%d drivers: %d rows", seed, pt.Drivers, len(pt.Rows))
+			}
+			for _, row := range pt.Rows {
+				if row.OfflineRevenue < row.OnlineRevenue {
+					t.Errorf("seed %d @%d drivers: %s online %.6f beats offline %.6f",
+						seed, pt.Drivers, row.Policy, row.OnlineRevenue, row.OfflineRevenue)
+				}
+				if row.CompetitiveRatio <= 0 || row.CompetitiveRatio > 1 {
+					t.Errorf("seed %d @%d drivers: %s ratio %.6f outside (0,1]",
+						seed, pt.Drivers, row.Policy, row.CompetitiveRatio)
+				}
+				if row.RevenueRegret < 0 {
+					t.Errorf("seed %d @%d drivers: %s negative regret %.6f",
+						seed, pt.Drivers, row.Policy, row.RevenueRegret)
+				}
+			}
+			if pt.Oracle.UpperBound < pt.Rows[0].OfflineRevenue {
+				t.Errorf("seed %d @%d drivers: upper bound %.6f below objective %.6f",
+					seed, pt.Drivers, pt.Oracle.UpperBound, pt.Rows[0].OfflineRevenue)
+			}
+		}
+	}
+}
+
+// The sweep must be reproducible: same config, same result, including
+// the solver statistics that feed BENCH_7.
+func TestRegretSweepDeterministic(t *testing.T) {
+	cfg := Config{Seed: 9, Tasks: 50, Sweep: []int{10}, Workers: 3}
+	rc := RegretConfig{Churn: 0.2, Cancel: 0.1, TopK: 5, LP: true, NodeCap: 50_000}
+	a, err := RegretSweep(context.Background(), cfg, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RegretSweep(context.Background(), cfg, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		for j := range a[i].Rows {
+			ra, rb := a[i].Rows[j], b[i].Rows[j]
+			if ra.OnlineRevenue != rb.OnlineRevenue || ra.OfflineRevenue != rb.OfflineRevenue ||
+				ra.CompetitiveRatio != rb.CompetitiveRatio || ra.OnlineServed != rb.OnlineServed {
+				t.Errorf("point %d row %d differs between runs: %+v vs %+v", i, j, ra, rb)
+			}
+		}
+		if a[i].Oracle.Nodes != b[i].Oracle.Nodes || a[i].Oracle.Exact != b[i].Oracle.Exact {
+			t.Errorf("point %d oracle stats differ: %+v vs %+v", i, a[i].Oracle, b[i].Oracle)
+		}
+	}
+}
+
+func TestRegretFigureShape(t *testing.T) {
+	cfg := Config{Seed: 3, Tasks: 40, Sweep: []int{8, 12}, Workers: 2}
+	rc := RegretConfig{TopK: 4, NodeCap: 50_000}
+	points, err := RegretSweep(context.Background(), cfg, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig := RegretFigure(points, cfg, rc)
+	if fig.ID != "regret" || len(fig.Series) != len(RegretPolicies) {
+		t.Fatalf("bad figure: id=%q series=%d", fig.ID, len(fig.Series))
+	}
+	for _, s := range fig.Series {
+		if len(s.X) != len(points) || len(s.Y) != len(points) {
+			t.Errorf("series %s: %d/%d samples, want %d", s.Name, len(s.X), len(s.Y), len(points))
+		}
+	}
+}

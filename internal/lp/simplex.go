@@ -187,10 +187,15 @@ func Solve(p *Problem) (Solution, error) {
 //
 // Column layout: [0, nv) structural, [nv, nv+ns) slack/surplus,
 // [nv+ns, nv+ns+na) artificial. rhs is kept separately.
+//
+// Every slice is grown in place by init and never shrunk, so a tableau
+// embedded in a Solver re-solves without touching the allocator once
+// its high-water marks are reached.
 type tableau struct {
 	m, nTotal  int
 	nv, ns, na int
-	a          [][]float64 // m x nTotal
+	a          [][]float64 // m x nTotal, row headers into rowBuf
+	rowBuf     []float64   // flat backing store for a
 	rhs        []float64   // m
 	basis      []int       // m, column index basic in each row
 	obj        []float64   // structural objective, length nTotal (zeros beyond nv)
@@ -198,9 +203,24 @@ type tableau struct {
 	slackOf    []int       // row -> slack column (-1 if none)
 	rowSign    []float64   // ±1: -1 when the row was negated to make rhs ≥ 0
 	iterBudget int
+
+	// Reused per-solve scratch (see optimize / solve / extractDuals).
+	inBasisBuf []bool
+	y          []float64
+	phase1Buf  []float64
+	xBuf       []float64
+	dualsBuf   []float64
 }
 
 func newTableau(p *Problem) *tableau {
+	t := &tableau{}
+	t.init(p)
+	return t
+}
+
+// init loads the problem into the tableau, reusing any backing arrays a
+// previous init left behind.
+func (t *tableau) init(p *Problem) {
 	m := len(p.rows)
 	nv := p.numVars
 
@@ -223,23 +243,30 @@ func newTableau(p *Problem) *tableau {
 		}
 	}
 	nTotal := nv + ns + na
-	t := &tableau{
-		m: m, nTotal: nTotal, nv: nv, ns: ns, na: na,
-		a:       make([][]float64, m),
-		rhs:     make([]float64, m),
-		basis:   make([]int, m),
-		obj:     make([]float64, nTotal),
-		artOf:   make([]int, m),
-		slackOf: make([]int, m),
-		rowSign: make([]float64, m),
+	t.m, t.nTotal, t.nv, t.ns, t.na = m, nTotal, nv, ns, na
+	t.rowBuf = growFloats(t.rowBuf, m*nTotal)
+	for i := range t.rowBuf {
+		t.rowBuf[i] = 0
 	}
+	t.a = growRows(t.a, m)
+	for i := 0; i < m; i++ {
+		t.a[i] = t.rowBuf[i*nTotal : (i+1)*nTotal : (i+1)*nTotal]
+	}
+	t.rhs = growFloats(t.rhs, m)
+	t.basis = growInts(t.basis, m)
+	t.obj = growFloats(t.obj, nTotal)
+	t.artOf = growInts(t.artOf, m)
+	t.slackOf = growInts(t.slackOf, m)
+	t.rowSign = growFloats(t.rowSign, m)
 	copy(t.obj, p.obj)
+	for i := nv; i < nTotal; i++ {
+		t.obj[i] = 0
+	}
 	t.iterBudget = 2000 + 60*(m+nTotal)
 
 	slackCol := nv
 	artCol := nv + ns
 	for i, r := range p.rows {
-		t.a[i] = make([]float64, nTotal)
 		sign := 1.0
 		rhs := r.rhs
 		sense := r.sense
@@ -277,7 +304,6 @@ func newTableau(p *Problem) *tableau {
 			artCol++
 		}
 	}
-	return t
 }
 
 func flip(s Sense) Sense {
@@ -297,7 +323,11 @@ func (t *tableau) solve() Solution {
 	totalIters := 0
 	if t.na > 0 {
 		// Phase 1: minimize sum of artificials == maximize -sum.
-		phase1 := make([]float64, t.nTotal)
+		t.phase1Buf = growFloats(t.phase1Buf, t.nTotal)
+		phase1 := t.phase1Buf
+		for i := range phase1 {
+			phase1[i] = 0
+		}
 		for i := 0; i < t.m; i++ {
 			if c := t.artOf[i]; c >= 0 {
 				phase1[c] = -1
@@ -326,7 +356,11 @@ func (t *tableau) solve() Solution {
 		return sol
 	}
 
-	sol.X = make([]float64, t.nv)
+	t.xBuf = growFloats(t.xBuf, t.nv)
+	sol.X = t.xBuf
+	for i := range sol.X {
+		sol.X[i] = 0
+	}
 	for i := 0; i < t.m; i++ {
 		if b := t.basis[i]; b < t.nv {
 			sol.X[b] = t.rhs[i]
@@ -347,7 +381,11 @@ func (t *tableau) optimize(obj []float64, phase1 bool) (Status, int) {
 	// iteration (dense, O(m·n)).
 	iters := 0
 	blandAfter := t.iterBudget / 2
-	inBasis := make([]bool, t.nTotal)
+	t.inBasisBuf = growBools(t.inBasisBuf, t.nTotal)
+	inBasis := t.inBasisBuf
+	for i := range inBasis {
+		inBasis[i] = false
+	}
 	for i := 0; i < t.m; i++ {
 		inBasis[t.basis[i]] = true
 	}
@@ -410,7 +448,8 @@ func (t *tableau) optimize(obj []float64, phase1 bool) (Status, int) {
 // current tableau: since rows are kept in product form (B^{-1}A), the
 // reduced cost of column j is obj[j] - Σ_i obj[basis[i]]·a[i][j].
 func (t *tableau) dualVector(obj []float64) []float64 {
-	y := make([]float64, t.m)
+	t.y = growFloats(t.y, t.m)
+	y := t.y
 	for i := 0; i < t.m; i++ {
 		y[i] = obj[t.basis[i]]
 	}
@@ -484,7 +523,8 @@ func (t *tableau) evictArtificials() {
 // y*_i only by the ±1 normalization sign applied when rhs was negative.
 func (t *tableau) extractDuals() []float64 {
 	y := t.dualVector(t.obj)
-	duals := make([]float64, t.m)
+	t.dualsBuf = growFloats(t.dualsBuf, t.m)
+	duals := t.dualsBuf
 	for i := 0; i < t.m; i++ {
 		col := t.artOf[i]
 		if col < 0 {

@@ -1,0 +1,115 @@
+package lp
+
+import (
+	"errors"
+	"math"
+)
+
+// This file is the reusable-arena façade over the simplex tableau. The
+// package-level Solve builds a fresh tableau per call — fine for the
+// occasional bound computation, hopeless for a solver that prices
+// thousands of per-component LPs in one oracle run: the dense m×n
+// working state would be reallocated and re-zeroed from the heap every
+// time. A Solver owns one tableau whose backing arrays are grown to the
+// high-water mark of the problems it sees and reused for every solve
+// after that, the same pooling discipline matching.SparseSolver applies
+// to window clearing.
+
+// Solver carries the reusable working state of repeated LP solves. The
+// zero value is ready to use; a Solver is not safe for concurrent
+// Solve calls. Solutions returned by its methods alias the solver's
+// arena: X and Duals are valid until the next solve and must be copied
+// to be retained — the same ownership contract as
+// matching.SparseSolver.Solve.
+type Solver struct {
+	t tableau
+}
+
+// Solve runs the two-phase primal simplex on p, reusing the solver's
+// arena. Semantics match the package-level Solve exactly; only the
+// allocation behavior and the Solution ownership differ.
+func (s *Solver) Solve(p *Problem) (Solution, error) {
+	return s.SolveWarm(p, nil)
+}
+
+// SolveWarm is Solve with a warm-start hint: before optimizing, the
+// given structural columns are pivoted into the starting basis (in
+// order, via the usual ratio test), so phase 2 begins at — or near —
+// the vertex those columns describe instead of the all-slack origin.
+// The canonical use is seeding a path-packing LP with an incumbent
+// assignment's columns: re-proving or improving a good incumbent then
+// costs a handful of pivots rather than a full climb from zero.
+//
+// The hint is best-effort and never affects the result, only the
+// iteration count: columns that are already basic, out of range, or
+// admit no valid pivot are skipped, and problems that need a phase 1
+// (any GE/EQ row) ignore the hint entirely — a crash basis there could
+// mask artificials and break the feasibility proof.
+func (s *Solver) SolveWarm(p *Problem, warm []int) (Solution, error) {
+	if p == nil || p.numVars == 0 {
+		return Solution{}, errors.New("lp: empty problem")
+	}
+	s.t.init(p)
+	if len(warm) > 0 && s.t.na == 0 {
+		s.t.crashBasis(warm)
+	}
+	return s.t.solve(), nil
+}
+
+// crashBasis pivots the given structural columns into the basis before
+// optimization. Each pivot row is chosen by the standard ratio test, so
+// primal feasibility (rhs ≥ 0) is preserved; columns with no positive
+// pivot candidate are skipped rather than forced.
+func (t *tableau) crashBasis(warm []int) {
+	for _, j := range warm {
+		if j < 0 || j >= t.nv || t.inBasis(j) {
+			continue
+		}
+		leave := -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < t.m; i++ {
+			if t.a[i][j] > eps {
+				ratio := t.rhs[i] / t.a[i][j]
+				if ratio < bestRatio-eps ||
+					(ratio < bestRatio+eps && leave >= 0 && t.basis[i] < t.basis[leave]) {
+					bestRatio = ratio
+					leave = i
+				}
+			}
+		}
+		if leave < 0 {
+			continue
+		}
+		t.pivot(leave, j)
+	}
+}
+
+// growFloats returns s resized (never shrunk) to n without zeroing:
+// every user initializes the entries it owns.
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		s = append(s[:cap(s)], make([]float64, n-cap(s))...)
+	}
+	return s[:n]
+}
+
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		s = append(s[:cap(s)], make([]int, n-cap(s))...)
+	}
+	return s[:n]
+}
+
+func growBools(s []bool, n int) []bool {
+	if cap(s) < n {
+		s = append(s[:cap(s)], make([]bool, n-cap(s))...)
+	}
+	return s[:n]
+}
+
+func growRows(s [][]float64, n int) [][]float64 {
+	if cap(s) < n {
+		s = append(s[:cap(s)], make([][]float64, n-cap(s))...)
+	}
+	return s[:n]
+}

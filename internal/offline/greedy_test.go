@@ -1,10 +1,11 @@
-package offline
+package offline_test
 
 import (
 	"math"
 	"testing"
 
 	"repro/internal/bound"
+	"repro/internal/offline"
 	"repro/internal/taskmap"
 	"repro/internal/trace"
 )
@@ -36,8 +37,8 @@ func TestGreedyMatchesNaive(t *testing.T) {
 		{5, 100, 25, trace.HomeWorkHome},
 	} {
 		g := buildGraph(t, tc.seed, tc.tasks, tc.drivers, tc.dm)
-		lazy := Greedy(g)
-		naive := GreedyNaive(g)
+		lazy := offline.Greedy(g)
+		naive := offline.GreedyNaive(g)
 		if math.Abs(lazy.TotalProfit-naive.TotalProfit) > 1e-6 {
 			t.Errorf("seed %d: lazy %.6f != naive %.6f", tc.seed, lazy.TotalProfit, naive.TotalProfit)
 		}
@@ -53,7 +54,7 @@ func TestGreedyMatchesNaive(t *testing.T) {
 
 func TestGreedySolutionFeasible(t *testing.T) {
 	g := buildGraph(t, 7, 120, 20, trace.Hitchhiking)
-	sol := Greedy(g)
+	sol := offline.Greedy(g)
 
 	usedDriver := make(map[int]bool)
 	usedTask := make(map[int]bool)
@@ -90,7 +91,7 @@ func TestGreedySelectionsDecrease(t *testing.T) {
 	// GA picks the global maximum each round, so selected profits are
 	// non-increasing in selection order.
 	g := buildGraph(t, 9, 80, 12, trace.Hitchhiking)
-	sol := Greedy(g)
+	sol := offline.Greedy(g)
 	for i := 1; i < len(sol.Paths); i++ {
 		if sol.Paths[i].Profit > sol.Paths[i-1].Profit+1e-9 {
 			t.Fatalf("selection %d (%.6f) exceeds selection %d (%.6f)",
@@ -104,7 +105,7 @@ func TestGreedyWithinApproximationBound(t *testing.T) {
 	// tiny instances.
 	for seed := int64(0); seed < 6; seed++ {
 		g := buildGraph(t, seed, 10, 3, trace.Hitchhiking)
-		sol := Greedy(g)
+		sol := offline.Greedy(g)
 		exact, err := bound.BruteForce(g, 0)
 		if err != nil {
 			t.Fatalf("seed %d: brute force: %v", seed, err)
@@ -122,14 +123,14 @@ func TestGreedyWithinApproximationBound(t *testing.T) {
 
 func TestGreedyEmptyInstances(t *testing.T) {
 	g := buildGraph(t, 3, 10, 0, trace.Hitchhiking)
-	if sol := Greedy(g); sol.TotalProfit != 0 || len(sol.Paths) != 0 {
+	if sol := offline.Greedy(g); sol.TotalProfit != 0 || len(sol.Paths) != 0 {
 		t.Errorf("no drivers: got profit %.3f, %d paths", sol.TotalProfit, len(sol.Paths))
 	}
 }
 
 func TestGreedyAssignmentHelpers(t *testing.T) {
 	g := buildGraph(t, 5, 50, 8, trace.Hitchhiking)
-	sol := Greedy(g)
+	sol := offline.Greedy(g)
 	asg := sol.Assignment()
 	if len(asg) != sol.ServedTasks() {
 		t.Fatalf("Assignment() has %d tasks, ServedTasks() = %d", len(asg), sol.ServedTasks())
@@ -147,7 +148,7 @@ func TestGreedyDominatesSingleBestPath(t *testing.T) {
 	// GA's first pick is the globally best path, so its total is at
 	// least any single driver's best.
 	g := buildGraph(t, 11, 60, 10, trace.HomeWorkHome)
-	sol := Greedy(g)
+	sol := offline.Greedy(g)
 	for n := 0; n < g.N(); n++ {
 		p := g.BestPath(n, nil, nil)
 		if p.Profit > sol.TotalProfit+1e-9 {

@@ -1,0 +1,445 @@
+package offline
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/model"
+	"repro/internal/taskmap"
+	"repro/internal/trace"
+)
+
+// TestCompileNoEventTaskmapParity holds the compiler to the dense
+// reference: on an event-free trace the compiled instance must be the
+// taskmap restricted to path-relevant pairs, bitwise — same srcOK set,
+// same costs, same arcs, same path values.
+func TestCompileNoEventTaskmapParity(t *testing.T) {
+	seeds := []int64{3, 4, 5, 6}
+	if testing.Short() {
+		seeds = seeds[:2]
+	}
+	for _, seed := range seeds {
+		for _, dm := range []trace.DriverModel{trace.Hitchhiking, trace.HomeWorkHome} {
+			cfg := trace.NewConfig(seed, 40, 12, dm)
+			tr := trace.NewGenerator(cfg).Generate(nil)
+			in, err := Compile(cfg.Market, tr, Options{})
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			g, err := taskmap.New(cfg.Market, tr.Drivers, tr.Tasks)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+
+			kept := make(map[[2]int]bool)
+			for d := 0; d < in.NDrv(); d++ {
+				orig := in.DrvID[d]
+				if in.Baseline[d] != g.Baseline[orig] {
+					t.Fatalf("seed %d: baseline driver %d = %v, want %v", seed, orig, in.Baseline[d], g.Baseline[orig])
+				}
+				for s := in.DrvPtr[d]; s < in.DrvPtr[d+1]; s++ {
+					m := int(in.DrvTask[s])
+					kept[[2]int{orig, m}] = true
+					if !g.Feasible(orig, m) {
+						t.Fatalf("seed %d: kept pair (%d,%d) infeasible in taskmap", seed, orig, m)
+					}
+					if in.DrvSrcOK[s] != g.SourceReachable(orig, m) {
+						t.Fatalf("seed %d: srcOK (%d,%d) = %v, taskmap %v", seed, orig, m, in.DrvSrcOK[s], g.SourceReachable(orig, m))
+					}
+					if in.DrvSrcCost[s] != g.SourceCost(orig, m) || in.DrvSnkCost[s] != g.SinkCost(orig, m) {
+						t.Fatalf("seed %d: costs (%d,%d) = (%v,%v), taskmap (%v,%v)",
+							seed, orig, m, in.DrvSrcCost[s], in.DrvSnkCost[s], g.SourceCost(orig, m), g.SinkCost(orig, m))
+					}
+				}
+			}
+			// Dropped feasible pairs must be provably path-irrelevant.
+			for n := range tr.Drivers {
+				for m := range tr.Tasks {
+					if g.Feasible(n, m) && !kept[[2]int{n, m}] {
+						if tr.Drivers[n].Start <= tr.Tasks[m].StartBy+2e-9 {
+							t.Fatalf("seed %d: feasible pair (%d,%d) dropped without prefilter cover", seed, n, m)
+						}
+					}
+				}
+			}
+			// Arc sets agree on the kept subset, costs bitwise.
+			for d := 0; d < in.NDrv(); d++ {
+				for si := in.DrvPtr[d]; si < in.DrvPtr[d+1]; si++ {
+					for sj := in.DrvPtr[d]; sj < in.DrvPtr[d+1]; sj++ {
+						a, b := int(in.DrvTask[si]), int(in.DrvTask[sj])
+						if a == b {
+							continue
+						}
+						k := in.SuccIndex(si, sj)
+						if (k >= 0) != g.HasArc(a, b) {
+							t.Fatalf("seed %d: arc %d→%d driver %d: compiled %v, taskmap %v",
+								seed, a, b, in.DrvID[d], k >= 0, g.HasArc(a, b))
+						}
+						if k >= 0 {
+							want := cfg.Market.DeadheadCost(tr.Tasks[a], tr.Tasks[b])
+							if in.DrvSuccCost[k] != want {
+								t.Fatalf("seed %d: arc cost %d→%d = %v, want %v", seed, a, b, in.DrvSuccCost[k], want)
+							}
+						}
+					}
+				}
+			}
+			// Path values replicate PathProfit bitwise over a DFS sweep.
+			checkPathValues(t, in, g, 2000)
+		}
+	}
+}
+
+// checkPathValues DFS-enumerates up to cap paths per instance and
+// compares PathValue against taskmap.PathProfit bitwise.
+func checkPathValues(t *testing.T, in *Instance, g *taskmap.Graph, cap int) {
+	t.Helper()
+	count := 0
+	var slots []int32
+	var tasks []int
+	var dfs func(d, last int)
+	dfs = func(d, last int) {
+		if count >= cap {
+			return
+		}
+		count++
+		got, err := in.PathValue(d, slots)
+		if err != nil {
+			t.Fatalf("PathValue(%d, %v): %v", d, tasks, err)
+		}
+		want, err := g.PathProfit(in.DrvID[d], tasks)
+		if err != nil {
+			t.Fatalf("PathProfit(%d, %v): %v", in.DrvID[d], tasks, err)
+		}
+		if got != want {
+			t.Fatalf("driver %d path %v: PathValue %v, PathProfit %v", in.DrvID[d], tasks, got, want)
+		}
+		for k := in.DrvSuccPtr[last]; k < in.DrvSuccPtr[last+1]; k++ {
+			s := int(in.DrvSucc[k])
+			slots = append(slots, int32(s))
+			tasks = append(tasks, int(in.DrvTask[s]))
+			dfs(d, s)
+			slots = slots[:len(slots)-1]
+			tasks = tasks[:len(tasks)-1]
+		}
+	}
+	for d := 0; d < in.NDrv(); d++ {
+		for s := in.DrvPtr[d]; s < in.DrvPtr[d+1]; s++ {
+			if !in.DrvSrcOK[s] {
+				continue
+			}
+			slots = append(slots, int32(s))
+			tasks = append(tasks, int(in.DrvTask[s]))
+			dfs(d, s)
+			slots = slots[:0]
+			tasks = tasks[:0]
+		}
+	}
+	if count == 0 {
+		t.Fatal("no paths enumerated — degenerate instance")
+	}
+}
+
+// twoPointTrace builds a hand-sized scenario: driver home near the
+// first point, tasks between named points, everything else derived from
+// the market so the test never hardcodes float geometry.
+func hindsightScenario() (model.Market, model.Driver, model.Task, model.Task) {
+	market := model.DefaultMarket()
+	p0 := geo.Point{Lat: 41.15, Lon: -8.61}
+	p1 := geo.Point{Lat: 41.16, Lon: -8.60} // ~1.4 km from p0
+	p2 := geo.Point{Lat: 41.17, Lon: -8.59}
+	d := model.Driver{ID: 1, Source: p0, Dest: p0, Start: 0, End: 40000}
+	// Task A: p1 → p2; generous window.
+	a := model.Task{ID: 10, Publish: 0, Source: p1, Dest: p2, StartBy: 2000, EndBy: 4000, Price: 10, WTP: 12}
+	// Task B starts where A ends, after A's deadline.
+	b := model.Task{ID: 11, Publish: 100, Source: p2, Dest: p1, StartBy: 4500, EndBy: 7000, Price: 10, WTP: 12}
+	return market, d, a, b
+}
+
+func TestCompileCancelBarsPickup(t *testing.T) {
+	market, d, a, _ := hindsightScenario()
+	travel := market.DriverTravelTime(d, d.Source, a.Source)
+	tr := model.Trace{Drivers: []model.Driver{d}, Tasks: []model.Task{a}}
+
+	// No events: reachable.
+	in, err := Compile(market, tr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.NSlots() != 1 || !in.DrvSrcOK[0] {
+		t.Fatalf("baseline: slots=%d srcOK=%v, want 1 reachable pair", in.NSlots(), in.NSlots() == 1 && in.DrvSrcOK[0])
+	}
+
+	// Cancellation before the driver can arrive bars the pickup.
+	tr.Events = []model.MarketEvent{{At: travel - 100, Kind: model.EventCancel, Task: 0}}
+	in, err = Compile(market, tr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.NSlots() != 1 || in.DrvSrcOK[0] {
+		t.Fatalf("early cancel: slots=%d, srcOK=%v — pickup must be barred", in.NSlots(), in.NSlots() == 1 && in.DrvSrcOK[0])
+	}
+	// In rail mode the unreachable pair disappears entirely.
+	in, err = Compile(market, tr, Options{TopK: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.NSlots() != 0 {
+		t.Fatalf("rail early cancel: %d slots, want 0", in.NSlots())
+	}
+
+	// Cancellation after the feasible arrival leaves the pair usable.
+	tr.Events = []model.MarketEvent{{At: travel + 100, Kind: model.EventCancel, Task: 0}}
+	in, err = Compile(market, tr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.NSlots() != 1 || !in.DrvSrcOK[0] {
+		t.Fatal("late cancel: pair must stay reachable")
+	}
+}
+
+func TestCompileCancelBarsArcs(t *testing.T) {
+	market, d, a, b := hindsightScenario()
+	tr := model.Trace{Drivers: []model.Driver{d}, Tasks: []model.Task{a, b}}
+
+	in, err := Compile(market, tr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, sb := in.Slot(0, 0), in.Slot(0, 1)
+	if sa < 0 || sb < 0 || in.SuccIndex(sa, sb) < 0 {
+		t.Fatal("baseline: expected arc A→B")
+	}
+
+	// Cancel B before A's dropoff deadline: the chain gap vanishes.
+	tr.Events = []model.MarketEvent{{At: a.EndBy - 100, Kind: model.EventCancel, Task: 1}}
+	in, err = Compile(market, tr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, sb = in.Slot(0, 0), in.Slot(0, 1)
+	if sa < 0 || sb < 0 {
+		t.Fatal("cancel: both pairs should stay (B is still first-task reachable before its bar)")
+	}
+	if in.SuccIndex(sa, sb) >= 0 {
+		t.Fatal("cancel before A's deadline must bar the A→B chain")
+	}
+}
+
+func TestCompileJoinRetirePresence(t *testing.T) {
+	market, d, a, _ := hindsightScenario()
+	tr := model.Trace{Drivers: []model.Driver{d}, Tasks: []model.Task{a}}
+
+	// Join after the pickup bar: the driver was unknown in time.
+	tr.Events = []model.MarketEvent{{At: a.StartBy + 50, Kind: model.EventJoin, Driver: 0}}
+	in, err := Compile(market, tr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.NSlots() != 0 {
+		t.Fatalf("late join: %d slots, want 0", in.NSlots())
+	}
+
+	// Join leaving exactly enough travel slack keeps the pair.
+	travel := market.DriverTravelTime(d, d.Source, a.Source)
+	tr.Events = []model.MarketEvent{{At: a.StartBy - travel - 1, Kind: model.EventJoin, Driver: 0}}
+	in, err = Compile(market, tr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.NSlots() != 1 || !in.DrvSrcOK[0] {
+		t.Fatal("timely join: pair must stay reachable")
+	}
+
+	// Retire before the order is published: no candidacy.
+	tr.Events = []model.MarketEvent{{At: a.Publish, Kind: model.EventRetire, Driver: 0}}
+	tr.Tasks[0].Publish = 50
+	in, err = Compile(market, tr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.NSlots() != 0 {
+		t.Fatalf("early retire: %d slots, want 0", in.NSlots())
+	}
+
+	// Retire after publication keeps the candidacy (commitment model).
+	tr.Events = []model.MarketEvent{{At: 200, Kind: model.EventRetire, Driver: 0}}
+	in, err = Compile(market, tr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.NSlots() != 1 {
+		t.Fatal("late retire: pair must survive")
+	}
+}
+
+func TestCompileComponentsClosed(t *testing.T) {
+	cfg := trace.NewConfig(9, 60, 15, trace.Hitchhiking)
+	tr := trace.NewGenerator(cfg).Generate(nil)
+	tr.Events = trace.WithChurn(tr, trace.DefaultChurn(9, 0.3, 0.2))
+	in, err := Compile(cfg.Market, tr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.NComp != in.Stats.Components || in.NComp == 0 {
+		t.Fatalf("components = %d (stats %d)", in.NComp, in.Stats.Components)
+	}
+	for m := range tr.Tasks {
+		for p := in.Pairs.RowPtr[m]; p < in.Pairs.RowPtr[m+1]; p++ {
+			d := in.Pairs.Col[p]
+			if in.Comp.CompOfRow[m] != in.Comp.CompOfCol[d] {
+				t.Fatalf("pair (task %d, drv %d) crosses components", m, d)
+			}
+		}
+	}
+}
+
+func TestCompileWorkerCountInvariant(t *testing.T) {
+	cfg := trace.NewConfig(21, 80, 20, trace.HomeWorkHome)
+	tr := trace.NewGenerator(cfg).Generate(nil)
+	tr.Events = trace.WithChurn(tr, trace.DefaultChurn(21, 0.2, 0.3))
+	var ref *Instance
+	for _, w := range []int{1, 2, 4} {
+		in, err := Compile(cfg.Market, tr, Options{TopK: 4, Workers: w})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = in
+			continue
+		}
+		if !reflect.DeepEqual(in.Pairs, ref.Pairs) || !reflect.DeepEqual(in.DrvTask, ref.DrvTask) ||
+			!reflect.DeepEqual(in.DrvSucc, ref.DrvSucc) || !reflect.DeepEqual(in.DrvSuccCost, ref.DrvSuccCost) ||
+			!reflect.DeepEqual(in.DrvSrcCost, ref.DrvSrcCost) || in.Stats != ref.Stats {
+			t.Fatalf("workers=%d compiles a different instance", w)
+		}
+	}
+}
+
+func TestCompileRevenueMode(t *testing.T) {
+	cfg := trace.NewConfig(33, 50, 12, trace.Hitchhiking)
+	tr := trace.NewGenerator(cfg).Generate(nil)
+	profit, err := Compile(cfg.Market, tr, Options{Objective: ObjectiveProfit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rev, err := Compile(cfg.Market, tr, Options{Objective: ObjectiveRevenue})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Feasibility is objective-independent: identical structure.
+	if !reflect.DeepEqual(profit.Pairs.Col, rev.Pairs.Col) || !reflect.DeepEqual(profit.DrvTask, rev.DrvTask) ||
+		!reflect.DeepEqual(profit.DrvSucc, rev.DrvSucc) {
+		t.Fatal("revenue mode changed the kept graph")
+	}
+	for m, task := range tr.Tasks {
+		if rev.Value[m] != task.Price {
+			t.Fatalf("revenue value[%d] = %v, want price %v", m, rev.Value[m], task.Price)
+		}
+	}
+	for s := range rev.DrvSrcCost {
+		if rev.DrvSrcCost[s] != 0 || rev.DrvSnkCost[s] != 0 {
+			t.Fatal("revenue mode must zero source/sink costs")
+		}
+	}
+	for _, c := range rev.DrvSuccCost {
+		if c != 0 {
+			t.Fatal("revenue mode must zero arc costs")
+		}
+	}
+	for _, b := range rev.Baseline {
+		if b != 0 {
+			t.Fatal("revenue mode must zero baselines")
+		}
+	}
+}
+
+func TestCompileForcedKeepSurvivesRail(t *testing.T) {
+	cfg := trace.NewConfig(7, 60, 25, trace.Hitchhiking)
+	tr := trace.NewGenerator(cfg).Generate(nil)
+	// Exact instance to find a pair that rail pruning would drop.
+	exact, err := Compile(cfg.Market, tr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rail, err := Compile(cfg.Market, tr, Options{TopK: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var keep [][2]int32
+	for m := range tr.Tasks {
+		for p := exact.Pairs.RowPtr[m]; p < exact.Pairs.RowPtr[m+1]; p++ {
+			orig := int32(exact.DrvID[exact.Pairs.Col[p]])
+			present := false
+			for q := rail.Pairs.RowPtr[m]; q < rail.Pairs.RowPtr[m+1]; q++ {
+				if rail.DrvID[rail.Pairs.Col[q]] == int(orig) {
+					present = true
+					break
+				}
+			}
+			if !present {
+				keep = append(keep, [2]int32{int32(m), orig})
+			}
+		}
+	}
+	if len(keep) == 0 {
+		t.Skip("rail pruning dropped nothing at this size")
+	}
+	forced, err := Compile(cfg.Market, tr, Options{TopK: 1, Keep: keep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kp := range keep {
+		d := forced.CompactOf(int(kp[1]))
+		if d < 0 || forced.Slot(d, int(kp[0])) < 0 {
+			t.Fatalf("forced pair (task %d, driver %d) missing from rail instance", kp[0], kp[1])
+		}
+	}
+	if forced.Stats.ForcedDropped != 0 {
+		t.Fatalf("ForcedDropped = %d for feasible forced pairs", forced.Stats.ForcedDropped)
+	}
+}
+
+func TestPruneTopK(t *testing.T) {
+	mk := func(driver int, rank float64, forcedFlag bool) candidate {
+		return candidate{driver: int32(driver), rank: rank, forced: forcedFlag}
+	}
+	cands := []candidate{mk(0, 1, false), mk(1, 3, false), mk(2, 3, false), mk(3, 2, false), mk(4, 0.5, true)}
+	out := pruneTopK(append([]candidate(nil), cands...), 2)
+	var drivers []int
+	for _, c := range out {
+		drivers = append(drivers, int(c.driver))
+	}
+	// Top-2 by rank: drivers 1 and 2 (tied at 3, both fit); forced 4 rides along.
+	if !reflect.DeepEqual(drivers, []int{1, 2, 4}) {
+		t.Fatalf("topk = %v, want [1 2 4]", drivers)
+	}
+	// Tie at the cutoff: earlier driver wins.
+	cands = []candidate{mk(0, 2, false), mk(1, 3, false), mk(2, 2, false)}
+	out = pruneTopK(append([]candidate(nil), cands...), 2)
+	drivers = drivers[:0]
+	for _, c := range out {
+		drivers = append(drivers, int(c.driver))
+	}
+	if !reflect.DeepEqual(drivers, []int{0, 1}) {
+		t.Fatalf("cutoff tie = %v, want [0 1]", drivers)
+	}
+}
+
+func TestCompileStatsAndEffStartBars(t *testing.T) {
+	market, d, a, _ := hindsightScenario()
+	tr := model.Trace{Drivers: []model.Driver{d}, Tasks: []model.Task{a}}
+	in, err := Compile(market, tr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Stats.Pairs != 1 || in.Stats.ActiveDrivers != 1 {
+		t.Fatalf("stats = %+v", in.Stats)
+	}
+	if !math.IsInf(in.RetireAt[0], 1) || in.EffStart[0] != d.Start || in.PickupBar[0] != a.StartBy {
+		t.Fatal("event-free bars must be vacuous")
+	}
+}

@@ -1,16 +1,17 @@
-package offline
+package offline_test
 
 import (
 	"math"
 	"testing"
 
 	"repro/internal/bound"
+	"repro/internal/offline"
 	"repro/internal/taskmap"
 )
 
 func TestTightnessInstanceGreedyEarnsOne(t *testing.T) {
 	for _, d := range []int{2, 3, 5, 8} {
-		mkt, drivers, tasks, err := TightnessInstance(d, 0.01)
+		mkt, drivers, tasks, err := offline.TightnessInstance(d, 0.01)
 		if err != nil {
 			t.Fatalf("D=%d: %v", d, err)
 		}
@@ -18,7 +19,7 @@ func TestTightnessInstanceGreedyEarnsOne(t *testing.T) {
 		if err != nil {
 			t.Fatalf("D=%d: %v", d, err)
 		}
-		sol := Greedy(g)
+		sol := offline.Greedy(g)
 		if math.Abs(sol.TotalProfit-1) > 1e-6 {
 			t.Errorf("D=%d: greedy profit %.6f, want 1 (Lemma 3)", d, sol.TotalProfit)
 		}
@@ -34,7 +35,7 @@ func TestTightnessInstanceGreedyEarnsOne(t *testing.T) {
 func TestTightnessInstanceOptimum(t *testing.T) {
 	const eps = 0.01
 	for _, d := range []int{2, 3, 4} {
-		mkt, drivers, tasks, err := TightnessInstance(d, eps)
+		mkt, drivers, tasks, err := offline.TightnessInstance(d, eps)
 		if err != nil {
 			t.Fatalf("D=%d: %v", d, err)
 		}
@@ -57,7 +58,7 @@ func TestTightnessRatioApproachesBound(t *testing.T) {
 	// GA/OPT = 1/((D+1)(1−ε)): the paper's tight worst case.
 	const eps = 0.001
 	for _, d := range []int{2, 3, 5} {
-		mkt, drivers, tasks, err := TightnessInstance(d, eps)
+		mkt, drivers, tasks, err := offline.TightnessInstance(d, eps)
 		if err != nil {
 			t.Fatalf("D=%d: %v", d, err)
 		}
@@ -65,7 +66,7 @@ func TestTightnessRatioApproachesBound(t *testing.T) {
 		if err != nil {
 			t.Fatalf("D=%d: %v", d, err)
 		}
-		ga := Greedy(g).TotalProfit
+		ga := offline.Greedy(g).TotalProfit
 		exact, err := bound.BruteForce(g, 0)
 		if err != nil {
 			t.Fatalf("D=%d: %v", d, err)
@@ -81,7 +82,7 @@ func TestTightnessRatioApproachesBound(t *testing.T) {
 func TestTightnessInstanceDiameter(t *testing.T) {
 	// The instance's task-map diameter is exactly D (the chain).
 	for _, d := range []int{2, 4, 6} {
-		mkt, drivers, tasks, err := TightnessInstance(d, 0.01)
+		mkt, drivers, tasks, err := offline.TightnessInstance(d, 0.01)
 		if err != nil {
 			t.Fatalf("D=%d: %v", d, err)
 		}
@@ -96,13 +97,13 @@ func TestTightnessInstanceDiameter(t *testing.T) {
 }
 
 func TestTightnessInstanceValidation(t *testing.T) {
-	if _, _, _, err := TightnessInstance(1, 0.01); err == nil {
+	if _, _, _, err := offline.TightnessInstance(1, 0.01); err == nil {
 		t.Error("D=1 should be rejected")
 	}
-	if _, _, _, err := TightnessInstance(5, 0); err == nil {
+	if _, _, _, err := offline.TightnessInstance(5, 0); err == nil {
 		t.Error("ε=0 should be rejected")
 	}
-	if _, _, _, err := TightnessInstance(5, 0.9); err == nil {
+	if _, _, _, err := offline.TightnessInstance(5, 0.9); err == nil {
 		t.Error("ε ≥ 1−1/D should be rejected")
 	}
 }

@@ -22,12 +22,19 @@
 #     (p50/p95/p99/p999) alongside tasks/sec. Every leg must produce
 #     bit-identical books — the sweep doubles as a concurrency
 #     differential test.
+#   BENCH_7.json — the oracle-rail trajectory: three online policies
+#     (instant maxMargin, batched Hungarian, batched auction) on one
+#     churned 12k-order day vs the hindsight optimum from the
+#     warm-started sparse branch and bound, reporting revenue/served
+#     regret and competitive ratio per policy per fleet size, with
+#     solver wall time and allocations per component across a {1,2,4}
+#     worker sweep that must stay bit-identical.
 #
 # All are machine-readable JSON so perf changes diff against a fixed
 # trajectory.
 #
 # Usage: scripts/bench.sh [extra `rideshare bench` flags]
-# Output: BENCH_2.json through BENCH_6.json at the repository root.
+# Output: BENCH_2.json through BENCH_7.json at the repository root.
 #
 # Extra flags apply to the dispatch run only — forwarding them to the
 # streaming runs too would let a user -out/-shards override clobber the
@@ -39,4 +46,5 @@ go run ./cmd/rideshare bench -out BENCH_2.json "$@"
 go run ./cmd/rideshare bench -streaming -shards 4 -out BENCH_3.json
 go run ./cmd/rideshare bench -batched -shards 4 -out BENCH_4.json
 go run ./cmd/rideshare bench -windows -tasks 12000 -batch-window 300 -shards 4 -out BENCH_5.json
-exec go run ./cmd/rideshare bench -windows -maxprocs 1,2,4,0 -tasks 12000 -batch-window 300 -shards 4 -out BENCH_6.json
+go run ./cmd/rideshare bench -windows -maxprocs 1,2,4,0 -tasks 12000 -batch-window 300 -shards 4 -out BENCH_6.json
+exec go run ./cmd/rideshare bench -oracle -tasks 12000 -batch-window 60 -match-workers 4 -out BENCH_7.json
