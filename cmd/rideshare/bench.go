@@ -66,6 +66,12 @@ type benchResult struct {
 	Revenue         float64               `json:"revenue,omitempty"`
 	Latency         *stats.LatencySummary `json:"latency,omitempty"`
 	SpeedupVsProcs1 float64               `json:"speedup_vs_procs1,omitempty"`
+	// The -durable suite's column family: the journal's fsync policy
+	// (with Overhead measured against the in-memory baseline), the
+	// snapshot cadence of a recovery leg, and the log's on-disk size.
+	Fsync         string `json:"fsync,omitempty"`
+	SnapshotEvery int    `json:"snapshot_every,omitempty"`
+	WALBytes      int64  `json:"wal_bytes,omitempty"`
 }
 
 // benchReport is the top-level JSON document.
@@ -92,7 +98,7 @@ func parseIntList(s string) ([]int, error) {
 
 func cmdBench(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
-	out := fs.String("out", "", "output JSON file (- for stdout; default BENCH_2.json, BENCH_3.json with -streaming, BENCH_4.json with -batched, BENCH_5.json with -windows, or BENCH_7.json with -oracle)")
+	out := fs.String("out", "", "output JSON file (- for stdout; default BENCH_2.json, BENCH_3.json with -streaming, BENCH_4.json with -batched, BENCH_5.json with -windows, BENCH_7.json with -oracle, or BENCH_8.json with -durable)")
 	tasks := fs.Int("tasks", 1000, "orders per simulated day")
 	driversList := fs.String("drivers", "10000,50000", "comma-separated fleet sizes")
 	shardsList := fs.String("shards", "1,2,4,8", "comma-separated shard counts to time")
@@ -102,6 +108,8 @@ func cmdBench(args []string) error {
 	batched := fs.Bool("batched", false, "measure streaming-batched overhead: Engine.RunBatched drain vs a WithBatching dispatch.Service replay of the same day")
 	windows := fs.Bool("windows", false, "measure window-clearing kernels: dense whole-matrix vs sparse component-decomposed solve of the same batched day, with per-task allocation accounting")
 	oracle := fs.Bool("oracle", false, "run the offline-optimum oracle suite: three online policies vs the warm-started sparse branch and bound on the same churned day, with a {1,2,4}-worker determinism sweep")
+	durable := fs.Bool("durable", false, "price the durability rail: the same batched day in-memory vs journaled under each fsync policy, plus Restore timings per snapshot cadence")
+	snapIntervalsList := fs.String("snap-intervals", "16,256,4096", "comma-separated snapshot cadences for the -durable suite's recovery legs")
 	churn := fs.Float64("churn", 0.2, "driver churn fraction for the -oracle suite")
 	cancel := fs.Float64("cancel", 0.15, "rider cancellation fraction for the -oracle suite")
 	topk := fs.Int("topk", 8, "rail top-k column pruning for the -oracle suite's hindsight compile (0 = exact, small days only)")
@@ -133,13 +141,38 @@ func cmdBench(args []string) error {
 		return fmt.Errorf("bench: -windows needs a positive -batch-window, got %g", *batchWindow)
 	}
 	suites := 0
-	for _, on := range []bool{*streaming, *batched, *windows, *oracle} {
+	for _, on := range []bool{*streaming, *batched, *windows, *oracle, *durable} {
 		if on {
 			suites++
 		}
 	}
 	if suites > 1 {
-		return fmt.Errorf("bench: -streaming, -batched, -windows and -oracle are separate suites; pick one")
+		return fmt.Errorf("bench: -streaming, -batched, -windows, -oracle and -durable are separate suites; pick one")
+	}
+	var snapIntervals []int
+	if *durable {
+		if *batchWindow == 0 {
+			return fmt.Errorf("bench: -durable needs a positive -batch-window, got %g", *batchWindow)
+		}
+		var err error
+		if snapIntervals, err = parseIntList(*snapIntervalsList); err != nil {
+			return fmt.Errorf("bench: -snap-intervals: %w", err)
+		}
+		for _, v := range snapIntervals {
+			if v < 1 {
+				return fmt.Errorf("bench: -snap-intervals entries must be ≥ 1, got %d", v)
+			}
+		}
+	} else {
+		snapSet := false
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "snap-intervals" {
+				snapSet = true
+			}
+		})
+		if snapSet {
+			return fmt.Errorf("bench: -snap-intervals pairs with -durable")
+		}
 	}
 	if *oracle {
 		if *churn < 0 || *churn > 1 || *cancel < 0 || *cancel > 1 {
@@ -214,6 +247,13 @@ func cmdBench(args []string) error {
 		if *oracle {
 			*out = "BENCH_7.json"
 		}
+		if *durable {
+			*out = "BENCH_8.json"
+		}
+	}
+	if *durable {
+		return benchDurable(*out, *tasks, driverCounts, *reps, *seed,
+			*batchWindow, batchPolicy, snapIntervals)
 	}
 	if *oracle {
 		return benchOracle(*out, *tasks, driverCounts, *reps, *seed,
@@ -853,7 +893,10 @@ func benchWindowsMaxprocs(out string, tasks int, driverCounts, shardCounts []int
 					hist.Record(time.Since(t0).Seconds())
 				}
 				t0 := time.Now()
-				res = st.Finish()
+				res, err = st.Finish()
+				if err != nil {
+					return err
+				}
 				hist.Record(time.Since(t0).Seconds())
 				times = append(times, time.Since(start).Seconds())
 			}

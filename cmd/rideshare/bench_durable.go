@@ -1,0 +1,237 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"time"
+
+	"repro/dispatch"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// benchDurable prices the durability rail: the same batched day is
+// replayed through an in-memory dispatch service and through durable
+// services under each fsync policy, so BENCH_8.json records what a
+// write-ahead log costs in tasks/sec and per-submission latency. A
+// second sweep writes the day once per snapshot cadence and times
+// dispatch.Restore over the resulting log, pricing recovery against
+// the snapshot interval. Every leg must settle the same books as the
+// in-memory baseline — the suite doubles as a crash-replay
+// differential at bench scale.
+//
+// The acceptance bar for the PR that introduced the rail: fsync
+// "interval" costs at most 25% tasks/sec on the largest fleet's
+// batched day.
+func benchDurable(out string, tasks int, driverCounts []int, reps int, seed int64,
+	window float64, algo dispatch.BatchAlgorithm, snapIntervals []int) error {
+	report := benchReport{
+		Schema:     "rideshare-bench/v1",
+		Command:    fmt.Sprintf("rideshare bench -durable -batch-window %g -batch-algo %v", window, algo),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Reps:       reps,
+	}
+	ctx := context.Background()
+	policies := []string{"off", "interval", "always"}
+	var lastIntervalOverhead float64
+
+	for _, drivers := range driverCounts {
+		cfg := trace.NewConfig(seed, tasks, drivers, trace.Hitchhiking)
+		tr := trace.NewGenerator(cfg).Generate(nil)
+		market := dispatch.Market{}
+		for i, d := range tr.Drivers {
+			market.Drivers = append(market.Drivers, toDispatchDriver(i, d))
+		}
+		feed := make([]dispatch.Task, len(tr.Tasks))
+		for i, t := range tr.Tasks {
+			feed[i] = toDispatchTask(i, t)
+		}
+		sort.SliceStable(feed, func(a, b int) bool { return feed[a].Publish < feed[b].Publish })
+
+		base := []dispatch.Option{
+			dispatch.WithBatching(window, algo),
+			dispatch.WithSeed(1), dispatch.WithStrictTimes(),
+		}
+
+		// One timed replay of the day; extraOpts selects the journal.
+		run := func(extraOpts []dispatch.Option, hist *stats.LatencyHist) (dispatch.Stats, float64, error) {
+			opts := append(append([]dispatch.Option(nil), base...), extraOpts...)
+			start := time.Now()
+			svc, err := dispatch.New(market, opts...)
+			if err != nil {
+				return dispatch.Stats{}, 0, fmt.Errorf("bench: durable service: %w", err)
+			}
+			for i := range feed {
+				t0 := time.Now()
+				a, err := svc.SubmitTask(ctx, feed[i])
+				hist.Record(time.Since(t0).Seconds())
+				if err != nil {
+					return dispatch.Stats{}, 0, fmt.Errorf("bench: durable submit %d: %w", feed[i].ID, err)
+				}
+				if !a.Pending {
+					return dispatch.Stats{}, 0, fmt.Errorf("bench: durable submit %d answered instantly", feed[i].ID)
+				}
+			}
+			st, err := svc.Close()
+			if err != nil {
+				return dispatch.Stats{}, 0, err
+			}
+			return st, time.Since(start).Seconds(), nil
+		}
+
+		median := func(extra func() ([]dispatch.Option, func())) (dispatch.Stats, float64, *stats.LatencySummary, error) {
+			hist := &stats.LatencyHist{}
+			times := make([]float64, 0, reps)
+			var st dispatch.Stats
+			for r := 0; r < reps; r++ {
+				opts, cleanup := extra()
+				s, sec, err := run(opts, hist)
+				if cleanup != nil {
+					cleanup()
+				}
+				if err != nil {
+					return dispatch.Stats{}, 0, nil, err
+				}
+				st = s
+				times = append(times, sec)
+			}
+			sort.Float64s(times)
+			sum := hist.Summary()
+			return st, times[len(times)/2], &sum, nil
+		}
+
+		// In-memory baseline.
+		memStats, memSec, memLat, err := median(func() ([]dispatch.Option, func()) { return nil, nil })
+		if err != nil {
+			return err
+		}
+		report.Results = append(report.Results, benchResult{
+			Name: fmt.Sprintf("durable/drivers=%d/memory", drivers), Drivers: drivers, Tasks: tasks,
+			Mode: "streaming", Seconds: memSec, TasksPerSec: float64(tasks) / memSec,
+			Served: memStats.Served, Revenue: memStats.Revenue, Latency: memLat,
+		})
+		fmt.Fprintf(os.Stderr, "%-44s %8.3fs  %9.0f tasks/s\n",
+			fmt.Sprintf("durable/drivers=%d/memory", drivers), memSec, float64(tasks)/memSec)
+
+		// The fsync-policy family: identical day, journaled.
+		for _, policy := range policies {
+			var walBytes int64
+			durStats, durSec, durLat, err := median(func() ([]dispatch.Option, func()) {
+				dir, err := os.MkdirTemp("", "rideshare-bench-wal-")
+				if err != nil {
+					return nil, nil
+				}
+				return []dispatch.Option{dispatch.WithDurability(dir, dispatch.DurFsync(policy))},
+					func() { walBytes = dirBytes(dir); os.RemoveAll(dir) }
+			})
+			if err != nil {
+				return err
+			}
+			if durStats.Served != memStats.Served || durStats.Revenue != memStats.Revenue {
+				return fmt.Errorf("bench: fsync=%s settled served=%d revenue=%.6f, memory settled served=%d revenue=%.6f — journaled replay diverged, this is a bug",
+					policy, durStats.Served, durStats.Revenue, memStats.Served, memStats.Revenue)
+			}
+			overhead := durSec/memSec - 1
+			if policy == "interval" {
+				lastIntervalOverhead = overhead
+			}
+			name := fmt.Sprintf("durable/drivers=%d/fsync=%s", drivers, policy)
+			report.Results = append(report.Results, benchResult{
+				Name: name, Drivers: drivers, Tasks: tasks,
+				Mode: "durable", Fsync: policy,
+				Seconds: durSec, TasksPerSec: float64(tasks) / durSec,
+				Served: durStats.Served, Revenue: durStats.Revenue,
+				Overhead: overhead, Latency: durLat, WALBytes: walBytes,
+			})
+			fmt.Fprintf(os.Stderr, "%-44s %8.3fs  %9.0f tasks/s  overhead %+.1f%%  wal %dB\n",
+				name, durSec, float64(tasks)/durSec, 100*overhead, walBytes)
+		}
+
+		// Recovery pricing: write the day once per snapshot cadence
+		// (fsync off — recovery cost does not depend on how the bytes
+		// got to disk), halt without settling, and time Restore.
+		for _, every := range snapIntervals {
+			dir, err := os.MkdirTemp("", "rideshare-bench-replay-")
+			if err != nil {
+				return err
+			}
+			knobs := []dispatch.DurOption{dispatch.DurFsync("off"), dispatch.DurSnapshotEvery(every)}
+			svc, err := dispatch.New(market, append(append([]dispatch.Option(nil), base...),
+				dispatch.WithDurability(dir, knobs...))...)
+			if err != nil {
+				os.RemoveAll(dir)
+				return err
+			}
+			for i := range feed {
+				if _, err := svc.SubmitTask(ctx, feed[i]); err != nil {
+					os.RemoveAll(dir)
+					return fmt.Errorf("bench: replay day submit %d: %w", feed[i].ID, err)
+				}
+			}
+			if _, err := svc.Halt(); err != nil {
+				os.RemoveAll(dir)
+				return err
+			}
+			times := make([]float64, 0, reps)
+			var restoredStats dispatch.Stats
+			for r := 0; r < reps; r++ {
+				start := time.Now()
+				restored, err := dispatch.Restore(dir, knobs...)
+				if err != nil {
+					os.RemoveAll(dir)
+					return fmt.Errorf("bench: Restore(snap-every=%d): %w", every, err)
+				}
+				times = append(times, time.Since(start).Seconds())
+				restoredStats, err = restored.Halt()
+				if err != nil {
+					os.RemoveAll(dir)
+					return err
+				}
+			}
+			walBytes := dirBytes(dir)
+			os.RemoveAll(dir)
+			if restoredStats.Tasks != tasks {
+				return fmt.Errorf("bench: restore replayed %d of %d tasks — recovery diverged, this is a bug",
+					restoredStats.Tasks, tasks)
+			}
+			sort.Float64s(times)
+			sec := times[len(times)/2]
+			name := fmt.Sprintf("durable/drivers=%d/replay/snap-every=%d", drivers, every)
+			report.Results = append(report.Results, benchResult{
+				Name: name, Drivers: drivers, Tasks: tasks,
+				Mode: "replay", SnapshotEvery: every,
+				Seconds: sec, WALBytes: walBytes,
+			})
+			fmt.Fprintf(os.Stderr, "%-44s %8.3fs to restore  wal %dB\n", name, sec, walBytes)
+		}
+	}
+
+	if lastIntervalOverhead > 0.25 {
+		fmt.Fprintf(os.Stderr, "bench: WARNING fsync=interval overhead %.1f%% exceeds the 25%% acceptance bar on the largest fleet\n",
+			100*lastIntervalOverhead)
+	} else {
+		fmt.Fprintf(os.Stderr, "bench: fsync=interval overhead %.1f%% on the largest fleet (bar: 25%%)\n",
+			100*lastIntervalOverhead)
+	}
+	return writeBenchReport(out, report)
+}
+
+// dirBytes sums the file sizes under dir (the on-disk cost of a log).
+func dirBytes(dir string) int64 {
+	var total int64
+	filepath.WalkDir(dir, func(_ string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return nil
+		}
+		if info, err := d.Info(); err == nil {
+			total += info.Size()
+		}
+		return nil
+	})
+	return total
+}

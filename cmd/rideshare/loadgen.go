@@ -81,8 +81,10 @@ type loadgenReport struct {
 
 func cmdLoadgen(args []string) error {
 	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
-	baseURL := fs.String("addr", "http://127.0.0.1:8080", "base URL of the rideshare serve instance")
+	baseURL := fs.String("addr", "http://127.0.0.1:8080", "base URL of the rideshare serve (or router) instance")
+	market := fs.String("market", "", "drive one market of a rideshare router instance (orders go to /v1/markets/<name>/...)")
 	tasks := fs.Int("tasks", 1000, "orders to submit")
+	idBase := fs.Int("id-base", 0, "first order ID; follow-up runs against a recovered market offset past the IDs already journaled")
 	seed := fs.Int64("seed", 1, "order generation seed")
 	workers := fs.Int("workers", 4, "concurrent submitter goroutines (closed loop; ignored with -rate)")
 	rate := fs.Float64("rate", 0, "open-loop target submissions per second; 0 keeps the closed-loop worker model")
@@ -106,8 +108,11 @@ func cmdLoadgen(args []string) error {
 	gen := trace.NewGenerator(cfg).Generate(nil).Tasks
 	sort.Slice(gen, func(a, b int) bool { return gen[a].Publish < gen[b].Publish })
 
-	report, err := runLoad(*baseURL, *workers, *rate, *cancel, *seed, func(i int) dispatch.Task {
-		return toDispatchTask(i, gen[i])
+	if *idBase < 0 {
+		return fmt.Errorf("loadgen: -id-base %d, want ≥ 0", *idBase)
+	}
+	report, err := runLoadMarket(*baseURL, *market, *workers, *rate, *cancel, *seed, func(i int) dispatch.Task {
+		return toDispatchTask(*idBase+i, gen[i])
 	}, len(gen))
 	if err != nil {
 		return err
@@ -117,7 +122,7 @@ func cmdLoadgen(args []string) error {
 		report.Overloaded, report.Seconds, report.PerSec,
 		report.Latency.P50Ms, report.Latency.P99Ms, report.Latency.P999Ms)
 
-	resp, err := http.Get(*baseURL + "/v1/stats")
+	resp, err := http.Get(apiBase(*baseURL, *market) + "/stats")
 	if err != nil {
 		return fmt.Errorf("loadgen: stats: %w", err)
 	}
@@ -133,9 +138,12 @@ func cmdLoadgen(args []string) error {
 // open-loop pacer share it through atomics plus one mutex for the
 // pending bookkeeping.
 type loadRun struct {
-	client  *http.Client
-	baseURL string
-	mk      func(i int) dispatch.Task
+	client *http.Client
+	// api is the market-API root the /tasks etc. paths hang off: either
+	// <base>/v1 against a serve instance, or <base>/v1/markets/<name>
+	// against one market of a router instance.
+	api string
+	mk  func(i int) dispatch.Task
 	// cancelPlan[i] is the deterministic coin flip for cancelling order
 	// i, fixed upfront so the two pacing modes and any worker
 	// interleaving draw identical cancel traffic for one seed.
@@ -167,7 +175,7 @@ func (lr *loadRun) fail(counter *atomic.Int64, err error) {
 func (lr *loadRun) doTask(i int, sched time.Time) {
 	task := lr.mk(i)
 	var a dispatch.Assignment
-	err := postJSON(lr.client, lr.baseURL+"/v1/tasks", task, &a)
+	err := postJSON(lr.client, lr.api+"/tasks", task, &a)
 	if err != nil {
 		var se *httpStatusError
 		if errors.As(err, &se) && se.Status == http.StatusTooManyRequests {
@@ -189,7 +197,7 @@ func (lr *loadRun) doTask(i int, sched time.Time) {
 		// open.
 		if wantCancel {
 			var out dispatch.CancelOutcome
-			url := fmt.Sprintf("%s/v1/tasks/%d/cancel", lr.baseURL, task.ID)
+			url := fmt.Sprintf("%s/tasks/%d/cancel", lr.api, task.ID)
 			if err := postJSON(lr.client, url, map[string]float64{"at": a.DecidedAt + 1}, &out); err != nil {
 				lr.fail(&lr.cancelErrs, err)
 				return
@@ -210,7 +218,7 @@ func (lr *loadRun) doTask(i int, sched time.Time) {
 	lr.assigned.Add(1)
 	if wantCancel {
 		var out dispatch.CancelOutcome
-		url := fmt.Sprintf("%s/v1/tasks/%d/cancel", lr.baseURL, task.ID)
+		url := fmt.Sprintf("%s/tasks/%d/cancel", lr.api, task.ID)
 		if err := postJSON(lr.client, url, map[string]float64{"at": a.DecidedAt + 1}, &out); err != nil {
 			lr.fail(&lr.cancelErrs, err)
 			return
@@ -230,9 +238,24 @@ func (lr *loadRun) doTask(i int, sched time.Time) {
 // which time later traffic has closed all but (at most) the final
 // window.
 func runLoad(baseURL string, workers int, rate, cancelFrac float64, seed int64, mk func(i int) dispatch.Task, n int) (loadgenReport, error) {
+	return runLoadMarket(baseURL, "", workers, rate, cancelFrac, seed, mk, n)
+}
+
+// apiBase resolves the market-API root: the serve surface at the base
+// URL itself, or one router market under /v1/markets/<name>.
+func apiBase(baseURL, market string) string {
+	if market == "" {
+		return baseURL + "/v1"
+	}
+	return baseURL + "/v1/markets/" + market
+}
+
+// runLoadMarket is runLoad aimed at one market of a router instance
+// (market "" drives a plain serve instance).
+func runLoadMarket(baseURL, market string, workers int, rate, cancelFrac float64, seed int64, mk func(i int) dispatch.Task, n int) (loadgenReport, error) {
 	lr := &loadRun{
 		client:    &http.Client{Timeout: 30 * time.Second},
-		baseURL:   baseURL,
+		api:       apiBase(baseURL, market),
 		mk:        mk,
 		withdrawn: make(map[int]bool),
 	}
@@ -285,7 +308,7 @@ func runLoad(baseURL string, workers int, rate, cancelFrac float64, seed int64, 
 			continue
 		}
 		var a dispatch.Assignment
-		if err := fetchJSON(lr.client, fmt.Sprintf("%s/v1/tasks/%d", baseURL, id), &a); err != nil {
+		if err := fetchJSON(lr.client, fmt.Sprintf("%s/tasks/%d", lr.api, id), &a); err != nil {
 			lr.fail(&lr.pollErrs, err)
 			continue
 		}

@@ -15,9 +15,14 @@
 //	             writing a machine-readable JSON baseline
 //	serve        run the live dispatch market as an HTTP/JSON service
 //	             over the public dispatch package — instant dispatch, or
-//	             windowed batch matching with -batch-window
-//	loadgen      drive a running serve instance with a generated order
-//	             stream (concurrent submitters, cancellations)
+//	             windowed batch matching with -batch-window; durable with
+//	             -wal-dir (write-ahead log, snapshots, crash recovery)
+//	router       federate several markets behind one HTTP router:
+//	             /v1/markets/{m}/... per market, aggregated healthz and
+//	             stats, per-market WALs, rolling restart via recovery
+//	loadgen      drive a running serve instance (or one router market
+//	             with -market) with a generated order stream (concurrent
+//	             submitters, cancellations)
 //	tightness    demonstrate the greedy algorithm's tight 1/(D+1) bound
 //
 // Run `rideshare <subcommand> -h` for per-command flags.
@@ -48,6 +53,8 @@ func main() {
 		err = cmdBench(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
+	case "router":
+		err = cmdRouter(os.Args[2:])
 	case "loadgen":
 		err = cmdLoadgen(os.Args[2:])
 	case "tightness":
@@ -76,9 +83,10 @@ Usage:
   rideshare solve       -trace trace.json [-bound] [-naive]
   rideshare simulate    -trace trace.json [-algo maxmargin|nearest|random|batched|replan] [-batchwindow W -batchalgo hungarian|auction] [-shards N] [-churn R] [-cancel R] [-byvalue] [-realtime]
   rideshare experiments [-fig 3|4|5|6|7|8|9|welfare|surge|dispatch|churn|regret|all] [-scale bench|paper] [-seed S] [-shards N]
-  rideshare bench       [-drivers 10000,50000] [-shards 1,2,4,8] [-out BENCH_2.json] [-streaming | -batched [-batch-window W] [-batch-algo A] | -oracle [-churn R] [-cancel R] [-topk K]]
-  rideshare serve       [-addr :8080] [-drivers N | -trace trace.json] [-algo maxmargin|nearest|random] [-batch-window W -batch-algo hungarian|auction] [-shards N] [-realtime] [-seed S]
-  rideshare loadgen     [-addr http://127.0.0.1:8080] [-tasks N] [-workers N] [-cancel R] [-seed S]
+  rideshare bench       [-drivers 10000,50000] [-shards 1,2,4,8] [-out BENCH_2.json] [-streaming | -batched [-batch-window W] [-batch-algo A] | -oracle [-churn R] [-cancel R] [-topk K] | -durable [-snap-intervals 16,256,4096]]
+  rideshare serve       [-addr :8080] [-drivers N | -trace trace.json] [-algo maxmargin|nearest|random] [-batch-window W -batch-algo hungarian|auction] [-shards N] [-realtime] [-seed S] [-wal-dir DIR [-fsync always|interval|off] [-snapshot-every N]]
+  rideshare router      [-addr :8080] [-markets a,b,c] [-drivers N] [-algo P | -batch-window W -batch-algo A] [-max-pending N] [-max-inflight N] [-wal-dir DIR [-fsync P] [-snapshot-every N]]
+  rideshare loadgen     [-addr http://127.0.0.1:8080] [-market NAME] [-tasks N] [-id-base N] [-workers N] [-cancel R] [-seed S]
   rideshare tightness   [-d D] [-eps E]
 `)
 }

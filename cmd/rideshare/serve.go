@@ -2,7 +2,6 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -11,13 +10,14 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
-	"strconv"
 	"syscall"
 	"time"
 
 	"repro/dispatch"
+	"repro/internal/fed"
 	"repro/internal/model"
 	"repro/internal/trace"
+	"repro/internal/wal"
 )
 
 // This file is the live front end: `rideshare serve` exposes a
@@ -39,7 +39,16 @@ import (
 // /v1/tasks/{id} polls the decision. -realtime additionally closes due
 // windows on the wall clock, so a quiet market still answers.
 //
-// `rideshare loadgen` (loadgen.go) is the matching traffic generator.
+// With -wal-dir the market is durable: every mutation is journaled to a
+// write-ahead log before it is applied (fsync policy under -fsync),
+// periodic snapshots bound replay, graceful shutdown (SIGINT) fsyncs
+// the tail and writes a final snapshot, and a restart over the same
+// directory recovers the log — after a crash, from the newest snapshot
+// plus the journal suffix — and resumes the market where it stopped.
+//
+// The HTTP surface itself is fed.MarketHandler, shared with the
+// multi-market `rideshare router` (router.go). `rideshare loadgen`
+// (loadgen.go) is the matching traffic generator.
 
 // toDispatchDriver and toDispatchTask convert internal trace types to
 // the public API types, registering the slice index as the public ID.
@@ -72,8 +81,24 @@ func cmdServe(args []string) error {
 	matchWorkers := fs.Int("match-workers", 1, "concurrent solvers for a batch window's independent components (identical assignments, higher throughput; needs -batch-window)")
 	maxPending := fs.Int("max-pending", 0, "admission bound: shed submissions with 429 once the open batch window (batched) or the submissions in flight (instant) reach this many (0 = unbounded)")
 	pprofAddr := fs.String("pprof-addr", "", "optional listen address for a net/http/pprof debug server (e.g. localhost:6060) with mutex profiling enabled; empty disables it")
+	walDir := fs.String("wal-dir", "", "durable mode: write-ahead-log directory; an existing log is recovered and the market resumes where it stopped")
+	fsyncMode := fs.String("fsync", "always", "WAL fsync policy: always, interval or off (needs -wal-dir)")
+	snapEvery := fs.Int("snapshot-every", 4096, "WAL records between full-state snapshots (needs -wal-dir)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *walDir == "" {
+		// -fsync/-snapshot-every tune the write-ahead log; without one
+		// they would be silently ignored — reject them instead.
+		durSet := ""
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "fsync" || f.Name == "snapshot-every" {
+				durSet = "-" + f.Name
+			}
+		})
+		if durSet != "" {
+			return fmt.Errorf("serve: %s needs -wal-dir (there is no log to tune)", durSet)
+		}
 	}
 	if *maxPending < 0 {
 		return fmt.Errorf("serve: -max-pending %d, want ≥ 0", *maxPending)
@@ -147,9 +172,31 @@ func cmdServe(args []string) error {
 	if *maxPending > 0 {
 		opts = append(opts, dispatch.WithMaxPending(*maxPending))
 	}
-	svc, err := dispatch.New(market, opts...)
-	if err != nil {
-		return fmt.Errorf("serve: %w", err)
+	var svc *dispatch.Service
+	restored := false
+	if *walDir != "" {
+		durOpts := []dispatch.DurOption{dispatch.DurFsync(*fsyncMode), dispatch.DurSnapshotEvery(*snapEvery)}
+		svc, err = dispatch.Restore(*walDir, durOpts...)
+		switch {
+		case err == nil:
+			// The log is self-contained: market and dispatch config come
+			// from it, so the shape flags above are not consulted.
+			restored = true
+			fmt.Fprintf(os.Stderr, "serve: recovered log in %s, resuming the market (shape flags ignored; config comes from the log)\n", *walDir)
+		case errors.Is(err, wal.ErrNotFound):
+			opts = append(opts, dispatch.WithDurability(*walDir, durOpts...))
+			svc, err = dispatch.New(market, opts...)
+			if err != nil {
+				return fmt.Errorf("serve: %w", err)
+			}
+		default:
+			return fmt.Errorf("serve: recovering %s: %w", *walDir, err)
+		}
+	} else {
+		svc, err = dispatch.New(market, opts...)
+		if err != nil {
+			return fmt.Errorf("serve: %w", err)
+		}
 	}
 
 	// The profiling server lives on its own listener so the debug
@@ -178,18 +225,25 @@ func cmdServe(args []string) error {
 	// single connected /v1/events client would hold graceful shutdown
 	// to its full timeout.
 	done := make(chan struct{})
-	srv := &http.Server{Addr: *addr, Handler: newServeMux(svc, done)}
+	srv := &http.Server{Addr: *addr, Handler: fed.MarketHandler(svc, done)}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	mode := fmt.Sprintf("policy %v", policy)
-	if *batchWindow > 0 {
-		mode = fmt.Sprintf("batched %gs/%v", *batchWindow, batchPolicy)
+	if restored {
+		if st, serr := svc.Snapshot(context.Background()); serr == nil {
+			fmt.Fprintf(os.Stderr, "serve: %d drivers, %d tasks replayed to t=%.0fs, listening on %s\n",
+				st.Drivers, st.Tasks, st.Now, *addr)
+		}
+	} else {
+		mode := fmt.Sprintf("policy %v", policy)
+		if *batchWindow > 0 {
+			mode = fmt.Sprintf("batched %gs/%v", *batchWindow, batchPolicy)
+		}
+		fmt.Fprintf(os.Stderr, "serve: %d drivers, %s, shards %d, listening on %s\n",
+			len(market.Drivers), mode, *shards, *addr)
 	}
-	fmt.Fprintf(os.Stderr, "serve: %d drivers, %s, shards %d, listening on %s\n",
-		len(market.Drivers), mode, *shards, *addr)
 
 	select {
 	case err := <-errc:
@@ -219,199 +273,4 @@ func cmdServe(args []string) error {
 	fmt.Fprintf(os.Stderr, "serve: final stats: tasks=%d served=%d rejected=%d cancelled=%d revenue=%.2f profit=%.2f\n",
 		stats.Tasks, stats.Served, stats.Rejected, stats.Cancelled, stats.Revenue, stats.Profit)
 	return nil
-}
-
-// newServeMux wires the HTTP API over a dispatch service. Split out so
-// the end-to-end tests can drive it through httptest. done, when
-// non-nil, tells streaming handlers the server is shutting down.
-func newServeMux(svc *dispatch.Service, done <-chan struct{}) http.Handler {
-	mux := http.NewServeMux()
-
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		stats, err := svc.Snapshot(r.Context())
-		if err != nil {
-			httpError(w, err)
-			return
-		}
-		writeJSON(w, http.StatusOK, map[string]any{
-			"status":      "ok",
-			"now":         stats.Now,
-			"drivers":     stats.Drivers,
-			"present":     stats.PresentDrivers,
-			"tasks":       stats.Tasks,
-			"pending":     stats.Pending,
-			"max_pending": stats.MaxPending,
-			"shed":        stats.Shed,
-			"feed_drops":  stats.FeedDrops,
-		})
-	})
-
-	mux.HandleFunc("POST /v1/tasks", func(w http.ResponseWriter, r *http.Request) {
-		var t dispatch.Task
-		if err := json.NewDecoder(r.Body).Decode(&t); err != nil {
-			httpError(w, fmt.Errorf("%w: %v", dispatch.ErrInvalidTask, err))
-			return
-		}
-		a, err := svc.SubmitTask(r.Context(), t)
-		if err != nil {
-			httpError(w, err)
-			return
-		}
-		writeJSON(w, http.StatusOK, a)
-	})
-
-	mux.HandleFunc("GET /v1/tasks/{id}", func(w http.ResponseWriter, r *http.Request) {
-		id, err := strconv.Atoi(r.PathValue("id"))
-		if err != nil {
-			writeJSON(w, http.StatusBadRequest, map[string]string{
-				"error": fmt.Sprintf("bad id %q: not an integer", r.PathValue("id")),
-			})
-			return
-		}
-		a, err := svc.Decision(r.Context(), id)
-		if err != nil {
-			httpError(w, err)
-			return
-		}
-		writeJSON(w, http.StatusOK, a)
-	})
-
-	mux.HandleFunc("POST /v1/tasks/{id}/cancel", func(w http.ResponseWriter, r *http.Request) {
-		id, at, ok := idAndAt(w, r)
-		if !ok {
-			return
-		}
-		out, err := svc.CancelTask(r.Context(), id, at)
-		if err != nil {
-			httpError(w, err)
-			return
-		}
-		writeJSON(w, http.StatusOK, out)
-	})
-
-	mux.HandleFunc("POST /v1/drivers", func(w http.ResponseWriter, r *http.Request) {
-		var d dispatch.Driver
-		if err := json.NewDecoder(r.Body).Decode(&d); err != nil {
-			httpError(w, fmt.Errorf("%w: %v", dispatch.ErrInvalidDriver, err))
-			return
-		}
-		if err := svc.AddDriver(r.Context(), d); err != nil {
-			httpError(w, err)
-			return
-		}
-		writeJSON(w, http.StatusOK, map[string]any{"driver_id": d.ID, "joined": true})
-	})
-
-	mux.HandleFunc("POST /v1/drivers/{id}/retire", func(w http.ResponseWriter, r *http.Request) {
-		id, at, ok := idAndAt(w, r)
-		if !ok {
-			return
-		}
-		if err := svc.RetireDriver(r.Context(), id, at); err != nil {
-			httpError(w, err)
-			return
-		}
-		writeJSON(w, http.StatusOK, map[string]any{"driver_id": id, "retired": true})
-	})
-
-	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
-		stats, err := svc.Snapshot(r.Context())
-		if err != nil {
-			httpError(w, err)
-			return
-		}
-		writeJSON(w, http.StatusOK, stats)
-	})
-
-	mux.HandleFunc("GET /v1/events", func(w http.ResponseWriter, r *http.Request) {
-		fl, ok := w.(http.Flusher)
-		if !ok {
-			http.Error(w, "streaming unsupported", http.StatusInternalServerError)
-			return
-		}
-		feed, cancel := svc.Subscribe(1024)
-		defer cancel()
-		w.Header().Set("Content-Type", "text/event-stream")
-		w.Header().Set("Cache-Control", "no-store")
-		w.WriteHeader(http.StatusOK)
-		fl.Flush()
-		for {
-			select {
-			case <-r.Context().Done():
-				return
-			case <-done:
-				return // server shutting down
-			case ev, ok := <-feed:
-				if !ok {
-					return // service closed
-				}
-				data, err := json.Marshal(ev)
-				if err != nil {
-					return
-				}
-				fmt.Fprintf(w, "data: %s\n\n", data)
-				fl.Flush()
-			}
-		}
-	})
-
-	return mux
-}
-
-// idAndAt parses the {id} path value and the {"at": t} request body
-// shared by the cancel and retire endpoints, answering a plain 400
-// itself on malformed requests (the typed-error vocabulary is reserved
-// for conditions the dispatch service actually reported).
-func idAndAt(w http.ResponseWriter, r *http.Request) (id int, at float64, ok bool) {
-	id, err := strconv.Atoi(r.PathValue("id"))
-	if err != nil {
-		writeJSON(w, http.StatusBadRequest, map[string]string{
-			"error": fmt.Sprintf("bad id %q: not an integer", r.PathValue("id")),
-		})
-		return 0, 0, false
-	}
-	var body struct {
-		At float64 `json:"at"`
-	}
-	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
-		writeJSON(w, http.StatusBadRequest, map[string]string{
-			"error": fmt.Sprintf("bad request body: %v (want {\"at\": seconds})", err),
-		})
-		return 0, 0, false
-	}
-	return id, body.At, true
-}
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(v)
-}
-
-// httpError maps the dispatch package's typed errors onto HTTP status
-// codes, keeping the sentinel's text in the JSON body so clients can
-// still distinguish conditions sharing a code.
-func httpError(w http.ResponseWriter, err error) {
-	status := http.StatusInternalServerError
-	switch {
-	case errors.Is(err, dispatch.ErrOverloaded):
-		// Backpressure, not failure: the submission was shed at the
-		// admission bound and the rider should retry after the market
-		// drains (a batched market decides its window within seconds).
-		status = http.StatusTooManyRequests
-		w.Header().Set("Retry-After", "1")
-	case errors.Is(err, dispatch.ErrClosed):
-		status = http.StatusServiceUnavailable
-	case errors.Is(err, dispatch.ErrUnknownTask), errors.Is(err, dispatch.ErrUnknownDriver):
-		status = http.StatusNotFound
-	case errors.Is(err, dispatch.ErrDuplicateTask), errors.Is(err, dispatch.ErrDuplicateDriver),
-		errors.Is(err, dispatch.ErrOutOfOrder):
-		status = http.StatusConflict
-	case errors.Is(err, dispatch.ErrInvalidTask), errors.Is(err, dispatch.ErrInvalidDriver),
-		errors.Is(err, dispatch.ErrInvalidCancel), errors.Is(err, dispatch.ErrInvalidOption):
-		status = http.StatusBadRequest
-	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
-		status = 499 // client closed request
-	}
-	writeJSON(w, status, map[string]string{"error": err.Error()})
 }

@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"repro/dispatch"
+	"repro/internal/fed"
 	"repro/internal/trace"
 )
 
@@ -30,7 +31,7 @@ func newTestServer(t *testing.T, drivers int, opts ...dispatch.Option) (*httptes
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(newServeMux(svc, nil))
+	srv := httptest.NewServer(fed.MarketHandler(svc, nil))
 	t.Cleanup(srv.Close)
 	t.Cleanup(func() { svc.Close() })
 	return srv, svc

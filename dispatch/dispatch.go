@@ -45,6 +45,7 @@ package dispatch
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -225,6 +226,14 @@ type Service struct {
 	subs      map[int]*subscriber
 	nextSub   int
 	feedDrops int // total events dropped across all subscribers
+
+	// Durable rail (WithDurability): jr journals every externally
+	// injected mutation to the write-ahead log before it is applied and
+	// cuts periodic snapshots; nil on in-memory services. mkt and cfg
+	// are retained for snapshot payloads and Restore validation.
+	jr  *journal
+	mkt Market
+	cfg config
 }
 
 // New opens a dispatch service over the market. Drivers with a positive
@@ -261,6 +270,8 @@ func New(m Market, opts ...Option) (*Service, error) {
 		liveBatch:  cfg.batchWindow > 0 && cfg.realTime,
 		maxPending: cfg.maxPending,
 		subs:       make(map[int]*subscriber),
+		mkt:        m,
+		cfg:        cfg,
 	}
 	drivers := make([]model.Driver, len(m.Drivers))
 	var fleet []model.MarketEvent
@@ -312,6 +323,11 @@ func New(m Market, opts ...Option) (*Service, error) {
 		st.SetBatchCloseHandler(s.onWindowClosed)
 	}
 	s.st = st
+	if cfg.durDir != "" {
+		if err := s.openJournal(); err != nil {
+			return nil, err
+		}
+	}
 	return s, nil
 }
 
@@ -380,7 +396,14 @@ func (s *Service) fireBatchTimer(closeAt float64) {
 		return
 	}
 	if due, open := s.st.BatchDue(); open && due == closeAt {
-		s.st.AdvanceTo(closeAt)
+		// A wall-clock close is a market mutation like any other: journal
+		// the tick so a restored run closes the window at the same
+		// instant, whatever the wall clock said. If the journal refuses
+		// (disk full, closed log), the close stays pending — the next
+		// event past the close time will drain it.
+		if err := s.journal(recAdvance, walRecord{At: closeAt}); err == nil {
+			s.st.AdvanceTo(closeAt)
+		}
 	}
 	if s.timerAt == closeAt {
 		s.timer = nil
@@ -454,6 +477,23 @@ func (s *Service) checkAdmission(at float64) error {
 	return fmt.Errorf("%w: %d orders pending in the open window (cap %d)", ErrOverloaded, pending, s.maxPending)
 }
 
+// errClosed is the error mutators return once the service is closed:
+// it matches both ErrClosed and ErrFinished (the day is settled), so
+// errors.Is works with either sentinel.
+func errClosed() error {
+	return fmt.Errorf("%w: %w", ErrClosed, ErrFinished)
+}
+
+// simErr converts an unexpected error from the underlying stream into
+// the service's typed vocabulary: a finished stream surfaces as
+// ErrFinished instead of leaking the internal sentinel.
+func simErr(err error) error {
+	if errors.Is(err, sim.ErrFinished) {
+		return fmt.Errorf("%w: %v", ErrFinished, err)
+	}
+	return err
+}
+
 // checkTime enforces the service's ordering policy for a submission
 // timestamped at. It must be called with the mutex held.
 func (s *Service) checkTime(at float64) error {
@@ -488,7 +528,7 @@ func (s *Service) SubmitTask(ctx context.Context, t Task) (Assignment, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return Assignment{}, ErrClosed
+		return Assignment{}, errClosed()
 	}
 	if _, dup := s.tasks[t.ID]; dup {
 		return Assignment{}, fmt.Errorf("%w: %d", ErrDuplicateTask, t.ID)
@@ -505,7 +545,13 @@ func (s *Service) SubmitTask(ctx context.Context, t Task) (Assignment, error) {
 	if err := s.checkTime(t.Publish); err != nil {
 		return Assignment{}, err
 	}
-	dec := s.st.SubmitTask(mt)
+	if err := s.journal(recSubmit, walRecord{Task: &t}); err != nil {
+		return Assignment{}, err
+	}
+	dec, serr := s.st.SubmitTask(mt)
+	if serr != nil {
+		return Assignment{}, simErr(serr)
+	}
 	s.tasks[t.ID] = dec.Task
 	s.taskIDs = append(s.taskIDs, t.ID)
 
@@ -571,7 +617,7 @@ func (s *Service) AddDriver(ctx context.Context, d Driver) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return ErrClosed
+		return errClosed()
 	}
 	at := d.JoinAt
 	if at == 0 {
@@ -592,8 +638,13 @@ func (s *Service) AddDriver(ctx context.Context, d Driver) error {
 		if s.st.Present(idx) || !s.retired[d.ID] {
 			return fmt.Errorf("%w: %d", ErrDuplicateDriver, d.ID)
 		}
+		if err := s.journal(recAddDriver, walRecord{Driver: &d}); err != nil {
+			return err
+		}
 		delete(s.retired, d.ID)
-		s.st.JoinDriver(idx, at)
+		if err := s.st.JoinDriver(idx, at); err != nil {
+			return simErr(err)
+		}
 		s.publish(Event{Type: EventDriverJoined, At: at, TaskID: -1, DriverID: d.ID})
 		return nil
 	}
@@ -601,7 +652,13 @@ func (s *Service) AddDriver(ctx context.Context, d Driver) error {
 	if err != nil {
 		return err
 	}
-	idx := s.st.AddDriver(md, at)
+	if err := s.journal(recAddDriver, walRecord{Driver: &d}); err != nil {
+		return err
+	}
+	idx, serr := s.st.AddDriver(md, at)
+	if serr != nil {
+		return simErr(serr)
+	}
 	s.drivers[d.ID] = idx
 	s.driverIDs = append(s.driverIDs, d.ID)
 	s.publish(Event{Type: EventDriverJoined, At: at, TaskID: -1, DriverID: d.ID})
@@ -620,7 +677,7 @@ func (s *Service) RetireDriver(ctx context.Context, driverID int, at float64) er
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return ErrClosed
+		return errClosed()
 	}
 	idx, ok := s.drivers[driverID]
 	if !ok {
@@ -629,10 +686,15 @@ func (s *Service) RetireDriver(ctx context.Context, driverID int, at float64) er
 	if err := s.checkTime(at); err != nil {
 		return err
 	}
+	if err := s.journal(recRetire, walRecord{ID: driverID, At: at}); err != nil {
+		return err
+	}
 	if effAt := s.st.Now(); at < effAt {
 		at = effAt
 	}
-	s.st.RetireDriver(idx, at)
+	if err := s.st.RetireDriver(idx, at); err != nil {
+		return simErr(err)
+	}
 	s.retired[driverID] = true
 	s.publish(Event{Type: EventDriverRetired, At: at, TaskID: -1, DriverID: driverID})
 	return nil
@@ -649,7 +711,7 @@ func (s *Service) CancelTask(ctx context.Context, taskID int, at float64) (Cance
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return CancelOutcome{}, ErrClosed
+		return CancelOutcome{}, errClosed()
 	}
 	idx, ok := s.tasks[taskID]
 	if !ok {
@@ -662,7 +724,13 @@ func (s *Service) CancelTask(ctx context.Context, taskID int, at float64) (Cance
 		return CancelOutcome{}, fmt.Errorf("%w: task %d published at %g, cancel at %g",
 			ErrInvalidCancel, taskID, s.taskPublish(idx), at)
 	}
-	freed, cancelled := s.st.CancelTask(idx, at)
+	if err := s.journal(recCancel, walRecord{ID: taskID, At: at}); err != nil {
+		return CancelOutcome{}, err
+	}
+	freed, cancelled, serr := s.st.CancelTask(idx, at)
+	if serr != nil {
+		return CancelOutcome{}, simErr(serr)
+	}
 	out := CancelOutcome{TaskID: taskID, Cancelled: cancelled, FreedDriverID: -1}
 	if cancelled {
 		if prev, ok := s.decided[taskID]; !ok || prev.Pending {
@@ -697,7 +765,11 @@ func (s *Service) Snapshot(ctx context.Context) (Stats, error) {
 	if s.closed {
 		return s.finalStats, nil
 	}
-	return s.stats(s.st.Snapshot()), nil
+	res, err := s.st.Snapshot()
+	if err != nil {
+		return Stats{}, simErr(err)
+	}
+	return s.stats(res), nil
 }
 
 // stats converts a settled simulator result into public Stats. Must be
@@ -735,16 +807,72 @@ func (s *Service) Close() (Stats, error) {
 		s.timer.Stop()
 		s.timer = nil
 	}
-	res := s.st.Finish()
+	// Durable shutdown: persist a final snapshot of the pre-finish state
+	// and journal the finish itself, so Restore rebuilds this exact
+	// moment and settles the same books; then flush and fsync the tail
+	// whatever the fsync policy. Journal failures here must not wedge
+	// shutdown — closeJournal reports them after the books settle.
+	jerr := s.journalFinish()
+	res, err := s.st.Finish()
+	if err != nil {
+		// A finished stream under an open service is unreachable by
+		// construction; surface it typed rather than panicking.
+		return Stats{}, simErr(err)
+	}
 	stats := s.stats(res)
-	// st.Snapshot is invalid after Finish; stats() above read the
-	// counters before any further use.
+	// The stream is finished (sim.ErrFinished from here on); stats()
+	// above read the settled counters, which stay valid.
 	s.final = &res
 	s.finalStats = stats
 	s.closed = true
 	for id, sub := range s.subs {
 		close(sub.ch)
 		delete(s.subs, id)
+	}
+	if cerr := s.closeJournal(jerr); cerr != nil {
+		return stats, cerr
+	}
+	return stats, nil
+}
+
+// Halt stops the service crash-consistently: the write-ahead log is
+// synced and closed WITHOUT a finish record, the books are NOT settled,
+// and pending window tasks stay pending — so a later Restore resumes
+// the market exactly where it stopped instead of finding a settled day.
+// This is the cooperative half of a rolling restart; the uncooperative
+// half (kill -9) leaves the same log on disk, which is the point.
+// After Halt, mutations return ErrClosed and Snapshot answers the stats
+// as of the halt. Halt is idempotent with Close: whichever runs first
+// decides whether the day settled.
+func (s *Service) Halt() (Stats, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return s.finalStats, nil
+	}
+	if s.timer != nil {
+		s.timer.Stop()
+		s.timer = nil
+	}
+	res, err := s.st.Snapshot()
+	if err != nil {
+		return Stats{}, simErr(err)
+	}
+	stats := s.stats(res)
+	s.finalStats = stats
+	s.closed = true
+	for id, sub := range s.subs {
+		close(sub.ch)
+		delete(s.subs, id)
+	}
+	var jerr error
+	if s.jr != nil {
+		if serr := s.jr.lg.Sync(); serr != nil {
+			jerr = fmt.Errorf("dispatch: syncing journal: %w", serr)
+		}
+	}
+	if cerr := s.closeJournal(jerr); cerr != nil {
+		return stats, cerr
 	}
 	return stats, nil
 }

@@ -52,4 +52,13 @@ var (
 	// without registering the task; the rider may retry. Front ends map
 	// this to HTTP 429.
 	ErrOverloaded = errors.New("dispatch: overloaded, submission shed")
+
+	// ErrFinished: the market day was finished — the underlying run's
+	// accounts were settled by Close (or the durable log being restored
+	// recorded a finish) — so mutation and mid-run snapshots are over.
+	// Errors returned by mutators on a closed service match both
+	// ErrClosed and ErrFinished; the sentinel exists so callers can
+	// distinguish "this market's day is settled" from transient
+	// conditions without relying on internal state flags.
+	ErrFinished = errors.New("dispatch: market finished")
 )

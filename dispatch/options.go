@@ -154,6 +154,9 @@ type config struct {
 	batchWindow  float64 // 0: instant dispatch
 	batchAlgo    BatchAlgorithm
 	maxPending   int // 0: unbounded admission
+
+	durDir string    // "": in-memory service, no write-ahead log
+	dur    durConfig // durability knobs (see WithDurability)
 }
 
 // Option configures a Service at construction.

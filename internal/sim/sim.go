@@ -186,6 +186,8 @@ type Engine struct {
 	states     []driverState
 	present    []bool // false: not yet joined, or retired
 	rng        *rand.Rand
+	seed       int64           // the seed rng was constructed from
+	rngSrc     *countingSource // rng's underlying source, counting draws
 	source     CandidateSource
 	winScratch *windowScratch // pooled batched-window working set
 
@@ -200,14 +202,75 @@ func New(m model.Market, drivers []model.Driver, seed int64) (*Engine, error) {
 	if err := model.ValidateAll(m, drivers, nil); err != nil {
 		return nil, fmt.Errorf("sim: %w", err)
 	}
+	src := newCountingSource(seed)
 	e := &Engine{
 		Market:  m,
 		Drivers: append([]model.Driver(nil), drivers...),
-		rng:     rand.New(rand.NewSource(seed)),
+		rng:     rand.New(src),
+		seed:    seed,
+		rngSrc:  src,
 		source:  &ScanSource{},
 	}
 	e.reset()
 	return e, nil
+}
+
+// countingSource wraps the seeded RNG source and counts every draw, so
+// a suspended run's RNG position is recoverable: re-seeding and
+// discarding the same number of draws reproduces the source state
+// bit-for-bit (each Int63/Uint64 call advances math/rand's generator by
+// exactly one step regardless of which method was called). The durable
+// snapshot/restore rail depends on this to keep tie-breaking policies
+// (Nearest, Random) deterministic across a crash.
+type countingSource struct {
+	src rand.Source
+	s64 rand.Source64 // src's Source64 view, nil if unsupported
+	n   uint64        // draws consumed so far
+}
+
+func newCountingSource(seed int64) *countingSource {
+	src := rand.NewSource(seed)
+	s64, _ := src.(rand.Source64)
+	return &countingSource{src: src, s64: s64}
+}
+
+func (c *countingSource) Int63() int64 {
+	c.n++
+	return c.src.Int63()
+}
+
+func (c *countingSource) Uint64() uint64 {
+	c.n++
+	if c.s64 != nil {
+		return c.s64.Uint64()
+	}
+	// Mirror math/rand's fallback; counts as one draw per underlying
+	// call so replaying n Int63 draws still lands on the same state.
+	c.n++
+	return uint64(c.src.Int63())>>31 | uint64(c.src.Int63())<<32
+}
+
+func (c *countingSource) Seed(seed int64) {
+	c.n = 0
+	c.src.Seed(seed)
+}
+
+// RNGDraws reports how many draws the engine's tie-breaking RNG has
+// consumed since construction (or the last SeekRNG). Part of the
+// engine's restorable state.
+func (e *Engine) RNGDraws() uint64 { return e.rngSrc.n }
+
+// SeekRNG rewinds the engine's RNG to its seed and fast-forwards it by
+// n draws, restoring the exact generator state a run that had consumed
+// RNGDraws() == n draws was suspended at.
+func (e *Engine) SeekRNG(n uint64) {
+	src := newCountingSource(e.seed)
+	for i := uint64(0); i < n; i++ {
+		src.src.Int63()
+	}
+	src.n = n
+	e.rngSrc = src
+	e.rng = rand.New(src)
 }
 
 // SetCandidateSource swaps the engine's candidate generation strategy.

@@ -2,11 +2,18 @@ package sim
 
 import (
 	"container/heap"
+	"errors"
 	"fmt"
 	"math"
 
 	"repro/internal/model"
 )
+
+// ErrFinished reports use of a Stream after Finish: the run's accounts
+// were settled and its bookkeeping released, so no further mutation or
+// snapshot is meaningful. Callers (the dispatch service) surface it as
+// their own typed error instead of relying on internal state flags.
+var ErrFinished = errors.New("sim: stream finished")
 
 // This file is the engine's open-loop entry point: where the batch Run*
 // adapters enqueue a complete day and drain it, a Stream keeps one
@@ -210,11 +217,17 @@ func (s *Stream) clampLate(at float64) float64 {
 	return at
 }
 
-func (s *Stream) mustBeOpen() {
+// checkOpen reports ErrFinished once the stream has been finished, the
+// typed alternative to panicking on use-after-Finish.
+func (s *Stream) checkOpen() error {
 	if s.closed {
-		panic("sim: use of finished Stream")
+		return ErrFinished
 	}
+	return nil
 }
+
+// Finished reports whether Finish has settled and closed the stream.
+func (s *Stream) Finished() bool { return s.closed }
 
 // SubmitTask registers the task and dispatches it at its publish time
 // (or now, if the submission is late). On an instant stream the
@@ -222,9 +235,11 @@ func (s *Stream) mustBeOpen() {
 // open window (processing any due window close first) and the decision
 // comes back Pending, to be delivered through the decision handler at
 // DecideAt. Tasks are indexed by submission order; the caller keeps its
-// own ID mapping.
-func (s *Stream) SubmitTask(t model.Task) TaskDecision {
-	s.mustBeOpen()
+// own ID mapping. A finished stream reports ErrFinished.
+func (s *Stream) SubmitTask(t model.Task) (TaskDecision, error) {
+	if err := s.checkOpen(); err != nil {
+		return TaskDecision{}, err
+	}
 	r := s.r
 	ti := len(r.tasks)
 	r.tasks = append(r.tasks, t)
@@ -236,7 +251,7 @@ func (s *Stream) SubmitTask(t model.Task) TaskDecision {
 		// The arrival joined (or opened) a window whose close is
 		// strictly after at, so the task is always still pending here.
 		dec.Pending, dec.DecideAt = true, s.b.closeAt
-		return dec
+		return dec, nil
 	}
 	if drv, ok := r.res.Assignment[ti]; ok {
 		dec.Assigned, dec.Driver = true, drv
@@ -244,7 +259,7 @@ func (s *Stream) SubmitTask(t model.Task) TaskDecision {
 			dec.PickupAt = info.arrival
 		}
 	}
-	return dec
+	return dec, nil
 }
 
 // CancelTask submits a rider cancellation for task ti at the given
@@ -252,9 +267,12 @@ func (s *Stream) SubmitTask(t model.Task) TaskDecision {
 // arrived too late (or the task was never assigned) and any ride
 // proceeds, with the same semantics as RunScenario's cancel events.
 // When an assignment was revoked, freedDriver is the engine index of
-// the driver released back into the market, -1 otherwise.
-func (s *Stream) CancelTask(ti int, at float64) (freedDriver int, ok bool) {
-	s.mustBeOpen()
+// the driver released back into the market, -1 otherwise. A finished
+// stream reports ErrFinished.
+func (s *Stream) CancelTask(ti int, at float64) (freedDriver int, ok bool, err error) {
+	if err := s.checkOpen(); err != nil {
+		return -1, false, err
+	}
 	r := s.r
 	if ti < 0 || ti >= len(r.tasks) {
 		panic(fmt.Sprintf("sim: cancel of unknown task %d", ti))
@@ -265,11 +283,11 @@ func (s *Stream) CancelTask(ti int, at float64) (freedDriver int, ok bool) {
 	s.submit(event{key: at, kind: evCancel, at: at, idx: ti})
 	if r.res.Cancelled > before {
 		if assigned {
-			return drv, true
+			return drv, true, nil
 		}
-		return -1, true
+		return -1, true, nil
 	}
-	return -1, false
+	return -1, false, nil
 }
 
 // submitOrSchedule routes a fleet event by its timestamp: an event at
@@ -293,26 +311,34 @@ func (s *Stream) submitOrSchedule(ev event) {
 // absent driver (not yet joined, or retired) becomes visible to
 // dispatch from that time on. Joining later than her shift start delays
 // her earliest departure, exactly as a pre-scheduled join event would;
-// a join time in the future is scheduled rather than applied now.
-func (s *Stream) JoinDriver(i int, at float64) {
-	s.mustBeOpen()
+// a join time in the future is scheduled rather than applied now. A
+// finished stream reports ErrFinished.
+func (s *Stream) JoinDriver(i int, at float64) error {
+	if err := s.checkOpen(); err != nil {
+		return err
+	}
 	if i < 0 || i >= len(s.e.Drivers) {
 		panic(fmt.Sprintf("sim: join of unknown driver %d", i))
 	}
 	at = s.clampLate(at)
 	s.submitOrSchedule(event{key: at, kind: evJoin, at: at, idx: i})
+	return nil
 }
 
 // RetireDriver removes a registered driver from the market at the given
 // time: no new tasks, though an in-flight assignment still completes. A
-// retirement time in the future is scheduled rather than applied now.
-func (s *Stream) RetireDriver(i int, at float64) {
-	s.mustBeOpen()
+// retirement time in the future is scheduled rather than applied now. A
+// finished stream reports ErrFinished.
+func (s *Stream) RetireDriver(i int, at float64) error {
+	if err := s.checkOpen(); err != nil {
+		return err
+	}
 	if i < 0 || i >= len(s.e.Drivers) {
 		panic(fmt.Sprintf("sim: retire of unknown driver %d", i))
 	}
 	at = s.clampLate(at)
 	s.submitOrSchedule(event{key: at, kind: evRetire, at: at, idx: i})
+	return nil
 }
 
 // AddDriver registers a genuinely new driver mid-stream and returns her
@@ -321,9 +347,11 @@ func (s *Stream) RetireDriver(i int, at float64) {
 // schedules her announcement as a join event — before it fires she is
 // registered but invisible, exactly like an upfront roster entry with a
 // pending join. The candidate source is rebound over the grown fleet
-// either way.
-func (s *Stream) AddDriver(d model.Driver, at float64) int {
-	s.mustBeOpen()
+// either way. A finished stream reports ErrFinished.
+func (s *Stream) AddDriver(d model.Driver, at float64) (int, error) {
+	if err := s.checkOpen(); err != nil {
+		return -1, err
+	}
 	e := s.e
 	r := s.r
 	at = s.clampLate(at)
@@ -346,31 +374,36 @@ func (s *Stream) AddDriver(d model.Driver, at float64) int {
 		r.seq++
 		heap.Push(&r.q, ev)
 	}
-	return i
+	return i, nil
 }
 
 // Step processes the next queued event, if any — deferred revocation
 // frees, pre-scheduled fleet events — and reports whether one was
 // handled. Submissions step through everything ordered before them
-// automatically; Step exists for callers pacing the queue themselves.
-func (s *Stream) Step() bool {
-	s.mustBeOpen()
-	return s.r.step()
+// automatically; Step exists for callers pacing the queue themselves. A
+// finished stream reports ErrFinished.
+func (s *Stream) Step() (bool, error) {
+	if err := s.checkOpen(); err != nil {
+		return false, err
+	}
+	return s.r.step(), nil
 }
 
 // AdvanceTo processes every queued event ordered at or before time t
 // and moves the stream clock to t, so subsequent late submissions clamp
 // to t and a pacing Clock sleeps through the silent gap. Advancing
-// backwards is a no-op.
-func (s *Stream) AdvanceTo(t float64) {
-	s.mustBeOpen()
+// backwards is a no-op. A finished stream reports ErrFinished.
+func (s *Stream) AdvanceTo(t float64) error {
+	if err := s.checkOpen(); err != nil {
+		return err
+	}
 	r := s.r
 	for r.q.Len() > 0 && r.q[0].key <= t {
 		r.step()
 	}
 	if !r.started {
 		r.now, r.started = t, true
-		return
+		return nil
 	}
 	if t > r.now {
 		if r.e.Clock != nil {
@@ -378,11 +411,17 @@ func (s *Stream) AdvanceTo(t float64) {
 		}
 		r.now = t
 	}
+	return nil
 }
 
 // Now returns the stream's current simulated time: the latest event
 // time processed (or advanced to). Zero before any event.
 func (s *Stream) Now() float64 { return s.r.now }
+
+// Engine returns the engine driving this stream. The durable dispatch
+// rail uses it to rebuild a stream from a captured state (RestoreStream
+// is an Engine method that replaces the engine's run in place).
+func (s *Stream) Engine() *Engine { return s.e }
 
 // DriverCount returns the number of registered drivers, present or not.
 func (s *Stream) DriverCount() int { return len(s.e.Drivers) }
@@ -420,9 +459,13 @@ func (s *Stream) TaskPublish(i int) float64 { return s.r.tasks[i].Publish }
 // always equals the submitted task count and no cancelled trip is
 // counted as served revenue. (PendingTasks is 0 on instant streams:
 // orders waiting in a batched stream's open window are the one way a
-// submitted task can be none of served, rejected or cancelled.)
-func (s *Stream) Snapshot() Result {
-	s.mustBeOpen()
+// submitted task can be none of served, rejected or cancelled.) A
+// finished stream reports ErrFinished: the live bookkeeping it settles
+// from was released by Finish, whose Result is the settled answer.
+func (s *Stream) Snapshot() (Result, error) {
+	if err := s.checkOpen(); err != nil {
+		return Result{}, err
+	}
 	e := s.e
 	r := s.r
 	res := Result{
@@ -446,19 +489,21 @@ func (s *Stream) Snapshot() Result {
 	for drv, st := range saved {
 		e.states[drv] = st
 	}
-	return res
+	return res, nil
 }
 
 // Finish drains the remaining queue (deferred revocation frees,
 // unfired fleet events), settles the accounts and returns the final
 // Result. The stream is closed afterwards; the engine may be reused for
-// batch runs or a new stream.
-func (s *Stream) Finish() Result {
-	s.mustBeOpen()
+// batch runs or a new stream. Finishing twice reports ErrFinished.
+func (s *Stream) Finish() (Result, error) {
+	if err := s.checkOpen(); err != nil {
+		return Result{}, err
+	}
 	r := s.r
 	for r.step() {
 	}
 	s.e.settle(&r.res)
 	s.closed = true
-	return r.res
+	return r.res, nil
 }

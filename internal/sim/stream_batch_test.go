@@ -53,7 +53,10 @@ func replayThroughBatchedStream(t *testing.T, e *Engine, window float64, algo Ba
 	}
 	for _, it := range feed {
 		if it.isTask {
-			dec := st.SubmitTask(tasks[it.task])
+			dec, err := st.SubmitTask(tasks[it.task])
+			if err != nil {
+				t.Fatalf("SubmitTask(%d): %v", it.task, err)
+			}
 			if dec.Task != it.task {
 				t.Fatalf("task registered under index %d, want %d", dec.Task, it.task)
 			}
@@ -64,10 +67,16 @@ func replayThroughBatchedStream(t *testing.T, e *Engine, window float64, algo Ba
 				t.Fatalf("task %d window close %g outside (%g, %g]", it.task, dec.DecideAt, dec.At, dec.At+window)
 			}
 		} else {
-			st.CancelTask(it.task, it.at)
+			if _, _, err := st.CancelTask(it.task, it.at); err != nil {
+				t.Fatalf("CancelTask(%d): %v", it.task, err)
+			}
 		}
 	}
-	return st.Finish()
+	res, err := st.Finish()
+	if err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	return res
 }
 
 // TestBatchedStreamBitIdenticalToRunBatched is the tentpole's
@@ -229,10 +238,14 @@ func TestBatchedStreamInvariants(t *testing.T) {
 				cancelledOK := make(map[int]bool)
 				for _, o := range feed {
 					if o.isTask {
-						st.SubmitTask(tr.Tasks[o.task])
+						if _, err := st.SubmitTask(tr.Tasks[o.task]); err != nil {
+							t.Fatalf("SubmitTask(%d): %v", o.task, err)
+						}
 					} else {
 						_, wasDecided := decided[o.task]
-						if _, ok := st.CancelTask(o.task, o.at); ok {
+						if _, ok, err := st.CancelTask(o.task, o.at); err != nil {
+							t.Fatalf("CancelTask(%d): %v", o.task, err)
+						} else if ok {
 							cancelledOK[o.task] = true
 							if !wasDecided {
 								cancelledPending[o.task] = true
@@ -241,7 +254,10 @@ func TestBatchedStreamInvariants(t *testing.T) {
 					}
 					checkBooks(t, st, "after op")
 				}
-				res := st.Finish()
+				res, err := st.Finish()
+				if err != nil {
+					t.Fatalf("Finish: %v", err)
+				}
 				if windows == 0 {
 					t.Fatal("no window ever closed")
 				}
@@ -264,7 +280,10 @@ func TestBatchedStreamInvariants(t *testing.T) {
 // waiting in the open window.
 func checkBooks(t *testing.T, st *Stream, where string) {
 	t.Helper()
-	snap := st.Snapshot()
+	snap, err := st.Snapshot()
+	if err != nil {
+		t.Fatalf("%s: Snapshot: %v", where, err)
+	}
 	if got := snap.Served + snap.Rejected + snap.Cancelled + st.PendingTasks(); got != st.TaskCount() {
 		t.Fatalf("%s: books do not balance: served=%d rejected=%d cancelled=%d pending=%d, submitted=%d",
 			where, snap.Served, snap.Rejected, snap.Cancelled, st.PendingTasks(), st.TaskCount())
@@ -295,27 +314,38 @@ func TestBatchedStreamWindowLifecycle(t *testing.T) {
 	a := task(0, 0, 2, minutes(1), minutes(20), minutes(30), 10)
 	b := task(1, 1, 3, minutes(1), minutes(20), minutes(30), 10)
 	c := task(2, 0, 1, minutes(1), minutes(20), minutes(30), 10)
-	decA := st.SubmitTask(a)
+	decA, err := st.SubmitTask(a)
+	if err != nil {
+		t.Fatalf("SubmitTask: %v", err)
+	}
 	if !decA.Pending || decA.DecideAt != minutes(1)+30 {
 		t.Fatalf("first submission: %+v", decA)
 	}
 	if closeAt, open := st.BatchDue(); !open || closeAt != decA.DecideAt {
 		t.Fatalf("BatchDue = %g, %v", closeAt, open)
 	}
-	st.SubmitTask(b)
-	st.SubmitTask(c)
+	if _, err := st.SubmitTask(b); err != nil {
+		t.Fatalf("SubmitTask: %v", err)
+	}
+	if _, err := st.SubmitTask(c); err != nil {
+		t.Fatalf("SubmitTask: %v", err)
+	}
 	if st.PendingTasks() != 3 {
 		t.Fatalf("pending = %d, want 3", st.PendingTasks())
 	}
 	// Rider c thinks better of it while the window is open.
-	if _, ok := st.CancelTask(2, minutes(1)+5); !ok {
+	if _, ok, err := st.CancelTask(2, minutes(1)+5); err != nil {
+		t.Fatalf("CancelTask: %v", err)
+	} else if !ok {
 		t.Fatal("in-window cancel not honored")
 	}
 	if st.PendingTasks() != 2 {
 		t.Fatalf("pending after cancel = %d, want 2", st.PendingTasks())
 	}
 	// Advancing past the close decides the window.
-	st.AdvanceTo(minutes(2))
+	if err := st.AdvanceTo(minutes(2)); err != nil {
+		t.Fatalf("AdvanceTo: %v", err)
+	}
 	if len(decisions) != 2 || len(closes) != 1 {
 		t.Fatalf("decisions=%d closes=%d after advance", len(decisions), len(closes))
 	}
@@ -341,7 +371,10 @@ func TestBatchedStreamWindowLifecycle(t *testing.T) {
 	if _, open := st.BatchDue(); open {
 		t.Fatal("window still open after its close fired")
 	}
-	res := st.Finish()
+	res, err := st.Finish()
+	if err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
 	if res.Served+res.Rejected != 2 || res.Cancelled != 1 {
 		t.Fatalf("final result %+v", res)
 	}

@@ -51,15 +51,24 @@ func replayThroughStream(t *testing.T, e *Engine, d Dispatcher, tasks []model.Ta
 	}
 	for _, it := range feed {
 		if it.isTask {
-			dec := st.SubmitTask(tasks[it.task])
+			dec, err := st.SubmitTask(tasks[it.task])
+			if err != nil {
+				t.Fatalf("SubmitTask(%d): %v", it.task, err)
+			}
 			if dec.Task != it.task {
 				t.Fatalf("task registered under index %d, want %d", dec.Task, it.task)
 			}
 		} else {
-			st.CancelTask(it.task, it.at)
+			if _, _, err := st.CancelTask(it.task, it.at); err != nil {
+				t.Fatalf("CancelTask(%d): %v", it.task, err)
+			}
 		}
 	}
-	return st.Finish()
+	res, err := st.Finish()
+	if err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	return res
 }
 
 // TestStreamReplayBitIdenticalToRunScenario is the streaming half of
@@ -159,12 +168,17 @@ func TestStreamDynamicDriverAppend(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if dec := st.SubmitTask(task(0, 100)); dec.Assigned {
+			if dec, err := st.SubmitTask(task(0, 100)); err != nil {
+				t.Fatalf("SubmitTask: %v", err)
+			} else if dec.Assigned {
 				t.Fatalf("far-away driver took task: %+v", dec)
 			}
 			// Announced for t=200 while the market is at t=100: she is
 			// registered but invisible until her join fires.
-			idx := st.AddDriver(model.Driver{ID: 1, Source: base, Dest: near(0.02, 0.02), Start: 0, End: 7200}, 200)
+			idx, err := st.AddDriver(model.Driver{ID: 1, Source: base, Dest: near(0.02, 0.02), Start: 0, End: 7200}, 200)
+			if err != nil {
+				t.Fatalf("AddDriver: %v", err)
+			}
 			if idx != 1 || st.DriverCount() != 2 || st.PresentDrivers() != 1 {
 				t.Fatalf("after scheduled append: idx=%d drivers=%d present=%d", idx, st.DriverCount(), st.PresentDrivers())
 			}
@@ -173,21 +187,31 @@ func TestStreamDynamicDriverAppend(t *testing.T) {
 			// the platform does not know she exists yet.
 			early := task(1, 150)
 			early.StartBy = 900
-			if dec := st.SubmitTask(early); dec.Assigned {
+			if dec, err := st.SubmitTask(early); err != nil {
+				t.Fatalf("SubmitTask: %v", err)
+			} else if dec.Assigned {
 				t.Fatalf("pending driver dispatched before her join: %+v", dec)
 			}
-			dec := st.SubmitTask(task(2, 300))
+			dec, err := st.SubmitTask(task(2, 300))
+			if err != nil {
+				t.Fatalf("SubmitTask: %v", err)
+			}
 			if !dec.Assigned || dec.Driver != idx {
 				t.Fatalf("appended driver did not take the task: %+v", dec)
 			}
 			if st.PresentDrivers() != 2 {
 				t.Fatalf("present=%d after the join fired", st.PresentDrivers())
 			}
-			st.RetireDriver(idx, 300) // at the current instant: applied now
+			if err := st.RetireDriver(idx, 300); err != nil { // at the current instant: applied now
+				t.Fatalf("RetireDriver: %v", err)
+			}
 			if st.PresentDrivers() != 1 {
 				t.Fatalf("present=%d after retire", st.PresentDrivers())
 			}
-			res := st.Finish()
+			res, err := st.Finish()
+			if err != nil {
+				t.Fatalf("Finish: %v", err)
+			}
 			if res.Served != 1 || res.PerDriverTasks[idx] != 1 {
 				t.Fatalf("final result: %+v", res)
 			}
@@ -209,7 +233,9 @@ func TestStreamLateEventsClamp(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	st.AdvanceTo(40000)
+	if err := st.AdvanceTo(40000); err != nil {
+		t.Fatalf("AdvanceTo: %v", err)
+	}
 	if st.Now() != 40000 {
 		t.Fatalf("Now=%g after AdvanceTo", st.Now())
 	}
@@ -217,14 +243,19 @@ func TestStreamLateEventsClamp(t *testing.T) {
 	if early.Publish >= 40000 {
 		t.Fatalf("fixture broken: first task publishes at %g", early.Publish)
 	}
-	dec := st.SubmitTask(early)
+	dec, err := st.SubmitTask(early)
+	if err != nil {
+		t.Fatalf("SubmitTask: %v", err)
+	}
 	if dec.At != 40000 {
 		t.Fatalf("late submission decided at %g, want clamped 40000", dec.At)
 	}
 	if st.Now() != 40000 {
 		t.Fatalf("Now moved backwards to %g", st.Now())
 	}
-	st.Finish()
+	if _, err := st.Finish(); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
 }
 
 // TestStreamSnapshotTracksRun: the mid-run snapshot agrees with the
@@ -241,10 +272,18 @@ func TestStreamSnapshotTracksRun(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, task := range tr.Tasks {
-		st.SubmitTask(task)
+		if _, err := st.SubmitTask(task); err != nil {
+			t.Fatalf("SubmitTask: %v", err)
+		}
 	}
-	snap := st.Snapshot()
-	final := st.Finish()
+	snap, err := st.Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	final, err := st.Finish()
+	if err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
 	if snap.Served != final.Served || snap.Rejected != final.Rejected ||
 		snap.Revenue != final.Revenue || snap.TotalProfit != final.TotalProfit {
 		t.Fatalf("snapshot %+v diverges from final %+v", snap, final)

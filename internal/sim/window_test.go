@@ -256,12 +256,19 @@ func TestWindowScratchSurvivesFleetGrowth(t *testing.T) {
 			// Grow the fleet mid-day: the remaining drivers join at the
 			// stream's current time and are candidates from then on.
 			for _, d := range tr.Drivers[3:] {
-				st.AddDriver(d, st.Now())
+				if _, err := st.AddDriver(d, st.Now()); err != nil {
+					t.Fatalf("AddDriver: %v", err)
+				}
 			}
 		}
-		st.SubmitTask(task)
+		if _, err := st.SubmitTask(task); err != nil {
+			t.Fatalf("SubmitTask: %v", err)
+		}
 	}
-	res := st.Finish()
+	res, err := st.Finish()
+	if err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
 	if decided != len(tr.Tasks) {
 		t.Fatalf("decided %d of %d tasks", decided, len(tr.Tasks))
 	}

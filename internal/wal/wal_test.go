@@ -1,0 +1,370 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func appendAll(t *testing.T, l *Log, payloads ...[]byte) {
+	t.Helper()
+	for i, p := range payloads {
+		lsn, err := l.Append(p)
+		if err != nil {
+			t.Fatalf("Append(%d): %v", i, err)
+		}
+		_ = lsn
+	}
+}
+
+func mustRecover(t *testing.T, dir string) *Recovery {
+	t.Helper()
+	rec, err := Recover(dir)
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	return rec
+}
+
+func payloads(n int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = []byte(fmt.Sprintf("record-%04d-%s", i, string(make([]byte, i%7))))
+	}
+	return out
+}
+
+// TestAppendRecoverRoundTrip: every appended record comes back, in
+// order, with the right LSNs, across all fsync policies.
+func TestAppendRecoverRoundTrip(t *testing.T) {
+	for _, pol := range []FsyncPolicy{FsyncAlways, FsyncInterval, FsyncOff} {
+		t.Run(pol.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			l, err := Create(dir, Options{Fsync: pol, SyncInterval: 5 * time.Millisecond})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ps := payloads(100)
+			appendAll(t, l, ps...)
+			if got := l.NextLSN(); got != 100 {
+				t.Fatalf("NextLSN = %d, want 100", got)
+			}
+			if err := l.Close(); err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+			rec := mustRecover(t, dir)
+			if rec.TornTail || rec.Snapshot != nil || rec.SnapshotLSN != 0 {
+				t.Fatalf("unexpected recovery shape: %+v", rec)
+			}
+			if len(rec.Records) != 100 || rec.NextLSN != 100 {
+				t.Fatalf("recovered %d records, next %d", len(rec.Records), rec.NextLSN)
+			}
+			for i, r := range rec.Records {
+				if r.LSN != uint64(i) || !bytes.Equal(r.Data, ps[i]) {
+					t.Fatalf("record %d: LSN %d data %q", i, r.LSN, r.Data)
+				}
+			}
+		})
+	}
+}
+
+// TestSegmentRotation: a tiny segment bound forces rotation; recovery
+// stitches the chain back together and appending continues the LSNs.
+func TestSegmentRotation(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Create(dir, Options{SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := payloads(50)
+	appendAll(t, l, ps...)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _, err := listFiles(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 3 {
+		t.Fatalf("only %d segments; rotation never fired", len(segs))
+	}
+	rec := mustRecover(t, dir)
+	if len(rec.Records) != 50 {
+		t.Fatalf("recovered %d of 50 records across %d segments", len(rec.Records), len(segs))
+	}
+
+	// Reopen and append more: the sequence continues.
+	l, err = Open(dir, Options{SegmentBytes: 256})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if got := l.NextLSN(); got != 50 {
+		t.Fatalf("NextLSN after reopen = %d, want 50", got)
+	}
+	appendAll(t, l, payloads(25)...)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rec = mustRecover(t, dir)
+	if len(rec.Records) != 75 || rec.NextLSN != 75 {
+		t.Fatalf("after reopen: %d records, next %d", len(rec.Records), rec.NextLSN)
+	}
+}
+
+// TestSnapshotBoundsReplay: recovery returns the newest snapshot and
+// only the record suffix after it.
+func TestSnapshotBoundsReplay(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Create(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, l, payloads(10)...)
+	if err := l.WriteSnapshot([]byte("state@10")); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	appendAll(t, l, payloads(5)...)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rec := mustRecover(t, dir)
+	if string(rec.Snapshot) != "state@10" || rec.SnapshotLSN != 10 {
+		t.Fatalf("snapshot %q at %d", rec.Snapshot, rec.SnapshotLSN)
+	}
+	if len(rec.Records) != 5 || rec.Records[0].LSN != 10 {
+		t.Fatalf("suffix: %d records from LSN %d", len(rec.Records), rec.Records[0].LSN)
+	}
+}
+
+// TestSnapshotPruning: old snapshots and fully-covered segments are
+// removed; recovery still works from what remains.
+func TestSnapshotPruning(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Create(dir, Options{SegmentBytes: 128, KeepSnapshots: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 6; round++ {
+		appendAll(t, l, payloads(20)...)
+		if err := l.WriteSnapshot([]byte(fmt.Sprintf("state@%d", l.NextLSN()))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	appendAll(t, l, payloads(3)...)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, snaps, err := listFiles(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 2 {
+		t.Fatalf("%d snapshots retained, want 2", len(snaps))
+	}
+	all := 0
+	for _, s := range segs {
+		_ = s
+		all++
+	}
+	// 120 tiny records at 128-byte segments is many segments; pruning
+	// must have dropped the fully-covered prefix.
+	if all > 8 {
+		t.Fatalf("%d segments survive pruning", all)
+	}
+	rec := mustRecover(t, dir)
+	if rec.SnapshotLSN != 120 || string(rec.Snapshot) != "state@120" {
+		t.Fatalf("newest snapshot at %d: %q", rec.SnapshotLSN, rec.Snapshot)
+	}
+	if len(rec.Records) != 3 {
+		t.Fatalf("suffix of %d records, want 3", len(rec.Records))
+	}
+}
+
+// TestCorruptSnapshotFallsBack: a snapshot with flipped bits is skipped
+// in favour of the previous one, with the correspondingly longer record
+// suffix.
+func TestCorruptSnapshotFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Create(dir, Options{KeepSnapshots: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, l, payloads(4)...)
+	if err := l.WriteSnapshot([]byte("good@4")); err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, l, payloads(4)...)
+	if err := l.WriteSnapshot([]byte("bad@8")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	corruptFile(t, filepath.Join(dir, fmt.Sprintf(snapPattern, 8)), -1)
+	rec := mustRecover(t, dir)
+	if string(rec.Snapshot) != "good@4" || rec.SnapshotLSN != 4 {
+		t.Fatalf("fallback snapshot %q at %d", rec.Snapshot, rec.SnapshotLSN)
+	}
+	if len(rec.Records) != 4 {
+		t.Fatalf("suffix of %d records, want 4", len(rec.Records))
+	}
+}
+
+// corruptFile flips one bit of the file; off<0 counts from the end.
+func corruptFile(t *testing.T, path string, off int64) {
+	t.Helper()
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off < 0 {
+		off += int64(len(buf))
+	}
+	buf[off] ^= 0x40
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCorruptInteriorIsErrCorrupt: flipped bits before the final record
+// are unrecoverable and typed ErrCorrupt, not ErrCorruptTail.
+func TestCorruptInteriorIsErrCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Create(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := payloads(10)
+	appendAll(t, l, ps...)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a bit in the middle of the file: some interior record breaks.
+	seg := filepath.Join(dir, fmt.Sprintf(segPattern, 0))
+	fi, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corruptFile(t, seg, fi.Size()/2)
+	_, rerr := Recover(dir)
+	if !errors.Is(rerr, ErrCorrupt) {
+		t.Fatalf("Recover = %v, want ErrCorrupt", rerr)
+	}
+	if errors.Is(rerr, ErrCorruptTail) {
+		t.Fatalf("interior corruption misclassified as tail corruption")
+	}
+	if _, err := Open(dir, Options{}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Open = %v, want ErrCorrupt", err)
+	}
+	// Repair refuses interior damage.
+	if _, err := Repair(dir); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Repair = %v, want refusal with ErrCorrupt", err)
+	}
+}
+
+// TestRepairDropsCorruptTail: a corrupt final record is surfaced typed,
+// Repair truncates exactly it, and recovery then returns the clean
+// prefix.
+func TestRepairDropsCorruptTail(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Create(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := payloads(10)
+	appendAll(t, l, ps...)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	corruptFile(t, filepath.Join(dir, fmt.Sprintf(segPattern, 0)), -2)
+	if _, err := Recover(dir); !errors.Is(err, ErrCorruptTail) {
+		t.Fatalf("Recover = %v, want ErrCorruptTail", err)
+	}
+	dropped, err := Repair(dir)
+	if err != nil || dropped <= 0 {
+		t.Fatalf("Repair = %d, %v", dropped, err)
+	}
+	rec := mustRecover(t, dir)
+	if len(rec.Records) != 9 || rec.NextLSN != 9 {
+		t.Fatalf("after repair: %d records, next %d", len(rec.Records), rec.NextLSN)
+	}
+}
+
+// TestCreateOnExistingLogFails and open/recover on nothing.
+func TestCreateOpenEdges(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Create(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	if _, err := Create(dir, Options{}); !errors.Is(err, ErrExists) {
+		t.Fatalf("second Create = %v, want ErrExists", err)
+	}
+	empty := t.TempDir()
+	if _, err := Recover(empty); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Recover(empty) = %v, want ErrNotFound", err)
+	}
+	if _, err := Open(empty, Options{}); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Open(empty) = %v, want ErrNotFound", err)
+	}
+	if _, err := Recover(filepath.Join(empty, "missing")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Recover(missing) = %v, want ErrNotFound", err)
+	}
+}
+
+// TestClosedLogRefuses: appends and snapshots after Close are typed.
+func TestClosedLogRefuses(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Create(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if _, err := l.Append([]byte("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Append after Close = %v", err)
+	}
+	if err := l.WriteSnapshot([]byte("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("WriteSnapshot after Close = %v", err)
+	}
+	if err := l.Sync(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Sync after Close = %v", err)
+	}
+}
+
+// TestStatsCount: the append-path counters move.
+func TestStatsCount(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Create(dir, Options{Fsync: FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, l, payloads(7)...)
+	st := l.Stats()
+	if st.Records != 7 || st.Bytes <= 0 || st.Syncs < 7 {
+		t.Fatalf("stats %+v", st)
+	}
+	l.Close()
+}
+
+// TestParseFsyncPolicy round-trips the CLI names.
+func TestParseFsyncPolicy(t *testing.T) {
+	for _, p := range []FsyncPolicy{FsyncAlways, FsyncInterval, FsyncOff} {
+		got, err := ParseFsyncPolicy(p.String())
+		if err != nil || got != p {
+			t.Fatalf("round trip %v: %v, %v", p, got, err)
+		}
+	}
+	if _, err := ParseFsyncPolicy("sometimes"); err == nil {
+		t.Fatal("bad policy accepted")
+	}
+}

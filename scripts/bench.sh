@@ -29,12 +29,20 @@
 #     regret and competitive ratio per policy per fleet size, with
 #     solver wall time and allocations per component across a {1,2,4}
 #     worker sweep that must stay bit-identical.
+#   BENCH_8.json — the durability trajectory: the same batched day
+#     replayed in-memory vs journaled through the write-ahead log under
+#     each fsync policy (off / interval / always), with per-submission
+#     latency percentiles and the log's on-disk size, plus Restore
+#     timings per snapshot cadence. Acceptance bar: fsync=interval
+#     costs ≤ 25% tasks/sec on the largest fleet. Every journaled leg
+#     must settle the in-memory books — the suite doubles as a
+#     crash-replay differential at bench scale.
 #
 # All are machine-readable JSON so perf changes diff against a fixed
 # trajectory.
 #
 # Usage: scripts/bench.sh [extra `rideshare bench` flags]
-# Output: BENCH_2.json through BENCH_7.json at the repository root.
+# Output: BENCH_2.json through BENCH_8.json at the repository root.
 #
 # Extra flags apply to the dispatch run only — forwarding them to the
 # streaming runs too would let a user -out/-shards override clobber the
@@ -47,4 +55,5 @@ go run ./cmd/rideshare bench -streaming -shards 4 -out BENCH_3.json
 go run ./cmd/rideshare bench -batched -shards 4 -out BENCH_4.json
 go run ./cmd/rideshare bench -windows -tasks 12000 -batch-window 300 -shards 4 -out BENCH_5.json
 go run ./cmd/rideshare bench -windows -maxprocs 1,2,4,0 -tasks 12000 -batch-window 300 -shards 4 -out BENCH_6.json
-exec go run ./cmd/rideshare bench -oracle -tasks 12000 -batch-window 60 -match-workers 4 -out BENCH_7.json
+go run ./cmd/rideshare bench -oracle -tasks 12000 -batch-window 60 -match-workers 4 -out BENCH_7.json
+exec go run ./cmd/rideshare bench -durable -out BENCH_8.json

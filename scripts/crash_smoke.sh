@@ -1,0 +1,106 @@
+#!/usr/bin/env sh
+# Crash-recovery smoke test, the way CI (and an unlucky operator) would
+# hit it: run a durable `rideshare serve -wal-dir`, push real load
+# through HTTP, kill the process with SIGKILL mid-day — no flush, no
+# goodbye — restart on the same log, and require the recovered books to
+# match the books observed just before the kill. A second leg does the
+# same to one market of a federated router via its rolling-restart
+# endpoint while a neighbor market keeps serving.
+#
+# Usage: scripts/crash_smoke.sh [port]
+set -eu
+cd "$(dirname "$0")/.."
+PORT="${1:-18090}"
+BASE="http://127.0.0.1:$PORT"
+
+go build -o /tmp/rideshare-crash ./cmd/rideshare
+
+WALROOT=$(mktemp -d /tmp/rideshare-crash-wal.XXXXXX)
+trap 'rm -rf "$WALROOT"; kill "$SERVE_PID" 2>/dev/null || true' EXIT
+
+wait_healthz() {
+  i=0
+  until curl -sf "$BASE/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -ge 50 ]; then
+      echo "crash_smoke: server did not come up on port $PORT" >&2
+      exit 1
+    fi
+    sleep 0.1
+  done
+}
+
+# books extracts the replay-deterministic fields of a stats body —
+# process-local operational counters (feed drops) are excluded.
+books() {
+  sed -n 's/.*"now":\([0-9.e+-]*\).*"tasks":\([0-9]*\),"served":\([0-9]*\),"rejected":\([0-9]*\),"cancelled":\([0-9]*\).*"revenue":\([0-9.e+-]*\).*/now=\1 tasks=\2 served=\3 rejected=\4 cancelled=\5 revenue=\6/p'
+}
+
+## Leg 1: single durable market, SIGKILL, restart on the same log.
+/tmp/rideshare-crash serve -addr "127.0.0.1:$PORT" -drivers 300 \
+  -wal-dir "$WALROOT/solo" -fsync interval &
+SERVE_PID=$!
+wait_healthz
+echo "crash_smoke: durable serve up"
+
+/tmp/rideshare-crash loadgen -addr "$BASE" -tasks 150 -workers 4 -cancel 0.1 >/dev/null
+
+BEFORE=$(curl -sf "$BASE/v1/stats" | books)
+[ -n "$BEFORE" ] || { echo "crash_smoke: could not parse pre-crash stats" >&2; exit 1; }
+
+kill -9 "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+echo "crash_smoke: killed -9 mid-day ($BEFORE)"
+
+/tmp/rideshare-crash serve -addr "127.0.0.1:$PORT" -wal-dir "$WALROOT/solo" &
+SERVE_PID=$!
+wait_healthz
+AFTER=$(curl -sf "$BASE/v1/stats" | books)
+if [ "$BEFORE" != "$AFTER" ]; then
+  echo "crash_smoke: recovery diverged" >&2
+  echo "  before: $BEFORE" >&2
+  echo "  after:  $AFTER" >&2
+  exit 1
+fi
+echo "crash_smoke: replay identical after SIGKILL"
+
+# The survivor still takes traffic (IDs offset past the replayed day).
+/tmp/rideshare-crash loadgen -addr "$BASE" -tasks 50 -id-base 150 -workers 2 >/dev/null
+kill -INT "$SERVE_PID"
+wait "$SERVE_PID"
+echo "crash_smoke: recovered market served on and shut down cleanly"
+
+## Leg 2: federated router — rolling restart of one market through WAL
+## recovery while its neighbor keeps serving.
+/tmp/rideshare-crash router -addr "127.0.0.1:$PORT" -markets porto,lisbon \
+  -drivers 300 -wal-dir "$WALROOT/fed" -fsync interval &
+SERVE_PID=$!
+wait_healthz
+echo "crash_smoke: router up"
+
+/tmp/rideshare-crash loadgen -addr "$BASE" -market porto -tasks 100 -workers 4 >/dev/null
+
+BEFORE=$(curl -sf "$BASE/v1/markets/porto/stats" | books)
+curl -sf -X POST "$BASE/v1/markets/porto/restart" >/dev/null
+AFTER=$(curl -sf "$BASE/v1/markets/porto/stats" | books)
+if [ "$BEFORE" != "$AFTER" ]; then
+  echo "crash_smoke: rolling restart diverged" >&2
+  echo "  before: $BEFORE" >&2
+  echo "  after:  $AFTER" >&2
+  exit 1
+fi
+echo "crash_smoke: rolling restart preserved porto's books"
+
+# The restarted market and its neighbor both still take traffic.
+/tmp/rideshare-crash loadgen -addr "$BASE" -market porto -tasks 30 -id-base 100 -workers 2 >/dev/null
+/tmp/rideshare-crash loadgen -addr "$BASE" -market lisbon -tasks 30 -workers 2 >/dev/null
+curl -sf "$BASE/healthz" | grep -q '"status":"ok"' || {
+  echo "crash_smoke: federation unhealthy after restart" >&2
+  exit 1
+}
+
+kill -INT "$SERVE_PID"
+wait "$SERVE_PID"
+trap - EXIT
+rm -rf "$WALROOT"
+echo "crash_smoke: all legs passed"
