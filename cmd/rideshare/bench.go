@@ -72,6 +72,15 @@ type benchResult struct {
 	Fsync         string `json:"fsync,omitempty"`
 	SnapshotEvery int    `json:"snapshot_every,omitempty"`
 	WALBytes      int64  `json:"wal_bytes,omitempty"`
+	// The -roadnet suite's column family: which distance metric the leg
+	// ran under, the street graph's measured circuity (network over
+	// crow-fly distance across sampled node pairs), the route cache's
+	// cold-day hit rate, and the leg's revenue relative to the crow-fly
+	// baseline at the same fleet size.
+	Metric             string  `json:"metric,omitempty"`
+	Circuity           float64 `json:"circuity,omitempty"`
+	CacheHitRate       float64 `json:"cache_hit_rate,omitempty"`
+	RevenueDeltaVsCrow float64 `json:"revenue_delta_vs_crowfly,omitempty"`
 }
 
 // benchReport is the top-level JSON document.
@@ -98,7 +107,7 @@ func parseIntList(s string) ([]int, error) {
 
 func cmdBench(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
-	out := fs.String("out", "", "output JSON file (- for stdout; default BENCH_2.json, BENCH_3.json with -streaming, BENCH_4.json with -batched, BENCH_5.json with -windows, BENCH_7.json with -oracle, or BENCH_8.json with -durable)")
+	out := fs.String("out", "", "output JSON file (- for stdout; default BENCH_2.json, BENCH_3.json with -streaming, BENCH_4.json with -batched, BENCH_5.json with -windows, BENCH_7.json with -oracle, BENCH_8.json with -durable, or BENCH_9.json with -roadnet)")
 	tasks := fs.Int("tasks", 1000, "orders per simulated day")
 	driversList := fs.String("drivers", "10000,50000", "comma-separated fleet sizes")
 	shardsList := fs.String("shards", "1,2,4,8", "comma-separated shard counts to time")
@@ -109,6 +118,7 @@ func cmdBench(args []string) error {
 	windows := fs.Bool("windows", false, "measure window-clearing kernels: dense whole-matrix vs sparse component-decomposed solve of the same batched day, with per-task allocation accounting")
 	oracle := fs.Bool("oracle", false, "run the offline-optimum oracle suite: three online policies vs the warm-started sparse branch and bound on the same churned day, with a {1,2,4}-worker determinism sweep")
 	durable := fs.Bool("durable", false, "price the durability rail: the same batched day in-memory vs journaled under each fsync policy, plus Restore timings per snapshot cadence")
+	roadnetSuite := fs.Bool("roadnet", false, "price the road-network distance rail: the same batched day under crow-fly vs street-graph shortest paths vs network+live-surge on a spiked trace, with a shard × match-worker identity sweep per leg")
 	snapIntervalsList := fs.String("snap-intervals", "16,256,4096", "comma-separated snapshot cadences for the -durable suite's recovery legs")
 	churn := fs.Float64("churn", 0.2, "driver churn fraction for the -oracle suite")
 	cancel := fs.Float64("cancel", 0.15, "rider cancellation fraction for the -oracle suite")
@@ -141,13 +151,16 @@ func cmdBench(args []string) error {
 		return fmt.Errorf("bench: -windows needs a positive -batch-window, got %g", *batchWindow)
 	}
 	suites := 0
-	for _, on := range []bool{*streaming, *batched, *windows, *oracle, *durable} {
+	for _, on := range []bool{*streaming, *batched, *windows, *oracle, *durable, *roadnetSuite} {
 		if on {
 			suites++
 		}
 	}
 	if suites > 1 {
-		return fmt.Errorf("bench: -streaming, -batched, -windows, -oracle and -durable are separate suites; pick one")
+		return fmt.Errorf("bench: -streaming, -batched, -windows, -oracle, -durable and -roadnet are separate suites; pick one")
+	}
+	if *roadnetSuite && *batchWindow == 0 {
+		return fmt.Errorf("bench: -roadnet needs a positive -batch-window, got %g", *batchWindow)
 	}
 	var snapIntervals []int
 	if *durable {
@@ -250,6 +263,16 @@ func cmdBench(args []string) error {
 		if *durable {
 			*out = "BENCH_8.json"
 		}
+		if *roadnetSuite {
+			*out = "BENCH_9.json"
+		}
+	}
+	if *roadnetSuite {
+		simAlgo := sim.BatchHungarian
+		if batchPolicy == dispatch.Auction {
+			simAlgo = sim.BatchAuction
+		}
+		return benchRoadnet(*out, *tasks, driverCounts, *reps, *seed, *batchWindow, simAlgo)
 	}
 	if *durable {
 		return benchDurable(*out, *tasks, driverCounts, *reps, *seed,

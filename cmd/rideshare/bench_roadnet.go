@@ -1,0 +1,157 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"reflect"
+	"runtime"
+	"sort"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/pricing"
+	"repro/internal/roadnet"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// benchRoadnet prices the road-network distance rail: the same batched
+// day is timed under the crow-fly metric, under street-graph shortest
+// paths (the ALT router with its singleflight route cache), and under
+// the network metric with a live surge pricer fed from an
+// airport-spike trace. Each leg sweeps shard × match-worker
+// configurations that must settle bit-identically — the network metric
+// and the live pricing feed both ride the deterministic event drain —
+// and the harness errors out if any diverges, if the generated graph's
+// measured circuity leaves the plausible urban band [1.1, 1.6], or if
+// the route cache serves less than 90% of lookups on the largest day.
+func benchRoadnet(out string, tasks int, driverCounts []int, reps int, seed int64,
+	window float64, algo sim.BatchAlgorithm) error {
+	report := benchReport{
+		Schema:     "rideshare-bench/v1",
+		Command:    fmt.Sprintf("rideshare bench -roadnet -batch-window %g", window),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Reps:       reps,
+	}
+
+	maxDrivers := 0
+	for _, d := range driverCounts {
+		if d > maxDrivers {
+			maxDrivers = d
+		}
+	}
+	sweep := [][2]int{{1, 1}, {2, 2}, {4, 4}}
+
+	for _, drivers := range driverCounts {
+		cfg := trace.NewConfig(seed, tasks, drivers, trace.Hitchhiking)
+		plain := trace.NewGenerator(cfg).Generate(nil)
+		spikeCfg := cfg
+		spikeCfg.Spikes = []trace.Spike{trace.AirportEveningSpike()}
+		spiked := trace.NewGenerator(spikeCfg).Generate(nil)
+
+		crowRevenue := 0.0
+
+		for _, l := range []struct {
+			metric  string
+			network bool
+			surge   bool
+		}{
+			{"crowfly", false, false},
+			{"network", true, false},
+			{"network-surge", true, true},
+		} {
+			tr := plain
+			if l.surge {
+				tr = spiked
+			}
+			var baseRes sim.Result
+			for ci, sw := range sweep {
+				shards, workers := sw[0], sw[1]
+
+				var router *roadnet.Router
+				mkt := cfg.Market
+				if l.network {
+					g, err := roadnet.GenerateGrid(roadnet.DefaultGridConfig())
+					if err != nil {
+						return fmt.Errorf("bench: roadnet graph: %w", err)
+					}
+					router = roadnet.NewRouter(g, geo.PortoBox, 0)
+					mkt.Dist = router.Dist
+				}
+				eng, err := sim.New(mkt, tr.Drivers, 1)
+				if err != nil {
+					return err
+				}
+				eng.SetCandidateSource(sim.NewShardedSource(shards))
+				eng.MatchWorkers = workers
+				if l.surge {
+					surge := pricing.NewSurge(pricing.NewLinear(mkt, 1), geo.NewGrid(cfg.Box, 10, 10), 3)
+					eng.SetLivePricer(surge, 0.7, 0.5)
+				}
+
+				var res sim.Result
+				var hitRate float64
+				times := make([]float64, 0, reps)
+				for r := 0; r < reps; r++ {
+					start := time.Now()
+					res = eng.RunBatched(tr.Tasks, window, algo)
+					times = append(times, time.Since(start).Seconds())
+					if r == 0 && router != nil {
+						// The cold first day is the honest hit rate;
+						// later reps replay a warm cache.
+						hits, misses, _ := router.CacheStats()
+						if hits+misses > 0 {
+							hitRate = float64(hits) / float64(hits+misses)
+						}
+					}
+				}
+				sort.Float64s(times)
+				median := times[len(times)/2]
+
+				if ci == 0 {
+					baseRes = res
+				} else if !reflect.DeepEqual(baseRes, res) {
+					return fmt.Errorf("bench: roadnet %s leg diverged at shards=%d workers=%d: served %d vs %d, revenue %.9f vs %.9f — this is a bug",
+						l.metric, shards, workers, res.Served, baseRes.Served, res.Revenue, baseRes.Revenue)
+				}
+				if l.metric == "crowfly" && ci == 0 {
+					crowRevenue = res.Revenue
+				}
+
+				row := benchResult{
+					Name:        fmt.Sprintf("roadnet/drivers=%d/%s/shards=%d,workers=%d", drivers, l.metric, shards, workers),
+					Drivers:     drivers,
+					Tasks:       tasks,
+					Source:      "sharded",
+					Shards:      shards,
+					Workers:     workers,
+					Metric:      l.metric,
+					Seconds:     median,
+					TasksPerSec: float64(tasks) / median,
+					Served:      res.Served,
+					Revenue:     res.Revenue,
+				}
+				if router != nil {
+					circ := router.Circuity(300)
+					if circ < 1.1 || circ > 1.6 {
+						return fmt.Errorf("bench: roadnet circuity %.3f outside the urban band [1.1, 1.6] — the generated graph is implausible", circ)
+					}
+					row.Circuity = circ
+					row.CacheHitRate = hitRate
+					if drivers >= maxDrivers && maxDrivers >= 50000 && hitRate < 0.90 {
+						return fmt.Errorf("bench: route-cache hit rate %.3f below 0.90 on the %d-driver day — the cache is not absorbing the workload", hitRate, drivers)
+					}
+					if crowRevenue != 0 {
+						row.RevenueDeltaVsCrow = res.Revenue/crowRevenue - 1
+					}
+				}
+				report.Results = append(report.Results, row)
+				fmt.Fprintf(os.Stderr, "%-58s %8.3fs  %8.0f tasks/s  served %d\n",
+					row.Name, median, row.TasksPerSec, res.Served)
+			}
+		}
+	}
+
+	return writeBenchReport(out, report)
+}

@@ -80,6 +80,7 @@ func cmdServe(args []string) error {
 	batchAlgo := fs.String("batch-algo", "hungarian", "batched dispatch solver: hungarian or auction")
 	matchWorkers := fs.Int("match-workers", 1, "concurrent solvers for a batch window's independent components (identical assignments, higher throughput; needs -batch-window)")
 	maxPending := fs.Int("max-pending", 0, "admission bound: shed submissions with 429 once the open batch window (batched) or the submissions in flight (instant) reach this many (0 = unbounded)")
+	useRoadnet := fs.Bool("roadnet", false, "route every distance over the synthetic street graph instead of crow-fly (network-accurate travel times; journals with -wal-dir)")
 	pprofAddr := fs.String("pprof-addr", "", "optional listen address for a net/http/pprof debug server (e.g. localhost:6060) with mutex profiling enabled; empty disables it")
 	walDir := fs.String("wal-dir", "", "durable mode: write-ahead-log directory; an existing log is recovered and the market resumes where it stopped")
 	fsyncMode := fs.String("fsync", "always", "WAL fsync policy: always, interval or off (needs -wal-dir)")
@@ -172,6 +173,9 @@ func cmdServe(args []string) error {
 	if *maxPending > 0 {
 		opts = append(opts, dispatch.WithMaxPending(*maxPending))
 	}
+	if *useRoadnet {
+		opts = append(opts, dispatch.WithRoadNetwork(dispatch.RoadNetwork{}))
+	}
 	var svc *dispatch.Service
 	restored := false
 	if *walDir != "" {
@@ -240,6 +244,9 @@ func cmdServe(args []string) error {
 		mode := fmt.Sprintf("policy %v", policy)
 		if *batchWindow > 0 {
 			mode = fmt.Sprintf("batched %gs/%v", *batchWindow, batchPolicy)
+		}
+		if *useRoadnet {
+			mode += ", street-graph metric"
 		}
 		fmt.Fprintf(os.Stderr, "serve: %d drivers, %s, shards %d, listening on %s\n",
 			len(market.Drivers), mode, *shards, *addr)

@@ -259,6 +259,19 @@ func New(m Market, opts ...Option) (*Service, error) {
 	if m.GasPerKm != 0 {
 		mkt.GasPerKm = m.GasPerKm
 	}
+	switch {
+	case cfg.distFunc != nil:
+		if cfg.durDir != "" {
+			return nil, fmt.Errorf("%w: WithDistanceFunc cannot be journaled; a durable service needs WithRoadNetwork", ErrInvalidOption)
+		}
+		mkt.Dist = cfg.distFunc
+	case cfg.roadnet != nil:
+		router, rerr := cfg.roadnet.build()
+		if rerr != nil {
+			return nil, rerr
+		}
+		mkt.Dist = router.Dist
+	}
 
 	s := &Service{
 		strict:     cfg.strict,

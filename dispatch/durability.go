@@ -65,6 +65,11 @@ type configFingerprint struct {
 	BatchWindow  float64 `json:"batch_window,omitempty"`
 	BatchAlgo    string  `json:"batch_algo,omitempty"`
 	MaxPending   int     `json:"max_pending,omitempty"`
+	// RoadNetwork, when present, is the normalized street-graph metric
+	// configuration; Restore rebuilds the identical seeded graph and
+	// router from it. A caller-supplied WithDistanceFunc has no durable
+	// image and is rejected at construction instead.
+	RoadNetwork *RoadNetwork `json:"road_network,omitempty"`
 }
 
 func fingerprint(c config) configFingerprint {
@@ -80,6 +85,10 @@ func fingerprint(c config) configFingerprint {
 	}
 	if c.batchWindow > 0 {
 		fp.BatchAlgo = c.batchAlgo.String()
+	}
+	if c.roadnet != nil {
+		rn := *c.roadnet
+		fp.RoadNetwork = &rn
 	}
 	return fp
 }
@@ -112,6 +121,9 @@ func (fp configFingerprint) options() ([]Option, error) {
 	}
 	if fp.MaxPending > 0 {
 		opts = append(opts, WithMaxPending(fp.MaxPending))
+	}
+	if fp.RoadNetwork != nil {
+		opts = append(opts, WithRoadNetwork(*fp.RoadNetwork))
 	}
 	return opts, nil
 }

@@ -5,6 +5,7 @@ import (
 	"math"
 	"time"
 
+	"repro/internal/geo"
 	"repro/internal/online"
 	"repro/internal/sim"
 )
@@ -154,6 +155,9 @@ type config struct {
 	batchWindow  float64 // 0: instant dispatch
 	batchAlgo    BatchAlgorithm
 	maxPending   int // 0: unbounded admission
+
+	roadnet  *RoadNetwork     // non-nil: street-graph metric (see WithRoadNetwork)
+	distFunc geo.DistanceFunc // non-nil: caller-supplied metric, not journalable
 
 	durDir string    // "": in-memory service, no write-ahead log
 	dur    durConfig // durability knobs (see WithDurability)

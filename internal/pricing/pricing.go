@@ -16,6 +16,7 @@ package pricing
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/geo"
 	"repro/internal/model"
@@ -70,14 +71,20 @@ func (l *Linear) Price(t model.Task) float64 {
 //
 // smoothed over the zone's Moore neighborhood so that adjacent zones do
 // not see discontinuous fares.
+//
+// Surge honors the Pricer concurrency contract: Observe*, Decay and
+// Reset take the write lock while Multiplier and Price take the read
+// lock, so a live engine may feed observations while HTTP handlers (or
+// match workers) price concurrently. Base, Grid and MaxAlpha are
+// read-only after construction.
 type Surge struct {
 	Base     *Linear
 	Grid     *geo.Grid
 	MaxAlpha float64
 
-	// demand[c] and supply[c] are the current per-cell counts. They are
-	// updated via Observe* and read by Price; the simulator drives both
-	// from a single goroutine.
+	// mu guards demand and supply: the current per-cell counts, updated
+	// via Observe*/Decay/Reset and read by Multiplier/Price.
+	mu     sync.RWMutex
 	demand []float64
 	supply []float64
 }
@@ -102,32 +109,54 @@ func NewSurge(base *Linear, grid *geo.Grid, maxAlpha float64) *Surge {
 
 // ObserveDemand records demand mass (e.g. one published task) at p.
 func (s *Surge) ObserveDemand(p geo.Point, weight float64) {
-	s.demand[s.Grid.CellOf(p)] += weight
+	cell := s.Grid.CellOf(p)
+	s.mu.Lock()
+	s.demand[cell] += weight
+	s.mu.Unlock()
 }
 
 // ObserveSupply records supply mass (e.g. one idle driver) at p.
 func (s *Surge) ObserveSupply(p geo.Point, weight float64) {
-	s.supply[s.Grid.CellOf(p)] += weight
+	cell := s.Grid.CellOf(p)
+	s.mu.Lock()
+	s.supply[cell] += weight
+	s.mu.Unlock()
 }
 
 // Decay exponentially ages all demand/supply observations by factor
 // gamma in (0, 1]; the simulator calls it between time buckets so that
 // surge reflects recent imbalance rather than the whole day.
 func (s *Surge) Decay(gamma float64) {
+	s.mu.Lock()
 	for i := range s.demand {
 		s.demand[i] *= gamma
 		s.supply[i] *= gamma
 	}
+	s.mu.Unlock()
+}
+
+// Reset zeroes all demand/supply observations, returning the pricer to
+// its as-constructed state. The engine calls it at the start of every
+// run so repeated days are bit-identical.
+func (s *Surge) Reset() {
+	s.mu.Lock()
+	for i := range s.demand {
+		s.demand[i] = 0
+		s.supply[i] = 0
+	}
+	s.mu.Unlock()
 }
 
 // Multiplier returns the current surge multiplier α at p.
 func (s *Surge) Multiplier(p geo.Point) float64 {
 	cell := s.Grid.CellOf(p)
+	s.mu.RLock()
 	d, su := s.demand[cell], s.supply[cell]
 	for _, nb := range s.Grid.Neighbors(cell) {
 		d += 0.5 * s.demand[nb]
 		su += 0.5 * s.supply[nb]
 	}
+	s.mu.RUnlock()
 	if su < 1 {
 		su = 1 // avoid division blow-up in empty zones
 	}

@@ -1,117 +1,274 @@
 package roadnet
 
 import (
+	"math"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/geo"
 )
 
 // Router adapts a road graph to the framework's geo.DistanceFunc
 // contract: Dist(a, b) snaps both points to their nearest intersections,
-// routes between them, and adds the straight-line access legs. Results
-// are memoized per node pair, so the O(M²) task-map construction pays
-// each route once.
+// routes between them with landmark-accelerated A*, and adds the
+// straight-line access legs. Route results are memoized in a bounded,
+// sharded cache with per-key inflight de-duplication, so the O(M²)
+// task-map construction and 50k-driver dispatch days pay each route
+// once without growing memory without bound.
+//
+// Dist never returns less than the straight-line distance between its
+// arguments, so crow-fly ring pruning (internal/spatial) stays
+// admissible under the network metric.
+//
+// The snap grid's ring-search termination bound assumes the box passed
+// to NewRouter covers the graph's nodes, which the generators in this
+// package guarantee.
 //
 // Router is safe for concurrent use.
 type Router struct {
-	g *Graph
+	g  *Graph
+	lm *Landmarks
 
 	// snap index: grid buckets of node ids.
 	grid    *geo.Grid
 	buckets [][]int32
+	spanKm  float64 // conservative min cell span, for ring termination
 
-	mu    sync.Mutex
-	cache map[[2]int32]float64
+	maxPerShard int64
+	shards      [routeCacheShards]routeShard
+
+	hits, misses, evictions atomic.Uint64
+}
+
+const (
+	// routeCacheShards is the number of independently locked cache
+	// shards; node-pair keys hash across them so concurrent match
+	// workers rarely contend.
+	routeCacheShards = 16
+
+	// DefaultCacheEntries bounds the route cache. A city graph with n
+	// intersections has at most n² routable pairs (~230k for the
+	// default 20×24 grid), so the default never evicts there while
+	// still capping memory (~48 MiB of entries) on huge graphs.
+	DefaultCacheEntries = 1 << 20
+
+	// defaultLandmarks is the number of ALT landmarks precomputed by
+	// NewRouter. Eight well-spread landmarks are the classic
+	// sweet spot: ~16 Dijkstra sweeps of preprocessing for a heuristic
+	// that already prices in circuity.
+	defaultLandmarks = 8
+)
+
+// routeShard is one lock-striped slice of the route cache.
+type routeShard struct {
+	mu       sync.Mutex
+	entries  map[[2]int32]float64
+	fifo     [][2]int32 // insertion order, for FIFO eviction
+	inflight map[[2]int32]*routeCall
+}
+
+// routeCall is a single in-flight route computation; concurrent misses
+// on the same key wait on done instead of recomputing.
+type routeCall struct {
+	done chan struct{}
+	d    float64
 }
 
 // NewRouter builds a router over the graph, indexing nodes into an
-// s x s snap grid covering box.
+// s x s snap grid covering box and precomputing ALT landmarks. The
+// route cache holds up to DefaultCacheEntries routes; tune with
+// SetCacheBound before use.
 func NewRouter(g *Graph, box geo.BoundingBox, s int) *Router {
 	if s < 1 {
 		s = 8
 	}
 	r := &Router{
-		g:     g,
-		grid:  geo.NewGrid(box, s, s),
-		cache: make(map[[2]int32]float64),
+		g:    g,
+		grid: geo.NewGrid(box, s, s),
 	}
+	r.maxPerShard = ceilDiv(DefaultCacheEntries, routeCacheShards)
+	h, w := r.grid.CellSpanKm()
+	r.spanKm = math.Min(h, w)
 	r.buckets = make([][]int32, r.grid.NumCells())
 	for id := 0; id < g.NumNodes(); id++ {
 		c := r.grid.CellOf(g.Point(id))
 		r.buckets[c] = append(r.buckets[c], int32(id))
 	}
+	r.lm = NewLandmarks(g, g.SelectLandmarks(defaultLandmarks))
 	return r
 }
 
-// NearestNode returns the graph node closest to p, searching the
-// point's snap cell and growing to its neighbors (then everything) as
-// needed.
+// SetCacheBound caps the route cache at roughly maxEntries memoized
+// node pairs (rounded up to a multiple of the shard count; at least one
+// per shard). Call before routing; it does not shrink an existing
+// cache.
+func (r *Router) SetCacheBound(maxEntries int) {
+	if maxEntries < 1 {
+		maxEntries = 1
+	}
+	r.maxPerShard = ceilDiv(int64(maxEntries), routeCacheShards)
+}
+
+func ceilDiv(n, d int64) int64 { return (n + d - 1) / d }
+
+// NearestNode returns the graph node closest to p (-1 on an empty
+// graph). It searches the snap grid in expanding Chebyshev rings around
+// p's cell and stops only when the next ring cannot possibly hold a
+// closer node: any point in a cell r rings away is at least
+// (r-1)·min(cell height, cell width) from p, the same conservative
+// bound internal/spatial uses. A populated-but-farther Moore
+// neighborhood therefore never masks the true nearest node in a later
+// ring.
 func (r *Router) NearestNode(p geo.Point) int {
 	cell := r.grid.CellOf(p)
+	row, col := cell/r.grid.Cols, cell%r.grid.Cols
 	best := int32(-1)
-	bestD := 0.0
+	bestD := math.Inf(1)
 	consider := func(ids []int32) {
 		for _, id := range ids {
-			d := geo.Equirectangular(p, r.g.Point(int(id)))
-			if best < 0 || d < bestD {
+			if d := geo.Equirectangular(p, r.g.Point(int(id))); d < bestD {
 				best, bestD = id, d
 			}
 		}
 	}
-	consider(r.buckets[cell])
-	for _, nb := range r.grid.Neighbors(cell) {
-		consider(r.buckets[nb])
+	maxRing := r.grid.Rows
+	if r.grid.Cols > maxRing {
+		maxRing = r.grid.Cols
 	}
-	if best >= 0 {
-		return int(best)
-	}
-	// Sparse area: fall back to a full scan.
-	for c := range r.buckets {
-		consider(r.buckets[c])
+	for ring := 0; ring <= maxRing; ring++ {
+		if best >= 0 && float64(ring-1)*r.spanKm > bestD {
+			break
+		}
+		r.ringCells(row, col, ring, func(c int) { consider(r.buckets[c]) })
 	}
 	return int(best)
 }
 
-// Dist computes the network distance between a and b in kilometers:
-// straight-line access to the nearest intersections plus the shortest
-// route between them. It implements geo.DistanceFunc.
-func (r *Router) Dist(a, b geo.Point) float64 {
-	u := r.NearestNode(a)
-	v := r.NearestNode(b)
-	access := geo.Equirectangular(a, r.g.Point(u)) + geo.Equirectangular(b, r.g.Point(v))
-	if u == v {
-		return access
+// ringCells visits the in-bounds cells at exactly Chebyshev distance
+// ring from (row, col), in deterministic order.
+func (r *Router) ringCells(row, col, ring int, visit func(cell int)) {
+	rows, cols := r.grid.Rows, r.grid.Cols
+	cellAt := func(rr, cc int) {
+		if rr >= 0 && rr < rows && cc >= 0 && cc < cols {
+			visit(rr*cols + cc)
+		}
 	}
-	return access + r.nodeDist(int32(u), int32(v))
+	if ring == 0 {
+		cellAt(row, col)
+		return
+	}
+	for cc := col - ring; cc <= col+ring; cc++ { // top and bottom edges
+		cellAt(row-ring, cc)
+		cellAt(row+ring, cc)
+	}
+	for rr := row - ring + 1; rr <= row+ring-1; rr++ { // side edges, corners excluded
+		cellAt(rr, col-ring)
+		cellAt(rr, col+ring)
+	}
 }
 
+// Dist computes the network distance between a and b in kilometers:
+// straight-line access to the nearest intersections plus the shortest
+// route between them, floored at the straight-line distance so the
+// result is a true metric over-approximation of crow-fly (the
+// equirectangular projection's triangle inequality holds only to ~1e-4
+// at city scale, and pruning correctness must not depend on that). It
+// implements geo.DistanceFunc.
+func (r *Router) Dist(a, b geo.Point) float64 {
+	crow := geo.Equirectangular(a, b)
+	u := r.NearestNode(a)
+	if u < 0 {
+		return crow // empty graph: degrade to crow-fly
+	}
+	v := r.NearestNode(b)
+	d := geo.Equirectangular(a, r.g.Point(u)) + geo.Equirectangular(b, r.g.Point(v))
+	if u != v {
+		d += r.nodeDist(int32(u), int32(v))
+	}
+	if crow > d {
+		d = crow
+	}
+	return d
+}
+
+// shard maps a node-pair key onto its cache shard.
+func (r *Router) shard(key [2]int32) *routeShard {
+	h := uint32(key[0])*0x9E3779B1 ^ uint32(key[1])*0x85EBCA77
+	return &r.shards[h%routeCacheShards]
+}
+
+// nodeDist returns the cached network distance between two
+// intersections, computing it at most once per key: concurrent misses
+// coalesce onto a single in-flight A* (counted as one miss; the waiters
+// count as hits, like any lookup served without a route computation).
 func (r *Router) nodeDist(u, v int32) float64 {
 	key := [2]int32{u, v}
-	r.mu.Lock()
-	if d, ok := r.cache[key]; ok {
-		r.mu.Unlock()
+	s := r.shard(key)
+	s.mu.Lock()
+	if d, ok := s.entries[key]; ok {
+		s.mu.Unlock()
+		r.hits.Add(1)
 		return d
 	}
-	r.mu.Unlock()
+	if c, ok := s.inflight[key]; ok {
+		s.mu.Unlock()
+		<-c.done
+		r.hits.Add(1)
+		return c.d
+	}
+	c := &routeCall{done: make(chan struct{})}
+	if s.inflight == nil {
+		s.inflight = make(map[[2]int32]*routeCall)
+	}
+	s.inflight[key] = c
+	s.mu.Unlock()
 
-	d, _ := r.g.AStar(int(u), int(v))
-	r.mu.Lock()
-	r.cache[key] = d
-	r.mu.Unlock()
-	return d
+	r.misses.Add(1)
+	c.d, _ = r.g.AStarALT(r.lm, int(u), int(v))
+	close(c.done)
+
+	s.mu.Lock()
+	if s.entries == nil {
+		s.entries = make(map[[2]int32]float64)
+	}
+	if int64(len(s.entries)) >= r.maxPerShard {
+		old := s.fifo[0]
+		s.fifo = s.fifo[1:]
+		delete(s.entries, old)
+		r.evictions.Add(1)
+	}
+	s.entries[key] = c.d
+	s.fifo = append(s.fifo, key)
+	delete(s.inflight, key)
+	s.mu.Unlock()
+	return c.d
 }
 
 // CacheSize returns the number of memoized node pairs (for tests and
 // capacity planning).
 func (r *Router) CacheSize() int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return len(r.cache)
+	var n int
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.Lock()
+		n += len(s.entries)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// CacheStats returns the route cache's lifetime hit, miss, and eviction
+// counters. Hits are lookups served without running a route computation
+// (including waiters coalesced onto another goroutine's in-flight
+// route); misses count route computations; evictions count entries
+// dropped to honor the cache bound.
+func (r *Router) CacheStats() (hits, misses, evictions uint64) {
+	return r.hits.Load(), r.misses.Load(), r.evictions.Load()
 }
 
 // Circuity estimates the network's mean circuity (network distance over
-// straight-line distance) by sampling n random node pairs with the
-// given deterministic stride. Used by tests to assert realism.
+// straight-line distance) by sampling n deterministic node pairs. Used
+// by tests and benches to assert realism.
 func (r *Router) Circuity(samples int) float64 {
 	n := r.g.NumNodes()
 	if n < 2 || samples < 1 {

@@ -1,0 +1,428 @@
+package roadnet
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/geo"
+)
+
+// bruteNearest is the ground truth for NearestNode: a full scan.
+func bruteNearest(g *Graph, p geo.Point) (int, float64) {
+	best, bestD := -1, math.Inf(1)
+	for id := 0; id < g.NumNodes(); id++ {
+		if d := geo.Equirectangular(p, g.Point(id)); d < bestD {
+			best, bestD = id, d
+		}
+	}
+	return best, bestD
+}
+
+// TestNearestNodeRegression reconstructs the exact layout the old
+// implementation got wrong: the query's cell and Moore neighborhood are
+// not all empty (so the full-scan fallback never fired) but the true
+// nearest intersection lies two rings out.
+func TestNearestNodeRegression(t *testing.T) {
+	box := geo.PortoBox
+	grid := geo.NewGrid(box, 10, 10)
+	p := grid.CellCenter(5*10 + 5)
+
+	g := &Graph{}
+	// Decoy in the Moore neighborhood: far corner of cell (6,6).
+	decoy := g.AddNode(box.Lerp(6.95/10, 6.95/10))
+	// True nearest: near edge of cell (5,7), outside the Moore ring.
+	want := g.AddNode(box.Lerp(5.5/10, 7.02/10))
+
+	r := NewRouter(g, box, 10)
+	got := r.NearestNode(p)
+	bf, _ := bruteNearest(g, p)
+	if bf != want {
+		t.Fatalf("layout broken: brute force picked %d, want %d", bf, want)
+	}
+	if got != want {
+		t.Fatalf("NearestNode = %d (decoy=%d), want %d: expanding ring must look past a populated Moore neighborhood", got, decoy, want)
+	}
+}
+
+// TestNearestNodeDifferential compares the expanding-ring search
+// against brute force over random graphs: clustered node layouts (which
+// leave most cells empty, the regime the old code got wrong) probed
+// with uniform query points, including points outside the box.
+func TestNearestNodeDifferential(t *testing.T) {
+	box := geo.PortoBox
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := &Graph{}
+		clusters := 1 + rng.Intn(4)
+		nodes := 5 + rng.Intn(60)
+		centers := make([]geo.Point, clusters)
+		for i := range centers {
+			centers[i] = box.Lerp(rng.Float64(), rng.Float64())
+		}
+		for i := 0; i < nodes; i++ {
+			c := centers[rng.Intn(clusters)]
+			g.AddNode(box.Clamp(geo.Point{
+				Lat: c.Lat + (rng.Float64()-0.5)*0.01,
+				Lon: c.Lon + (rng.Float64()-0.5)*0.01,
+			}))
+		}
+		r := NewRouter(g, box, 8+rng.Intn(16))
+		for q := 0; q < 200; q++ {
+			p := box.Lerp(rng.Float64()*1.2-0.1, rng.Float64()*1.2-0.1)
+			got := r.NearestNode(p)
+			_, wantD := bruteNearest(g, p)
+			gotD := geo.Equirectangular(p, g.Point(got))
+			if gotD > wantD {
+				t.Fatalf("seed %d query %v: NearestNode returned node %d at %.6f km, brute force found %.6f km",
+					seed, p, got, gotD, wantD)
+			}
+		}
+	}
+}
+
+func TestNearestNodeEmptyGraph(t *testing.T) {
+	r := NewRouter(&Graph{}, geo.PortoBox, 8)
+	if got := r.NearestNode(geo.PortoBox.Center()); got != -1 {
+		t.Fatalf("NearestNode on empty graph = %d, want -1", got)
+	}
+	a, b := geo.PortoBox.Lerp(0.2, 0.2), geo.PortoBox.Lerp(0.7, 0.7)
+	if got, want := r.Dist(a, b), geo.Equirectangular(a, b); got != want {
+		t.Fatalf("empty-graph Dist = %v, want crow-fly %v", got, want)
+	}
+}
+
+// TestRouterDistDominatesCrowFly is the admissibility property the
+// spatial pruning rail depends on: the network metric never undercuts
+// straight-line distance, so crow-fly ring queries remain conservative.
+func TestRouterDistDominatesCrowFly(t *testing.T) {
+	cfg := DefaultGridConfig()
+	g, err := GenerateGrid(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRouter(g, cfg.Box, 10)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 3000; i++ {
+		a := cfg.Box.Lerp(rng.Float64(), rng.Float64())
+		b := cfg.Box.Lerp(rng.Float64(), rng.Float64())
+		if i%10 == 0 { // near-coincident pairs stress the access legs
+			b = geo.Point{Lat: a.Lat + (rng.Float64()-0.5)*1e-3, Lon: a.Lon + (rng.Float64()-0.5)*1e-3}
+		}
+		crow := geo.Equirectangular(a, b)
+		if net := r.Dist(a, b); net < crow {
+			t.Fatalf("Dist(%v, %v) = %v < crow-fly %v", a, b, net, crow)
+		}
+	}
+}
+
+// TestRouterDistMatchesUnchachedRoute checks the whole snap+cache+ALT
+// pipeline against a from-scratch computation.
+func TestRouterDistMatchesUnchachedRoute(t *testing.T) {
+	cfg := DefaultGridConfig()
+	cfg.Seed = 5
+	g, err := GenerateGrid(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRouter(g, cfg.Box, 10)
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 100; i++ {
+		a := cfg.Box.Lerp(rng.Float64(), rng.Float64())
+		b := cfg.Box.Lerp(rng.Float64(), rng.Float64())
+		u, _ := bruteNearest(g, a)
+		v, _ := bruteNearest(g, b)
+		want := geo.Equirectangular(a, g.Point(u)) + geo.Equirectangular(b, g.Point(v))
+		if u != v {
+			d, _ := g.ShortestPath(u, v)
+			want += d
+		}
+		if crow := geo.Equirectangular(a, b); crow > want {
+			want = crow
+		}
+		if got := r.Dist(a, b); got != want {
+			t.Fatalf("Dist(%v, %v) = %v, want %v", a, b, got, want)
+		}
+	}
+}
+
+// TestAStarBitwiseEqualsDijkstra is the property wall for the routing
+// kernels: on generated cities (grids across seeds, and a radial town),
+// plain A* and landmark A* both return bitwise-identical distances to
+// Dijkstra.
+func TestAStarBitwiseEqualsDijkstra(t *testing.T) {
+	check := func(t *testing.T, g *Graph) {
+		t.Helper()
+		lm := NewLandmarks(g, g.SelectLandmarks(8))
+		n := g.NumNodes()
+		for u := 0; u < n; u += 3 {
+			for v := 0; v < n; v += 5 {
+				d0, _ := g.ShortestPath(u, v)
+				d1, _ := g.AStar(u, v)
+				d2, _ := g.AStarALT(lm, u, v)
+				if d0 != d1 {
+					t.Fatalf("AStar(%d,%d) = %v, Dijkstra = %v", u, v, d1, d0)
+				}
+				if d0 != d2 {
+					t.Fatalf("AStarALT(%d,%d) = %v, Dijkstra = %v", u, v, d2, d0)
+				}
+			}
+		}
+	}
+	for seed := int64(1); seed <= 6; seed++ {
+		cfg := DefaultGridConfig()
+		cfg.Seed = seed
+		cfg.Rows, cfg.Cols = 12, 14
+		cfg.RemoveFrac = 0.05 * float64(seed%4)
+		g, err := GenerateGrid(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check(t, g)
+	}
+	g, err := GenerateRadial(geo.PortoBox.Center(), 5, 9, 7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(t, g)
+}
+
+// TestLandmarkLowerBoundAdmissible: the ALT bound never exceeds the
+// true shortest-path distance (up to float rounding of the Dijkstra
+// sums themselves).
+func TestLandmarkLowerBoundAdmissible(t *testing.T) {
+	cfg := DefaultGridConfig()
+	cfg.Rows, cfg.Cols = 10, 12
+	g, err := GenerateGrid(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lm := NewLandmarks(g, g.SelectLandmarks(6))
+	if lm.NumLandmarks() != 6 {
+		t.Fatalf("NumLandmarks = %d, want 6", lm.NumLandmarks())
+	}
+	n := g.NumNodes()
+	for u := 0; u < n; u += 2 {
+		for v := 0; v < n; v += 3 {
+			d, _ := g.ShortestPath(u, v)
+			if b := lm.LowerBound(u, v); b > d*(1+1e-12)+1e-12 {
+				t.Fatalf("LowerBound(%d,%d) = %v exceeds true distance %v", u, v, b, d)
+			}
+		}
+	}
+}
+
+func TestSelectLandmarksClampsAndDedups(t *testing.T) {
+	g, err := GenerateRadial(geo.PortoBox.Center(), 2, 4, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := g.SelectLandmarks(1000)
+	if len(ids) > g.NumNodes() {
+		t.Fatalf("SelectLandmarks returned %d ids for %d nodes", len(ids), g.NumNodes())
+	}
+	seen := map[int]bool{}
+	for _, id := range ids {
+		if seen[id] {
+			t.Fatalf("landmark %d selected twice", id)
+		}
+		seen[id] = true
+	}
+	if got := g.SelectLandmarks(0); got != nil {
+		t.Fatalf("SelectLandmarks(0) = %v, want nil", got)
+	}
+}
+
+// TestRouterCacheSingleflight: concurrent misses on one key coalesce
+// onto a single route computation. Run with -race.
+func TestRouterCacheSingleflight(t *testing.T) {
+	cfg := DefaultGridConfig()
+	g, err := GenerateGrid(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRouter(g, cfg.Box, 10)
+	a, b := cfg.Box.Lerp(0.1, 0.1), cfg.Box.Lerp(0.9, 0.9)
+
+	const workers = 64
+	var start, done sync.WaitGroup
+	start.Add(1)
+	done.Add(workers)
+	vals := make([]float64, workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer done.Done()
+			start.Wait()
+			vals[w] = r.Dist(a, b)
+		}(w)
+	}
+	start.Done()
+	done.Wait()
+	for w := 1; w < workers; w++ {
+		if vals[w] != vals[0] {
+			t.Fatalf("worker %d saw %v, worker 0 saw %v", w, vals[w], vals[0])
+		}
+	}
+	_, misses, _ := r.CacheStats()
+	if misses != 1 {
+		t.Fatalf("misses = %d, want 1: concurrent misses on one key must run a single A*", misses)
+	}
+}
+
+// TestRouterCacheConcurrentMixed hammers the cache with overlapping
+// keys from many goroutines; run with -race. Every lookup lands in
+// exactly one counter and the cache honors its bound.
+func TestRouterCacheConcurrentMixed(t *testing.T) {
+	cfg := DefaultGridConfig()
+	cfg.Rows, cfg.Cols = 8, 8
+	g, err := GenerateGrid(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRouter(g, cfg.Box, 10)
+	r.SetCacheBound(64)
+
+	const workers, iters = 8, 200
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < iters; i++ {
+				a := cfg.Box.Lerp(rng.Float64(), rng.Float64())
+				b := cfg.Box.Lerp(rng.Float64(), rng.Float64())
+				if d := r.Dist(a, b); math.IsNaN(d) || d < 0 {
+					t.Errorf("Dist = %v", d)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if size := r.CacheSize(); size > 64+routeCacheShards {
+		t.Fatalf("cache size %d exceeds bound", size)
+	}
+	hits, misses, evictions := r.CacheStats()
+	if misses == 0 || evictions == 0 {
+		t.Fatalf("expected misses and evictions with a 64-entry bound; got hits=%d misses=%d evictions=%d",
+			hits, misses, evictions)
+	}
+}
+
+// TestRouterCacheEviction drives more distinct node pairs than the
+// bound admits and checks FIFO eviction keeps the size capped while
+// still returning correct distances.
+func TestRouterCacheEviction(t *testing.T) {
+	cfg := DefaultGridConfig()
+	cfg.Rows, cfg.Cols = 8, 8
+	g, err := GenerateGrid(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRouter(g, cfg.Box, 10)
+	r.SetCacheBound(16) // one entry per shard
+	n := g.NumNodes()
+	for u := 0; u < n; u += 2 {
+		for v := 1; v < n; v += 7 {
+			if u == v {
+				continue
+			}
+			want, _ := g.ShortestPath(u, v)
+			if got := r.nodeDist(int32(u), int32(v)); got != want {
+				t.Fatalf("nodeDist(%d,%d) = %v, want %v", u, v, got, want)
+			}
+		}
+	}
+	if size := r.CacheSize(); size > 16 {
+		t.Fatalf("cache size %d exceeds bound 16", size)
+	}
+	_, misses, evictions := r.CacheStats()
+	if evictions == 0 || evictions >= misses {
+		t.Fatalf("evictions = %d, misses = %d: want 0 < evictions < misses", evictions, misses)
+	}
+	// Re-resolving an evicted key must recompute the same value.
+	want, _ := g.ShortestPath(0, g.NumNodes()-1)
+	if got := r.nodeDist(0, int32(g.NumNodes()-1)); got != want {
+		t.Fatalf("post-eviction nodeDist = %v, want %v", got, want)
+	}
+}
+
+func TestRouterCacheStatsAccounting(t *testing.T) {
+	cfg := DefaultGridConfig()
+	g, err := GenerateGrid(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRouter(g, cfg.Box, 10)
+	a, b := cfg.Box.Lerp(0.2, 0.3), cfg.Box.Lerp(0.8, 0.6)
+	r.Dist(a, b)
+	r.Dist(a, b)
+	r.Dist(a, b)
+	hits, misses, evictions := r.CacheStats()
+	if misses != 1 || hits != 2 || evictions != 0 {
+		t.Fatalf("stats = (hits=%d, misses=%d, evictions=%d), want (2, 1, 0)", hits, misses, evictions)
+	}
+}
+
+// --- micro-benchmarks (fast: they run in the short-bench smoke) ------
+
+func benchGraph(b *testing.B) (*Graph, GridConfig) {
+	b.Helper()
+	cfg := DefaultGridConfig()
+	g, err := GenerateGrid(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g, cfg
+}
+
+func BenchmarkRouterNearestNode(b *testing.B) {
+	g, cfg := benchGraph(b)
+	r := NewRouter(g, cfg.Box, 10)
+	pts := make([]geo.Point, 64)
+	for i := range pts {
+		pts[i] = cfg.Box.Lerp(float64(i%8)/8+0.06, float64(i/8)/8+0.06)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.NearestNode(pts[i%len(pts)])
+	}
+}
+
+func BenchmarkRouterDistCached(b *testing.B) {
+	g, cfg := benchGraph(b)
+	r := NewRouter(g, cfg.Box, 10)
+	a, c := cfg.Box.Lerp(0.1, 0.15), cfg.Box.Lerp(0.85, 0.8)
+	r.Dist(a, c) // warm the single hot entry
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Dist(a, c)
+	}
+}
+
+func benchmarkAStarPairs(b *testing.B, alt bool) {
+	g, _ := benchGraph(b)
+	var lm *Landmarks
+	if alt {
+		lm = NewLandmarks(g, g.SelectLandmarks(defaultLandmarks))
+	}
+	n := g.NumNodes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := (i * 7919) % n
+		v := (i*104729 + 13) % n
+		if u == v {
+			v = (v + 1) % n
+		}
+		if alt {
+			g.AStarALT(lm, u, v)
+		} else {
+			g.AStar(u, v)
+		}
+	}
+}
+
+func BenchmarkAStarStraightLine(b *testing.B) { benchmarkAStarPairs(b, false) }
+func BenchmarkAStarLandmarks(b *testing.B)    { benchmarkAStarPairs(b, true) }

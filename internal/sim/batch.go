@@ -137,6 +137,9 @@ func (b *batcher) close(ev event) {
 	stats.Matched = len(b.batch) - stats.Rejected
 	b.batch = b.batch[:0]
 	b.closeAt = math.NaN()
+	if b.r.e.pricer != nil {
+		b.r.e.pricer.Decay(b.r.e.pricerDecay)
+	}
 	if b.onClose != nil {
 		b.onClose(stats)
 	}

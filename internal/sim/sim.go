@@ -183,6 +183,12 @@ type Engine struct {
 	// production leaves it false.
 	DenseWindows bool
 
+	// pricer, when installed via SetLivePricer, re-prices every arriving
+	// order from live demand/supply observations (see livepricing.go).
+	pricer       LivePricer
+	pricerDecay  float64
+	pricerMarkup float64
+
 	states     []driverState
 	present    []bool // false: not yet joined, or retired
 	rng        *rand.Rand
@@ -454,4 +460,8 @@ func (e *Engine) assign(c Candidate, task model.Task) {
 	}
 	st.loc = task.Dest
 	e.source.Moved(c.Driver)
+	if e.pricer != nil {
+		// The driver's capacity frees next at the dropoff zone.
+		e.pricer.ObserveSupply(task.Dest, 1)
+	}
 }

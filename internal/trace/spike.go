@@ -1,0 +1,110 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geo"
+)
+
+// Spike is a transient demand surge layered onto the daily curve: for
+// publish times inside [Start, End) the arrival intensity gains Weight
+// (in the units of DemandIntensity, whose baseline day peaks at ~2.75)
+// and the extra arrivals' pickups are drawn from a Gaussian around
+// Center instead of the regular hotspot mixture. A flight bank landing
+// at the airport or a stadium emptying after a match are spikes; the
+// morning and evening rush hours are not — they are already part of
+// DemandIntensity.
+//
+// Spikes exist to exercise live surge pricing: a spiked trace
+// concentrates demand in one zone faster than supply can follow, which
+// is exactly the imbalance pricing.Surge amplifies.
+type Spike struct {
+	Center geo.Point
+	StdKm  float64 // spatial standard deviation of spiked pickups, km
+	Start  float64 // seconds, inclusive
+	End    float64 // seconds, exclusive
+	Weight float64 // added arrival intensity while active
+}
+
+// AirportEveningSpike is the stock scenario: an evening flight bank at
+// Porto airport, 5pm–8pm, roughly doubling the citywide evening peak.
+func AirportEveningSpike() Spike {
+	return Spike{
+		Center: geo.Point{Lat: 41.2371, Lon: -8.6700},
+		StdKm:  1.2,
+		Start:  17 * 3600,
+		End:    20 * 3600,
+		Weight: 2.5,
+	}
+}
+
+// validateSpikes is called from Config.Validate.
+func validateSpikes(spikes []Spike) error {
+	for i, s := range spikes {
+		switch {
+		case !(s.Weight > 0):
+			return fmt.Errorf("trace: spike %d weight %g, want > 0", i, s.Weight)
+		case !(s.StdKm > 0):
+			return fmt.Errorf("trace: spike %d std %g km, want > 0", i, s.StdKm)
+		case !(s.Start < s.End):
+			return fmt.Errorf("trace: spike %d empty window [%g, %g)", i, s.Start, s.End)
+		}
+	}
+	return nil
+}
+
+// spikeBoost is the total extra arrival intensity at absolute time t.
+func (c *Config) spikeBoost(t float64) float64 {
+	var boost float64
+	for _, s := range c.Spikes {
+		if t >= s.Start && t < s.End {
+			boost += s.Weight
+		}
+	}
+	return boost
+}
+
+// intensityAt is the full arrival intensity at absolute time t: the
+// daily demand curve plus any active spikes.
+func (c *Config) intensityAt(t float64) float64 {
+	return DemandIntensity(t-c.DayStart) + c.spikeBoost(t)
+}
+
+// intensityMax is an upper bound on intensityAt over the whole day,
+// used as the thinning envelope. With no spikes it is exactly the
+// historical constant, so spike-free traces are byte-identical to those
+// generated before spikes existed.
+func (c *Config) intensityMax() float64 {
+	const lambdaMax = 2.75 // ≥ max of DemandIntensity
+	bound := lambdaMax
+	for _, s := range c.Spikes {
+		bound += s.Weight
+	}
+	return bound
+}
+
+// samplePickupAt draws the pickup location for a task published at
+// absolute time t. With no spikes it is exactly samplePickup — no extra
+// RNG draws, keeping spike-free traces byte-identical. With spikes
+// active at t, the pickup comes from a spike's Gaussian with
+// probability Weight/intensityAt (each spike's share of the boosted
+// intensity), else from the regular hotspot mixture.
+func (g *Generator) samplePickupAt(t float64) geo.Point {
+	if len(g.cfg.Spikes) == 0 {
+		return g.samplePickup()
+	}
+	r := g.rng.Float64() * g.cfg.intensityAt(t)
+	for _, s := range g.cfg.Spikes {
+		if t < s.Start || t >= s.End {
+			continue
+		}
+		if r < s.Weight {
+			bearing := g.rng.Float64() * 2 * math.Pi
+			dist := math.Abs(g.rng.NormFloat64()) * s.StdKm
+			return g.cfg.Box.Clamp(geo.Offset(s.Center, bearing, dist))
+		}
+		r -= s.Weight
+	}
+	return g.samplePickup()
+}

@@ -1,0 +1,136 @@
+package trace
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/pricing"
+)
+
+// TestSpikeFreeByteIdentical: the spike rail must be invisible when
+// unused — nil and empty Spikes produce byte-identical traces (no extra
+// RNG draws on the default path).
+func TestSpikeFreeByteIdentical(t *testing.T) {
+	cfg := NewConfig(31, 200, 50, Hitchhiking)
+	a := NewGenerator(cfg).Generate(nil)
+	cfg.Spikes = []Spike{}
+	b := NewGenerator(cfg).Generate(nil)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("empty (non-nil) Spikes changed the generated trace; the spike-free path must not draw extra randomness")
+	}
+}
+
+// TestSpikeValidation: malformed spikes are rejected at Validate.
+func TestSpikeValidation(t *testing.T) {
+	bad := []Spike{
+		{Center: geo.PortoBox.Lerp(0.5, 0.5), StdKm: 1, Start: 0, End: 3600, Weight: 0},
+		{Center: geo.PortoBox.Lerp(0.5, 0.5), StdKm: 0, Start: 0, End: 3600, Weight: 1},
+		{Center: geo.PortoBox.Lerp(0.5, 0.5), StdKm: 1, Start: 3600, End: 3600, Weight: 1},
+	}
+	for i, s := range bad {
+		cfg := NewConfig(1, 10, 5, Hitchhiking)
+		cfg.Spikes = []Spike{s}
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad spike %d accepted: %+v", i, s)
+		}
+	}
+}
+
+// spikeShare returns the fraction of tasks published inside [start,
+// end) whose pickup lies within radiusKm of center.
+func spikeShare(tr []float64, srcs []geo.Point, center geo.Point, radiusKm, start, end float64) (inWin, nearInWin int) {
+	for i, at := range tr {
+		if at < start || at >= end {
+			continue
+		}
+		inWin++
+		if geo.Equirectangular(srcs[i], center) <= radiusKm {
+			nearInWin++
+		}
+	}
+	return
+}
+
+// TestSpikeConcentratesDemand: during the airport spike the window
+// holds a clearly elevated share of the day's arrivals and most of its
+// pickups sit at the airport; the same window without the spike shows
+// neither.
+func TestSpikeConcentratesDemand(t *testing.T) {
+	base := NewConfig(37, 2000, 10, Hitchhiking)
+	spike := AirportEveningSpike()
+
+	plain := NewGenerator(base).GenerateTasks()
+	cfgS := base
+	cfgS.Spikes = []Spike{spike}
+	spiked := NewGenerator(cfgS).GenerateTasks()
+
+	countWin := func(tasks []float64) int {
+		n := 0
+		for _, at := range tasks {
+			if at >= spike.Start && at < spike.End {
+				n++
+			}
+		}
+		return n
+	}
+
+	plainAt := make([]float64, len(plain))
+	plainSrc := make([]geo.Point, len(plain))
+	for i, tk := range plain {
+		plainAt[i], plainSrc[i] = tk.Publish, tk.Source
+	}
+	spikedAt := make([]float64, len(spiked))
+	spikedSrc := make([]geo.Point, len(spiked))
+	for i, tk := range spiked {
+		spikedAt[i], spikedSrc[i] = tk.Publish, tk.Source
+	}
+
+	plainWin := countWin(plainAt)
+	spikedWin := countWin(spikedAt)
+	if spikedWin <= plainWin*3/2 {
+		t.Errorf("spike did not lift arrivals: %d in window with spike vs %d without", spikedWin, plainWin)
+	}
+
+	_, plainNear := spikeShare(plainAt, plainSrc, spike.Center, 4, spike.Start, spike.End)
+	winS, spikedNear := spikeShare(spikedAt, spikedSrc, spike.Center, 4, spike.Start, spike.End)
+	if winS == 0 {
+		t.Fatal("no spiked-window arrivals at all")
+	}
+	spikedFrac := float64(spikedNear) / float64(winS)
+	plainFrac := float64(plainNear) / float64(plainWin)
+	if spikedFrac < 0.4 || spikedFrac < 2*plainFrac {
+		t.Errorf("spike did not concentrate pickups at the airport: near-fraction %.2f with spike vs %.2f without", spikedFrac, plainFrac)
+	}
+}
+
+// TestSpikeRaisesSurgeAtCell: the whole point of the spike rail — fed
+// into a live surge pricer, the spiked zone's multiplier rises above 1
+// and above the citywide median zone.
+func TestSpikeRaisesSurgeAtCell(t *testing.T) {
+	cfg := NewConfig(41, 1500, 10, Hitchhiking)
+	spike := AirportEveningSpike()
+	cfg.Spikes = []Spike{spike}
+	tasks := NewGenerator(cfg).GenerateTasks()
+
+	grid := geo.NewGrid(cfg.Box, 10, 10)
+	surge := pricing.NewSurge(pricing.NewLinear(cfg.Market, 1), grid, 3)
+	// Thin, uniform supply; demand replayed through the spike window.
+	for i := 0; i < 20; i++ {
+		surge.ObserveSupply(cfg.Box.Lerp(float64(i%5)/4, float64(i/5)/4), 1)
+	}
+	for _, tk := range tasks {
+		if tk.Publish >= spike.Start && tk.Publish < spike.End {
+			surge.ObserveDemand(tk.Source, 1)
+		}
+	}
+
+	airport := surge.Multiplier(spike.Center)
+	center := surge.Multiplier(geo.Point{Lat: 41.1496, Lon: -8.6109})
+	if airport <= 1 {
+		t.Fatalf("airport multiplier %.3f after spike window, want > 1", airport)
+	}
+	if airport < center {
+		t.Errorf("airport multiplier %.3f below downtown %.3f; the spike should dominate its own cell", airport, center)
+	}
+}

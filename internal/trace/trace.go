@@ -105,6 +105,12 @@ type Config struct {
 	// means PortoHotspots.
 	Hotspots []Hotspot
 
+	// Spikes layers transient demand surges (flight banks, stadium
+	// lets-out) onto the daily curve; see Spike. Empty means none, and
+	// a spike-free trace is byte-identical to one generated before
+	// spikes existed.
+	Spikes []Spike
+
 	// WTPMarkup sets customer willingness-to-pay at
 	// price·(1+markup·U) with U uniform in [0,1].
 	WTPMarkup float64
@@ -175,6 +181,9 @@ func (c Config) Validate() error {
 	case c.ShiftMinLen <= 0 || c.ShiftMaxLen < c.ShiftMinLen:
 		return fmt.Errorf("trace: bad shift length range [%g, %g]", c.ShiftMinLen, c.ShiftMaxLen)
 	}
+	if err := validateSpikes(c.Spikes); err != nil {
+		return err
+	}
 	return c.Market.Validate()
 }
 
@@ -216,7 +225,7 @@ func (g *Generator) GenerateTasks() []model.Task {
 	arrivals := g.arrivalTimes(g.cfg.Tasks)
 	tasks := make([]model.Task, 0, len(arrivals))
 	for i, at := range arrivals {
-		src := g.samplePickup()
+		src := g.samplePickupAt(at)
 		distKm := g.boundedPareto()
 		bearing := g.rng.Float64() * 2 * math.Pi
 		dst := g.cfg.Box.Clamp(geo.Offset(src, bearing, distKm))
@@ -302,10 +311,10 @@ func (g *Generator) arrivalTimes(n int) []float64 {
 	// process are i.i.d. with density ∝ intensity; sample by rejection
 	// then sort by insertion into a slice we later sort — but to keep
 	// the stream deterministic and O(n log n), sample then sort.
-	const lambdaMax = 2.75 // ≥ max of DemandIntensity
+	lambdaMax := g.cfg.intensityMax() // 2.75 ≥ max of DemandIntensity; + spikes
 	for len(out) < n {
 		t := g.cfg.DayStart + g.rng.Float64()*day
-		if g.rng.Float64()*lambdaMax <= DemandIntensity(t-g.cfg.DayStart) {
+		if g.rng.Float64()*lambdaMax <= g.cfg.intensityAt(t) {
 			out = append(out, t)
 		}
 	}

@@ -45,4 +45,9 @@ check ./internal/offline 93.0
 # is the PR's acceptance criterion).
 check ./internal/wal 90.0
 check ./internal/fed 90.0
+# The road-network distance rail and live surge pricing, floored when
+# the roadnet-metric PR landed (roadnet 93.9, pricing 100.0 at the
+# time; the ≥90 bar is the PR's acceptance criterion).
+check ./internal/roadnet 90.0
+check ./internal/pricing 90.0
 echo "coverage_check: all floors held"

@@ -75,3 +75,29 @@ kill -INT "$SERVE_PID"
 wait "$SERVE_PID"
 trap - EXIT
 echo "serve_smoke: batched clean shutdown"
+
+# Third leg: the street-graph metric (-roadnet). Same drill; every
+# travel time the market computes now routes over the synthetic road
+# network, so this exercises the router (nearest-node search, ALT
+# shortest paths, the shared route cache) under live HTTP traffic.
+/tmp/rideshare-smoke serve -addr "127.0.0.1:$PORT" -drivers 500 -shards 2 -roadnet &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2>/dev/null || true' EXIT
+
+i=0
+until curl -sf "http://127.0.0.1:$PORT/healthz" >/dev/null 2>&1; do
+  i=$((i + 1))
+  if [ "$i" -ge 50 ]; then
+    echo "serve_smoke: roadnet server did not come up on port $PORT" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+echo "serve_smoke: roadnet healthz OK"
+
+/tmp/rideshare-smoke loadgen -addr "http://127.0.0.1:$PORT" -tasks 200 -workers 4 -cancel 0.1
+
+kill -INT "$SERVE_PID"
+wait "$SERVE_PID"
+trap - EXIT
+echo "serve_smoke: roadnet clean shutdown"
