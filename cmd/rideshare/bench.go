@@ -81,6 +81,19 @@ type benchResult struct {
 	Circuity           float64 `json:"circuity,omitempty"`
 	CacheHitRate       float64 `json:"cache_hit_rate,omitempty"`
 	RevenueDeltaVsCrow float64 `json:"revenue_delta_vs_crowfly,omitempty"`
+	// The -router suite's column family (BENCH_10): the routing kernel a
+	// leg ran on, its preprocessing wall time, cold point-to-point
+	// queries/sec (with each kernel's speedup over the ALT leg), the
+	// one-to-many batch API's speedup over a looped Dist on the same
+	// candidate sets, and the batched day's throughput under a cold
+	// route cache next to a warmed one.
+	Router            string  `json:"router,omitempty"`
+	PreprocessSeconds float64 `json:"preprocess_seconds,omitempty"`
+	QueriesPerSec     float64 `json:"queries_per_sec,omitempty"`
+	SpeedupVsALT      float64 `json:"speedup_vs_alt,omitempty"`
+	DistManySpeedup   float64 `json:"distmany_speedup_vs_looped,omitempty"`
+	ColdTasksPerSec   float64 `json:"cold_tasks_per_sec,omitempty"`
+	WarmTasksPerSec   float64 `json:"warm_tasks_per_sec,omitempty"`
 }
 
 // benchReport is the top-level JSON document.
@@ -107,7 +120,7 @@ func parseIntList(s string) ([]int, error) {
 
 func cmdBench(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
-	out := fs.String("out", "", "output JSON file (- for stdout; default BENCH_2.json, BENCH_3.json with -streaming, BENCH_4.json with -batched, BENCH_5.json with -windows, BENCH_7.json with -oracle, BENCH_8.json with -durable, or BENCH_9.json with -roadnet)")
+	out := fs.String("out", "", "output JSON file (- for stdout; default BENCH_2.json, BENCH_3.json with -streaming, BENCH_4.json with -batched, BENCH_5.json with -windows, BENCH_7.json with -oracle, BENCH_8.json with -durable, BENCH_9.json with -roadnet, or BENCH_10.json with -roadnet -router)")
 	tasks := fs.Int("tasks", 1000, "orders per simulated day")
 	driversList := fs.String("drivers", "10000,50000", "comma-separated fleet sizes")
 	shardsList := fs.String("shards", "1,2,4,8", "comma-separated shard counts to time")
@@ -119,6 +132,8 @@ func cmdBench(args []string) error {
 	oracle := fs.Bool("oracle", false, "run the offline-optimum oracle suite: three online policies vs the warm-started sparse branch and bound on the same churned day, with a {1,2,4}-worker determinism sweep")
 	durable := fs.Bool("durable", false, "price the durability rail: the same batched day in-memory vs journaled under each fsync policy, plus Restore timings per snapshot cadence")
 	roadnetSuite := fs.Bool("roadnet", false, "price the road-network distance rail: the same batched day under crow-fly vs street-graph shortest paths vs network+live-surge on a spiked trace, with a shard × match-worker identity sweep per leg")
+	routerList := fs.String("router", "", "comma-separated routing kernels (ch,alt) for the -roadnet router suite: per-kernel preprocessing, cold point-to-point and one-to-many microbenchmarks plus a cold- vs warm-cache batched day, with cross-kernel bit-identity enforced; writes BENCH_10.json by default")
+	roadnetCache := fs.Int("roadnet-cache", 0, "route-cache bound in memoized node pairs for the -roadnet suites (0 = default)")
 	snapIntervalsList := fs.String("snap-intervals", "16,256,4096", "comma-separated snapshot cadences for the -durable suite's recovery legs")
 	churn := fs.Float64("churn", 0.2, "driver churn fraction for the -oracle suite")
 	cancel := fs.Float64("cancel", 0.15, "rider cancellation fraction for the -oracle suite")
@@ -161,6 +176,27 @@ func cmdBench(args []string) error {
 	}
 	if *roadnetSuite && *batchWindow == 0 {
 		return fmt.Errorf("bench: -roadnet needs a positive -batch-window, got %g", *batchWindow)
+	}
+	routers, err := parseRouters(*routerList)
+	if err != nil {
+		return fmt.Errorf("bench: -router: %w", err)
+	}
+	if len(routers) > 0 && !*roadnetSuite {
+		return fmt.Errorf("bench: -router pairs with -roadnet")
+	}
+	if *roadnetCache < 0 {
+		return fmt.Errorf("bench: -roadnet-cache %d, want ≥ 0", *roadnetCache)
+	}
+	if !*roadnetSuite {
+		cacheSet := false
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "roadnet-cache" {
+				cacheSet = true
+			}
+		})
+		if cacheSet {
+			return fmt.Errorf("bench: -roadnet-cache pairs with -roadnet")
+		}
 	}
 	var snapIntervals []int
 	if *durable {
@@ -265,6 +301,9 @@ func cmdBench(args []string) error {
 		}
 		if *roadnetSuite {
 			*out = "BENCH_9.json"
+			if len(routers) > 0 {
+				*out = "BENCH_10.json"
+			}
 		}
 	}
 	if *roadnetSuite {
@@ -272,7 +311,10 @@ func cmdBench(args []string) error {
 		if batchPolicy == dispatch.Auction {
 			simAlgo = sim.BatchAuction
 		}
-		return benchRoadnet(*out, *tasks, driverCounts, *reps, *seed, *batchWindow, simAlgo)
+		if len(routers) > 0 {
+			return benchRouters(*out, *tasks, driverCounts, *reps, *seed, *batchWindow, simAlgo, routers, *roadnetCache)
+		}
+		return benchRoadnet(*out, *tasks, driverCounts, *reps, *seed, *batchWindow, simAlgo, *roadnetCache)
 	}
 	if *durable {
 		return benchDurable(*out, *tasks, driverCounts, *reps, *seed,

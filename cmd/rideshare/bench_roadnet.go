@@ -17,7 +17,7 @@ import (
 
 // benchRoadnet prices the road-network distance rail: the same batched
 // day is timed under the crow-fly metric, under street-graph shortest
-// paths (the ALT router with its singleflight route cache), and under
+// paths (the default CH router with its singleflight route cache), and under
 // the network metric with a live surge pricer fed from an
 // airport-spike trace. Each leg sweeps shard × match-worker
 // configurations that must settle bit-identically — the network metric
@@ -26,7 +26,7 @@ import (
 // measured circuity leaves the plausible urban band [1.1, 1.6], or if
 // the route cache serves less than 90% of lookups on the largest day.
 func benchRoadnet(out string, tasks int, driverCounts []int, reps int, seed int64,
-	window float64, algo sim.BatchAlgorithm) error {
+	window float64, algo sim.BatchAlgorithm, cache int) error {
 	report := benchReport{
 		Schema:     "rideshare-bench/v1",
 		Command:    fmt.Sprintf("rideshare bench -roadnet -batch-window %g", window),
@@ -77,6 +77,9 @@ func benchRoadnet(out string, tasks int, driverCounts []int, reps int, seed int6
 						return fmt.Errorf("bench: roadnet graph: %w", err)
 					}
 					router = roadnet.NewRouter(g, geo.PortoBox, 0)
+					if cache > 0 {
+						router.SetCacheBound(cache)
+					}
 					mkt.Dist = router.Dist
 				}
 				eng, err := sim.New(mkt, tr.Drivers, 1)
@@ -94,6 +97,12 @@ func benchRoadnet(out string, tasks int, driverCounts []int, reps int, seed int6
 				var hitRate float64
 				times := make([]float64, 0, reps)
 				for r := 0; r < reps; r++ {
+					if router != nil {
+						// Zero the counters between reps so each rep's
+						// stats describe that rep alone, not the
+						// accumulated history of the leg.
+						router.ResetCacheStats()
+					}
 					start := time.Now()
 					res = eng.RunBatched(tr.Tasks, window, algo)
 					times = append(times, time.Since(start).Seconds())

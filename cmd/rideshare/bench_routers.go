@@ -1,0 +1,338 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"reflect"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/roadnet"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// parseRouters maps a comma-separated -router list onto the roadnet
+// kernel enum. An empty string selects no router suite (nil, nil).
+func parseRouters(s string) ([]roadnet.Algorithm, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []roadnet.Algorithm
+	seen := make(map[roadnet.Algorithm]bool)
+	for _, part := range strings.Split(s, ",") {
+		var a roadnet.Algorithm
+		switch strings.TrimSpace(part) {
+		case roadnet.AlgoCH.String():
+			a = roadnet.AlgoCH
+		case roadnet.AlgoALT.String():
+			a = roadnet.AlgoALT
+		default:
+			return nil, fmt.Errorf("bad router %q, want %q or %q", part, roadnet.AlgoCH, roadnet.AlgoALT)
+		}
+		if seen[a] {
+			return nil, fmt.Errorf("router %q listed twice", a)
+		}
+		seen[a] = true
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// benchRouters is the BENCH_10 suite: it prices the contraction-
+// hierarchy routing kernel against the landmark-A* kernel it replaced,
+// on the default Porto grid, in four legs per kernel:
+//
+//   - preprocess: wall time to build the kernel (hierarchy + hub labels
+//     for CH, landmark distance tables for ALT);
+//   - ptp: cold point-to-point node queries/sec at the kernel level
+//     (no route cache), plus each kernel's speedup over the ALT leg;
+//   - distmany: the router's one-to-many batch API against a looped
+//     Dist over the same ≥ 8-target candidate sets, cache defeated,
+//     with bitwise equality of the two result vectors enforced;
+//   - day: the same batched dispatch day once per rep on a cold route
+//     cache and again on a warmed one, through the full engine with the
+//     batched scoring hook installed.
+//
+// Every day leg must settle bit-identically across kernels and across
+// cold/warm caches — same served and rejected counts, bitwise-equal
+// revenue — and when both kernels run, the harness errors out unless
+// CH clears 5× ALT on cold point-to-point and the batch API beats the
+// looped Dist. Those are the repo's acceptance bars, enforced where
+// the numbers are made rather than in a post-processing script.
+func benchRouters(out string, tasks int, driverCounts []int, reps int, seed int64,
+	window float64, algo sim.BatchAlgorithm, routers []roadnet.Algorithm, cache int) error {
+	report := benchReport{
+		Schema:     "rideshare-bench/v1",
+		Command:    fmt.Sprintf("rideshare bench -roadnet -router %s -batch-window %g", routerNames(routers), window),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Reps:       reps,
+	}
+
+	g, err := roadnet.GenerateGrid(roadnet.DefaultGridConfig())
+	if err != nil {
+		return fmt.Errorf("bench: roadnet graph: %w", err)
+	}
+	n := g.NumNodes()
+
+	// Deterministic query workloads shared by every kernel. The ptp
+	// pairs stride over the whole grid; the candidate sets model an
+	// order's scoring batch — one origin against 15 targets, above the
+	// engine's own ≥ 8 batching threshold.
+	var pairs [][2]int
+	for u := 0; u < n; u++ {
+		v := (u*7 + 13) % n
+		if u != v {
+			pairs = append(pairs, [2]int{u, v})
+		}
+	}
+	const numSets, setSize = 32, 15
+	type candSet struct {
+		origin  geo.Point
+		targets []geo.Point
+	}
+	sets := make([]candSet, numSets)
+	for i := range sets {
+		sets[i].origin = g.Point((i * 37) % n)
+		for j := 0; j < setSize; j++ {
+			sets[i].targets = append(sets[i].targets, g.Point((i*17+j*29+5)%n))
+		}
+	}
+
+	qps := make(map[roadnet.Algorithm]float64)
+	var ptpRows []int // report indices to fill SpeedupVsALT once ALT is known
+
+	for _, algoKind := range routers {
+		// Preprocess leg: the kernel build alone, on the shared graph.
+		// The snap grid and route cache are common to both kernels and
+		// excluded.
+		var lm *roadnet.Landmarks
+		var h *roadnet.Hierarchy
+		times := make([]float64, 0, reps)
+		for r := 0; r < reps; r++ {
+			start := time.Now()
+			if algoKind == roadnet.AlgoALT {
+				lm = roadnet.NewLandmarks(g, g.SelectLandmarks(8))
+			} else {
+				h = roadnet.BuildHierarchy(g)
+			}
+			times = append(times, time.Since(start).Seconds())
+		}
+		sort.Float64s(times)
+		prepSec := times[len(times)/2]
+		report.Results = append(report.Results, benchResult{
+			Name:              fmt.Sprintf("routers/preprocess/%s", algoKind),
+			Router:            algoKind.String(),
+			PreprocessSeconds: prepSec,
+		})
+		fmt.Fprintf(os.Stderr, "%-52s %10.4fs preprocessing\n",
+			fmt.Sprintf("routers/preprocess/%s", algoKind), prepSec)
+
+		// Point-to-point leg: the raw kernel, no route cache, every
+		// query cold.
+		times = times[:0]
+		for r := 0; r < reps; r++ {
+			start := time.Now()
+			for _, p := range pairs {
+				if algoKind == roadnet.AlgoALT {
+					g.AStarALT(lm, p[0], p[1])
+				} else {
+					h.Query(p[0], p[1])
+				}
+			}
+			times = append(times, time.Since(start).Seconds())
+		}
+		sort.Float64s(times)
+		ptpSec := times[len(times)/2]
+		qps[algoKind] = float64(len(pairs)) / ptpSec
+		ptpRows = append(ptpRows, len(report.Results))
+		report.Results = append(report.Results, benchResult{
+			Name:          fmt.Sprintf("routers/ptp/%s", algoKind),
+			Router:        algoKind.String(),
+			Seconds:       ptpSec,
+			QueriesPerSec: qps[algoKind],
+		})
+		fmt.Fprintf(os.Stderr, "%-52s %10.0f queries/s cold point-to-point\n",
+			fmt.Sprintf("routers/ptp/%s", algoKind), qps[algoKind])
+
+		// One-to-many leg: the router's batch API against a looped Dist
+		// over the same candidate sets. A one-entry cache bound defeats
+		// memoization so both sides pay the routing, not map lookups.
+		router := roadnet.NewRouterAlgo(g, roadnet.DefaultGridConfig().Box, 0, algoKind)
+		router.SetCacheBound(1)
+		batchOut := make([]float64, setSize)
+		loopOut := make([]float64, setSize)
+		for _, s := range sets {
+			router.DistManyInto(s.origin, s.targets, batchOut)
+			for j, t := range s.targets {
+				loopOut[j] = router.Dist(s.origin, t)
+			}
+			for j := range s.targets {
+				if batchOut[j] != loopOut[j] {
+					return fmt.Errorf("bench: %s DistMany[%d] = %.17g, looped Dist = %.17g — the batch API broke bitwise equality, this is a bug",
+						algoKind, j, batchOut[j], loopOut[j])
+				}
+			}
+		}
+		var manySec, loopSec float64
+		times = times[:0]
+		for r := 0; r < reps; r++ {
+			start := time.Now()
+			for _, s := range sets {
+				router.DistManyInto(s.origin, s.targets, batchOut)
+			}
+			times = append(times, time.Since(start).Seconds())
+		}
+		sort.Float64s(times)
+		manySec = times[len(times)/2]
+		times = times[:0]
+		for r := 0; r < reps; r++ {
+			start := time.Now()
+			for _, s := range sets {
+				for j, t := range s.targets {
+					loopOut[j] = router.Dist(s.origin, t)
+				}
+			}
+			times = append(times, time.Since(start).Seconds())
+		}
+		sort.Float64s(times)
+		loopSec = times[len(times)/2]
+		report.Results = append(report.Results, benchResult{
+			Name:            fmt.Sprintf("routers/distmany/%s", algoKind),
+			Router:          algoKind.String(),
+			Seconds:         manySec,
+			DistManySpeedup: loopSec / manySec,
+		})
+		fmt.Fprintf(os.Stderr, "%-52s %10.2fx one-to-many vs looped Dist (%d-target sets)\n",
+			fmt.Sprintf("routers/distmany/%s", algoKind), loopSec/manySec, setSize)
+		if algoKind == roadnet.AlgoCH && loopSec/manySec <= 1 {
+			return fmt.Errorf("bench: CH DistMany %.2fx vs looped Dist on %d-target sets — the batch API does not pay for itself", loopSec/manySec, setSize)
+		}
+	}
+
+	if alt, ok := qps[roadnet.AlgoALT]; ok {
+		for _, i := range ptpRows {
+			report.Results[i].SpeedupVsALT = report.Results[i].QueriesPerSec / alt
+		}
+		if ch, ok := qps[roadnet.AlgoCH]; ok && ch/alt < 5 {
+			return fmt.Errorf("bench: CH cold point-to-point %.2fx ALT, want ≥ 5x — the hierarchy is not earning its preprocessing", ch/alt)
+		}
+	}
+
+	// Day legs: the full engine with the network metric and the batched
+	// scoring hook, once per rep on a cold route cache (fresh router)
+	// and again on the warmed cache. Results must be bit-identical
+	// across kernels and across cache temperature.
+	const shards, workers = 4, 4
+	for _, drivers := range driverCounts {
+		cfg := trace.NewConfig(seed, tasks, drivers, trace.Hitchhiking)
+		tr := trace.NewGenerator(cfg).Generate(nil)
+
+		var baseRes sim.Result
+		haveBase := false
+		for _, algoKind := range routers {
+			mkRouter := func() *roadnet.Router {
+				r := roadnet.NewRouterAlgo(g, roadnet.DefaultGridConfig().Box, 0, algoKind)
+				if cache > 0 {
+					r.SetCacheBound(cache)
+				}
+				return r
+			}
+			runDay := func(router *roadnet.Router) (sim.Result, error) {
+				mkt := cfg.Market
+				mkt.Dist = router.Dist
+				mkt.Batch = router
+				eng, err := sim.New(mkt, tr.Drivers, 1)
+				if err != nil {
+					return sim.Result{}, err
+				}
+				eng.SetCandidateSource(sim.NewShardedSource(shards))
+				eng.MatchWorkers = workers
+				return eng.RunBatched(tr.Tasks, window, algo), nil
+			}
+
+			var coldRes sim.Result
+			var warm *roadnet.Router
+			times := make([]float64, 0, reps)
+			for r := 0; r < reps; r++ {
+				router := mkRouter()
+				start := time.Now()
+				res, err := runDay(router)
+				if err != nil {
+					return err
+				}
+				times = append(times, time.Since(start).Seconds())
+				coldRes, warm = res, router
+			}
+			sort.Float64s(times)
+			coldSec := times[len(times)/2]
+
+			// Warm leg: the last cold rep's router keeps its populated
+			// cache; only the hit counters are zeroed between reps so
+			// the recorded hit rate describes a warm rep alone.
+			var warmRes sim.Result
+			var hitRate float64
+			times = times[:0]
+			for r := 0; r < reps; r++ {
+				warm.ResetCacheStats()
+				start := time.Now()
+				res, err := runDay(warm)
+				if err != nil {
+					return err
+				}
+				times = append(times, time.Since(start).Seconds())
+				warmRes = res
+				if r == 0 {
+					if hits, misses, _ := warm.CacheStats(); hits+misses > 0 {
+						hitRate = float64(hits) / float64(hits+misses)
+					}
+				}
+			}
+			sort.Float64s(times)
+			warmSec := times[len(times)/2]
+
+			if !reflect.DeepEqual(coldRes, warmRes) {
+				return fmt.Errorf("bench: %s day diverged between cold and warm cache at %d drivers: served %d vs %d, revenue %.9f vs %.9f — this is a bug",
+					algoKind, drivers, coldRes.Served, warmRes.Served, coldRes.Revenue, warmRes.Revenue)
+			}
+			if !haveBase {
+				baseRes, haveBase = coldRes, true
+			} else if !reflect.DeepEqual(baseRes, coldRes) {
+				return fmt.Errorf("bench: %s day diverged from the %s leg at %d drivers: served %d vs %d, revenue %.9f vs %.9f — the kernels are not bit-identical, this is a bug",
+					algoKind, routers[0], drivers, coldRes.Served, baseRes.Served, coldRes.Revenue, baseRes.Revenue)
+			}
+
+			name := fmt.Sprintf("routers/day/drivers=%d/%s", drivers, algoKind)
+			report.Results = append(report.Results, benchResult{
+				Name:    name,
+				Drivers: drivers, Tasks: tasks,
+				Source: "sharded", Shards: shards, Workers: workers,
+				Router: algoKind.String(), Metric: "network",
+				Seconds:         coldSec,
+				TasksPerSec:     float64(tasks) / coldSec,
+				ColdTasksPerSec: float64(tasks) / coldSec,
+				WarmTasksPerSec: float64(tasks) / warmSec,
+				CacheHitRate:    hitRate,
+				Served:          coldRes.Served,
+				Revenue:         coldRes.Revenue,
+			})
+			fmt.Fprintf(os.Stderr, "%-52s cold %8.0f tasks/s  warm %8.0f tasks/s  served %d\n",
+				name, float64(tasks)/coldSec, float64(tasks)/warmSec, coldRes.Served)
+		}
+	}
+
+	return writeBenchReport(out, report)
+}
+
+// routerNames renders a -router list back to its flag form.
+func routerNames(routers []roadnet.Algorithm) string {
+	names := make([]string, len(routers))
+	for i, a := range routers {
+		names[i] = a.String()
+	}
+	return strings.Join(names, ",")
+}

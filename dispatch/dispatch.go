@@ -271,6 +271,10 @@ func New(m Market, opts ...Option) (*Service, error) {
 			return nil, rerr
 		}
 		mkt.Dist = router.Dist
+		// The router's one-to-many queries are bitwise equal to looped
+		// Dist calls, so the engine may batch candidate scoring through
+		// it without perturbing a single decision.
+		mkt.Batch = router
 	}
 
 	s := &Service{

@@ -83,6 +83,97 @@ func TestWithRoadNetworkShardWorkerIdentity(t *testing.T) {
 	}
 }
 
+// TestWithRoadNetworkAlgoIdentity: the routing kernel must be invisible
+// in the books. Full trace replays — instant and batched, across shard
+// and match-worker counts, under churn — settle bit-identically whether
+// the router runs contraction hierarchies or landmark A*, because both
+// kernels return bitwise-equal distances (and the CH one-to-many batch
+// path is bitwise-equal to looped lookups).
+func TestWithRoadNetworkAlgoIdentity(t *testing.T) {
+	cfg := trace.NewConfig(89, 100, 50, trace.Hitchhiking)
+	tr := trace.NewGenerator(cfg).Generate(nil)
+	tr.Events = trace.WithChurn(tr, trace.DefaultChurn(7, 0.3, 0.25))
+
+	for _, batched := range []bool{false, true} {
+		var want *sim.Result
+		for _, algo := range []string{"ch", "alt"} {
+			for _, sw := range [][2]int{{1, 1}, {2, 2}, {4, 4}} {
+				shards, workers := sw[0], sw[1]
+				name := fmt.Sprintf("batched-%v-%s-shards-%d-workers-%d", batched, algo, shards, workers)
+				opts := []Option{WithSeed(5), WithRoadNetwork(RoadNetwork{Rows: 12, Cols: 14, Algo: algo})}
+				if batched {
+					opts = append(opts, WithBatching(45, Hungarian))
+				}
+				if shards > 1 {
+					opts = append(opts, WithShards(shards))
+				}
+				if workers > 1 {
+					opts = append(opts, WithMatchWorkers(workers))
+				}
+				got := settleTrace(t, tr, opts...)
+				if want == nil {
+					want = got
+					if got.Served == 0 {
+						t.Fatalf("%s: degenerate baseline: nothing served", name)
+					}
+					continue
+				}
+				if !reflect.DeepEqual(want, got) {
+					t.Fatalf("%s diverged from the ch baseline: served %d vs %d, revenue %.9f vs %.9f — this is a bug",
+						name, got.Served, want.Served, got.Revenue, want.Revenue)
+				}
+			}
+		}
+	}
+}
+
+// TestDurableRoadNetworkAlgoRestore: the Algo choice is journaled and
+// survives a crash, and an ALT day restored mid-flight still settles
+// bit-identical to an uninterrupted CH day — kernel and crash recovery
+// are both invisible.
+func TestDurableRoadNetworkAlgoRestore(t *testing.T) {
+	cfg := trace.NewConfig(97, 80, 30, trace.Hitchhiking)
+	tr := trace.NewGenerator(cfg).Generate(nil)
+	market, feed := durFeed(tr)
+
+	ref, err := New(market, WithSeed(7), WithBatching(45, Hungarian),
+		WithRoadNetwork(RoadNetwork{Rows: 12, Cols: 14, Seed: 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	applyFeed(t, ref, tr, feed)
+	if _, err := ref.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	rn := RoadNetwork{Rows: 12, Cols: 14, Seed: 2, Algo: "alt"}
+	svc, err := New(market, WithSeed(7), WithBatching(45, Hungarian), WithRoadNetwork(rn),
+		WithDurability(dir, DurFsync("interval")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := len(feed) / 2
+	applyFeed(t, svc, tr, feed[:cut])
+	svc = nil // crash: journal abandoned, nothing flushed
+
+	restored, err := Restore(dir)
+	if err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if got := restored.cfg.roadnet; got == nil || got.Algo != "alt" {
+		t.Fatalf("restored service lost the routing kernel choice: %+v", got)
+	}
+	applyFeed(t, restored, tr, feed[cut:])
+	if _, err := restored.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ref.final, restored.final) {
+		t.Fatalf("alt restore settled differently from uninterrupted ch day (served %d vs %d, revenue %.9f vs %.9f)",
+			restored.final.Served, ref.final.Served, restored.final.Revenue, ref.final.Revenue)
+	}
+}
+
 // TestWithDistanceFunc: an arbitrary metric is honored (an inflated
 // crow-fly changes the books) but refuses to combine with durability.
 func TestWithDistanceFunc(t *testing.T) {
@@ -115,6 +206,8 @@ func TestRoadNetworkOptionValidation(t *testing.T) {
 		{Cols: 1},
 		{Rows: -3, Cols: 10},
 		{CacheEntries: -1},
+		{Algo: "dijkstra"},
+		{Algo: "CH"}, // case-sensitive: the journaled string is canonical
 	}
 	for _, rn := range bad {
 		if _, err := New(Market{}, WithRoadNetwork(rn)); !errors.Is(err, ErrInvalidOption) {

@@ -157,6 +157,18 @@ func ValidateEvents(events []MarketEvent, drivers []Driver, tasks []Task) error 
 	return nil
 }
 
+// DistanceBatcher answers many distance queries sharing one endpoint in
+// a single call. Implementations must return element-for-element
+// bitwise the same values the Dist function would: DistManyInto[i] ==
+// Dist(origin, targets[i]) and DistManyToInto[i] == Dist(sources[i],
+// dest). (The two shapes are distinct because float addition is not
+// associative; a shared computation must sit on the side the pairs
+// share.) roadnet.Router implements it over contraction hierarchies.
+type DistanceBatcher interface {
+	DistManyInto(origin geo.Point, targets []geo.Point, out []float64)
+	DistManyToInto(sources []geo.Point, dest geo.Point, out []float64)
+}
+
 // Market holds the market-wide physical and economic constants used to
 // estimate travel times and costs (§III-B). The zero value is not usable;
 // construct with DefaultMarket or fill every field.
@@ -165,6 +177,13 @@ type Market struct {
 	// estimates travel distances between task endpoints; we default to
 	// the equirectangular approximation at city scale.
 	Dist geo.DistanceFunc
+
+	// Batch optionally accelerates candidate scoring: when non-nil it
+	// must agree bitwise with Dist (see DistanceBatcher), and the
+	// engine routes shared-endpoint distance batches through it. Nil is
+	// always correct — consumers fall back to per-pair Dist calls — so
+	// arbitrary WithDistanceFunc metrics keep working unchanged.
+	Batch DistanceBatcher
 
 	// SpeedKmh is the estimated average driving speed used to convert
 	// distances into travel times.
@@ -202,15 +221,29 @@ func (m Market) Validate() error {
 // TravelTime returns the estimated time in seconds for a driver with the
 // given speed override (0 = market default) to drive from a to b.
 func (m Market) TravelTime(a, b geo.Point, speedKmh float64) float64 {
+	return m.TravelTimeKm(m.Dist(a, b), speedKmh)
+}
+
+// TravelTimeKm converts an already-computed distance to seconds with
+// the given speed override (0 = market default). Batched scoring paths
+// obtain km from Batch and must convert it through exactly the float
+// operations TravelTime performs.
+func (m Market) TravelTimeKm(km, speedKmh float64) float64 {
 	if speedKmh <= 0 {
 		speedKmh = m.SpeedKmh
 	}
-	return m.Dist(a, b) / speedKmh * 3600
+	return km / speedKmh * 3600
 }
 
 // TravelCost returns the estimated monetary cost of driving from a to b.
 func (m Market) TravelCost(a, b geo.Point) float64 {
-	return m.Dist(a, b) * m.GasPerKm
+	return m.TravelCostKm(m.Dist(a, b))
+}
+
+// TravelCostKm converts an already-computed distance to money,
+// mirroring TravelCost's float operations (see TravelTimeKm).
+func (m Market) TravelCostKm(km float64) float64 {
+	return km * m.GasPerKm
 }
 
 // DriverTravelTime returns the travel time for driver d from a to b,

@@ -8,9 +8,33 @@ import (
 	"repro/internal/geo"
 )
 
+// Algorithm selects the Router's point-to-point routing kernel. Both
+// kernels return bitwise-identical distances (the differential tests
+// enforce it), so the choice is purely a speed/preprocessing trade.
+type Algorithm int
+
+const (
+	// AlgoCH routes over a contraction hierarchy: heavier
+	// preprocessing, much faster queries, and one-to-many batching
+	// (DistMany). The default.
+	AlgoCH Algorithm = iota
+	// AlgoALT routes with landmark-accelerated A*: light
+	// preprocessing, per-pair queries only.
+	AlgoALT
+)
+
+// String implements fmt.Stringer for bench/CLI labels.
+func (a Algorithm) String() string {
+	if a == AlgoALT {
+		return "alt"
+	}
+	return "ch"
+}
+
 // Router adapts a road graph to the framework's geo.DistanceFunc
 // contract: Dist(a, b) snaps both points to their nearest intersections,
-// routes between them with landmark-accelerated A*, and adds the
+// routes between them with the configured kernel (contraction-hierarchy
+// query by default, landmark-accelerated A* for AlgoALT), and adds the
 // straight-line access legs. Route results are memoized in a bounded,
 // sharded cache with per-key inflight de-duplication, so the O(M²)
 // task-map construction and 50k-driver dispatch days pay each route
@@ -26,8 +50,10 @@ import (
 //
 // Router is safe for concurrent use.
 type Router struct {
-	g  *Graph
-	lm *Landmarks
+	g    *Graph
+	algo Algorithm
+	lm   *Landmarks // ALT kernel state (nil under AlgoCH)
+	ch   *Hierarchy // CH kernel state (nil under AlgoALT)
 
 	// snap index: grid buckets of node ids.
 	grid    *geo.Grid
@@ -74,16 +100,24 @@ type routeCall struct {
 	d    float64
 }
 
-// NewRouter builds a router over the graph, indexing nodes into an
-// s x s snap grid covering box and precomputing ALT landmarks. The
-// route cache holds up to DefaultCacheEntries routes; tune with
-// SetCacheBound before use.
+// NewRouter builds a contraction-hierarchy router over the graph,
+// indexing nodes into an s x s snap grid covering box. The route cache
+// holds up to DefaultCacheEntries routes; tune with SetCacheBound
+// before use.
 func NewRouter(g *Graph, box geo.BoundingBox, s int) *Router {
+	return NewRouterAlgo(g, box, s, AlgoCH)
+}
+
+// NewRouterAlgo is NewRouter with an explicit routing kernel: AlgoCH
+// preprocesses a contraction hierarchy, AlgoALT precomputes ALT
+// landmarks. Both yield bitwise-identical distances.
+func NewRouterAlgo(g *Graph, box geo.BoundingBox, s int, algo Algorithm) *Router {
 	if s < 1 {
 		s = 8
 	}
 	r := &Router{
 		g:    g,
+		algo: algo,
 		grid: geo.NewGrid(box, s, s),
 	}
 	r.maxPerShard = ceilDiv(DefaultCacheEntries, routeCacheShards)
@@ -94,9 +128,16 @@ func NewRouter(g *Graph, box geo.BoundingBox, s int) *Router {
 		c := r.grid.CellOf(g.Point(id))
 		r.buckets[c] = append(r.buckets[c], int32(id))
 	}
-	r.lm = NewLandmarks(g, g.SelectLandmarks(defaultLandmarks))
+	if algo == AlgoALT {
+		r.lm = NewLandmarks(g, g.SelectLandmarks(defaultLandmarks))
+	} else {
+		r.ch = BuildHierarchy(g)
+	}
 	return r
 }
+
+// Algo reports which routing kernel the router was built with.
+func (r *Router) Algo() Algorithm { return r.algo }
 
 // SetCacheBound caps the route cache at roughly maxEntries memoized
 // node pairs (rounded up to a multiple of the shard count; at least one
@@ -199,9 +240,28 @@ func (r *Router) shard(key [2]int32) *routeShard {
 
 // nodeDist returns the cached network distance between two
 // intersections, computing it at most once per key: concurrent misses
-// coalesce onto a single in-flight A* (counted as one miss; the waiters
-// count as hits, like any lookup served without a route computation).
+// coalesce onto a single in-flight route computation (counted as one
+// miss; the waiters count as hits, like any lookup served without a
+// route computation).
 func (r *Router) nodeDist(u, v int32) float64 {
+	return r.nodeDistVia(u, v, nil)
+}
+
+// routeNodes is the router's default point-to-point kernel.
+func (r *Router) routeNodes(u, v int32) float64 {
+	if r.ch != nil {
+		return r.ch.Query(int(u), int(v))
+	}
+	d, _ := r.g.AStarALT(r.lm, int(u), int(v))
+	return d
+}
+
+// nodeDistVia is nodeDist with a pluggable kernel: when compute is
+// non-nil it replaces routeNodes for this key's (single) computation.
+// The batched one-to-many queries pass a closure that probes a shared
+// half-search, so batch lookups keep the exact cache semantics — and
+// hit/miss accounting — of looped per-pair lookups.
+func (r *Router) nodeDistVia(u, v int32, compute func() float64) float64 {
 	key := [2]int32{u, v}
 	s := r.shard(key)
 	s.mu.Lock()
@@ -224,7 +284,11 @@ func (r *Router) nodeDist(u, v int32) float64 {
 	s.mu.Unlock()
 
 	r.misses.Add(1)
-	c.d, _ = r.g.AStarALT(r.lm, int(u), int(v))
+	if compute != nil {
+		c.d = compute()
+	} else {
+		c.d = r.routeNodes(u, v)
+	}
 	close(c.done)
 
 	s.mu.Lock()
@@ -257,6 +321,15 @@ func (r *Router) CacheSize() int {
 	return n
 }
 
+// ResetCacheStats zeroes the hit/miss/eviction counters. The memoized
+// routes themselves are kept — benches call this between legs (and
+// around Circuity sampling) so each leg reports its own rates.
+func (r *Router) ResetCacheStats() {
+	r.hits.Store(0)
+	r.misses.Store(0)
+	r.evictions.Store(0)
+}
+
 // CacheStats returns the route cache's lifetime hit, miss, and eviction
 // counters. Hits are lookups served without running a route computation
 // (including waiters coalesced onto another goroutine's in-flight
@@ -264,6 +337,107 @@ func (r *Router) CacheSize() int {
 // dropped to honor the cache bound.
 func (r *Router) CacheStats() (hits, misses, evictions uint64) {
 	return r.hits.Load(), r.misses.Load(), r.evictions.Load()
+}
+
+// DistMany returns the network distances from origin to every target:
+// element i is bitwise equal to Dist(origin, targets[i]). Under AlgoCH
+// the whole batch shares one forward upward search (origin's side) and
+// pays only a small bucket-probing backward search per target, so it
+// beats looped Dist once a handful of targets share the origin; under
+// AlgoALT it degrades to the loop. Cache semantics are identical to
+// looped Dist: each pair is looked up, coalesced, counted, and stored
+// exactly as a Dist call would.
+func (r *Router) DistMany(origin geo.Point, targets []geo.Point) []float64 {
+	out := make([]float64, len(targets))
+	r.DistManyInto(origin, targets, out)
+	return out
+}
+
+// DistManyInto is DistMany without the allocation; out must have at
+// least len(targets) elements.
+func (r *Router) DistManyInto(origin geo.Point, targets []geo.Point, out []float64) {
+	if len(out) < len(targets) {
+		panic("roadnet: DistManyInto out buffer too small")
+	}
+	u := r.NearestNode(origin)
+	if u < 0 || r.ch == nil {
+		for i, b := range targets {
+			out[i] = r.Dist(origin, b)
+		}
+		return
+	}
+	var sc *chScratch
+	for i, b := range targets {
+		crow := geo.Equirectangular(origin, b)
+		v := r.NearestNode(b)
+		d := geo.Equirectangular(origin, r.g.Point(u)) + geo.Equirectangular(b, r.g.Point(v))
+		if u != v {
+			if sc == nil {
+				sc = r.ch.scratch()
+				r.ch.prepareForward(sc, int32(u))
+			}
+			d += r.nodeDistVia(int32(u), int32(v), func() float64 {
+				return r.ch.probeTarget(sc, int32(v))
+			})
+		}
+		if crow > d {
+			d = crow
+		}
+		out[i] = d
+	}
+	if sc != nil {
+		r.ch.pool.Put(sc)
+	}
+}
+
+// DistManyTo is DistMany's many-to-one mirror: element i is bitwise
+// equal to Dist(sources[i], dest). (The two shapes are distinct because
+// float addition is not associative — Dist is directional down to the
+// last bit, so a shared search must sit on the side the pairs share.)
+func (r *Router) DistManyTo(sources []geo.Point, dest geo.Point) []float64 {
+	out := make([]float64, len(sources))
+	r.DistManyToInto(sources, dest, out)
+	return out
+}
+
+// DistManyToInto is DistManyTo without the allocation; out must have at
+// least len(sources) elements.
+func (r *Router) DistManyToInto(sources []geo.Point, dest geo.Point, out []float64) {
+	if len(out) < len(sources) {
+		panic("roadnet: DistManyToInto out buffer too small")
+	}
+	if len(sources) == 0 {
+		return
+	}
+	v := r.NearestNode(dest)
+	if v < 0 || r.ch == nil {
+		for i, a := range sources {
+			out[i] = r.Dist(a, dest)
+		}
+		return
+	}
+	var sc *chScratch
+	for i, a := range sources {
+		crow := geo.Equirectangular(a, dest)
+		u := r.NearestNode(a)
+		d := geo.Equirectangular(a, r.g.Point(u)) + geo.Equirectangular(dest, r.g.Point(v))
+		if u != v {
+			if sc == nil {
+				sc = r.ch.scratch()
+				r.ch.prepareBackward(sc, int32(v))
+			}
+			d += r.nodeDistVia(int32(u), int32(v), func() float64 {
+				return r.ch.probeSource(sc, int32(u))
+			})
+		}
+		if crow > d {
+			d = crow
+		}
+		out[i] = d
+	}
+	if sc != nil {
+		r.ch.pool.Put(sc)
+	}
 }
 
 // Circuity estimates the network's mean circuity (network distance over

@@ -19,11 +19,11 @@ type recordingPricer struct {
 	prices           int
 }
 
-func (p *recordingPricer) Price(t model.Task) float64           { p.prices++; return t.Price }
-func (p *recordingPricer) ObserveDemand(geo.Point, float64)     { p.demands++ }
-func (p *recordingPricer) ObserveSupply(geo.Point, float64)     { p.supplys++ }
-func (p *recordingPricer) Decay(float64)                        { p.decays++ }
-func (p *recordingPricer) Reset()                               { p.resets++ }
+func (p *recordingPricer) Price(t model.Task) float64       { p.prices++; return t.Price }
+func (p *recordingPricer) ObserveDemand(geo.Point, float64) { p.demands++ }
+func (p *recordingPricer) ObserveSupply(geo.Point, float64) { p.supplys++ }
+func (p *recordingPricer) Decay(float64)                    { p.decays++ }
+func (p *recordingPricer) Reset()                           { p.resets++ }
 
 // TestLivePricerFeedPoints pins the feed protocol: Reset once per run,
 // demand once per arrival, supply once per starting driver plus once

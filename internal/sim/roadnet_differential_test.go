@@ -11,10 +11,13 @@ import (
 // TestRoadNetworkMetricDifferential is the network-metric property
 // wall: with Market.Dist swapped from crow-fly to the roadnet router,
 // an engine day must stay bit-identical across ScanSource, GridSource
-// and ShardedSource × shards {1,2,4} × match workers {1,2,4}, under
-// churn and cancellations, for both instant and batched dispatch. The
-// router's shared cache is exercised concurrently by the match workers,
-// so this doubles as a determinism check on the singleflight path.
+// and ShardedSource × shards {1,2,4} × match workers {1,2,4} × routing
+// kernel (CH vs ALT) × batched distance hook (installed vs absent),
+// under churn and cancellations, for both instant and batched dispatch.
+// The router's shared cache is exercised concurrently by the match
+// workers, so this doubles as a determinism check on the singleflight
+// path; the batch-hook dimension pins the one-to-many scoring path to
+// the per-pair loop it replaces.
 func TestRoadNetworkMetricDifferential(t *testing.T) {
 	rcfg := roadnet.DefaultGridConfig()
 	rcfg.Rows, rcfg.Cols = 12, 14 // smaller graph, same structure — keeps the sweep fast
@@ -22,12 +25,13 @@ func TestRoadNetworkMetricDifferential(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	router := roadnet.NewRouter(g, rcfg.Box, 8)
+	chRouter := roadnet.NewRouter(g, rcfg.Box, 8)
+	altRouter := roadnet.NewRouterAlgo(g, rcfg.Box, 8, roadnet.AlgoALT)
 
 	// Generate the trace under the network metric so deadlines and
 	// prices are feasible for the distances the engine will see.
 	cfg := trace.NewConfig(59, 140, 110, trace.Hitchhiking)
-	cfg.Market.Dist = router.Dist
+	cfg.Market.Dist = chRouter.Dist
 	tr := trace.NewGenerator(cfg).Generate(nil)
 	events := trace.WithChurn(tr, trace.ChurnConfig{
 		Seed: 11, JoinFraction: 0.2, RetireFraction: 0.15, CancelFraction: 0.2,
@@ -38,21 +42,38 @@ func TestRoadNetworkMetricDifferential(t *testing.T) {
 		src     func() CandidateSource
 		shards  int
 		workers int
+		alt     bool // route with the ALT kernel instead of CH
+		batch   bool // install the one-to-many scoring hook
 	}
 	var variants []variant
-	variants = append(variants, variant{"scan", func() CandidateSource { return nil }, 0, 1})
-	variants = append(variants, variant{"grid", func() CandidateSource { return NewGridSource(nil) }, 0, 2})
+	variants = append(variants, variant{"scan", func() CandidateSource { return nil }, 0, 1, false, false})
+	variants = append(variants, variant{"scan", func() CandidateSource { return nil }, 0, 1, false, true})
+	variants = append(variants, variant{"scan", func() CandidateSource { return nil }, 0, 1, true, false})
+	variants = append(variants, variant{"grid", func() CandidateSource { return NewGridSource(nil) }, 0, 2, false, true})
+	variants = append(variants, variant{"grid", func() CandidateSource { return NewGridSource(nil) }, 0, 2, true, false})
 	for _, s := range []int{1, 2, 4} {
 		for _, w := range []int{1, 2, 4} {
 			s, w := s, w
 			variants = append(variants, variant{
-				"sharded", func() CandidateSource { return NewShardedSource(s) }, s, w,
+				"sharded", func() CandidateSource { return NewShardedSource(s) }, s, w, false, true,
+			})
+			variants = append(variants, variant{
+				"sharded", func() CandidateSource { return NewShardedSource(s) }, s, w, true, false,
 			})
 		}
 	}
 
 	run := func(v variant, batched bool) Result {
-		eng, err := New(cfg.Market, tr.Drivers, 1)
+		market := cfg.Market
+		router := chRouter
+		if v.alt {
+			router = altRouter
+		}
+		market.Dist = router.Dist
+		if v.batch {
+			market.Batch = router
+		}
+		eng, err := New(market, tr.Drivers, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -71,13 +92,13 @@ func TestRoadNetworkMetricDifferential(t *testing.T) {
 		}
 		for _, v := range variants[1:] {
 			if got := run(v, batched); !reflect.DeepEqual(want, got) {
-				t.Errorf("batched=%v: %s(shards=%d,workers=%d) diverges from scan under network metric: served %d vs %d, revenue %.9f vs %.9f — this is a bug",
-					batched, v.name, v.shards, v.workers, got.Served, want.Served, got.Revenue, want.Revenue)
+				t.Errorf("batched=%v: %s(shards=%d,workers=%d,alt=%v,batch=%v) diverges from scan under network metric: served %d vs %d, revenue %.9f vs %.9f — this is a bug",
+					batched, v.name, v.shards, v.workers, v.alt, v.batch, got.Served, want.Served, got.Revenue, want.Revenue)
 			}
 		}
 	}
 
-	if hits, misses, _ := router.CacheStats(); hits == 0 || misses == 0 {
+	if hits, misses, _ := chRouter.CacheStats(); hits == 0 || misses == 0 {
 		t.Errorf("route cache never exercised (hits=%d misses=%d); the network metric was not on the hot path", hits, misses)
 	}
 }

@@ -70,6 +70,7 @@ type ShardedSource struct {
 	heads  []int         // merge scratch
 	ids    [][]int       // per-zone query scratch
 	out    [][]Candidate // per-zone candidate scratch
+	dbs    []distBatch   // per-zone scoring scratch (shards run concurrently)
 }
 
 type rect struct{ minLat, maxLat, minLon, maxLon float64 }
@@ -149,6 +150,7 @@ func (s *ShardedSource) Bind(e *Engine) {
 	s.heads = make([]int, nz)
 	s.ids = make([][]int, nz)
 	s.out = make([][]Candidate, nz)
+	s.dbs = make([]distBatch, nz)
 }
 
 // insert places driver i into the shard owning her current location.
@@ -308,12 +310,7 @@ func (s *ShardedSource) queryShard(z int, task model.Task, now, minRetire, servi
 	s.idx[z].NearReachable(task.Source, s.maxSpeed, task.StartBy, now, minRetire,
 		func(id int) { ids = append(ids, id) })
 	slices.Sort(ids)
-	out := s.out[z][:0]
-	for _, i := range ids {
-		if c, ok := s.e.candidateFor(i, task, now, service, serviceCost); ok {
-			out = append(out, c)
-		}
-	}
+	out := s.e.scoreCandidates(&s.dbs[z], ids, task, now, service, serviceCost, s.out[z][:0])
 	s.ids[z], s.out[z] = ids, out
 }
 

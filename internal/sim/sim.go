@@ -191,6 +191,8 @@ type Engine struct {
 
 	states     []driverState
 	present    []bool // false: not yet joined, or retired
+	allIDs     []int  // 0..len(Drivers)-1, the linear scan's id list
+	db         distBatch
 	rng        *rand.Rand
 	seed       int64           // the seed rng was constructed from
 	rngSrc     *countingSource // rng's underlying source, counting draws
@@ -378,28 +380,47 @@ func (e *Engine) settle(res *Result) {
 // candidates computes the feasible driver set for the task when the
 // dispatch decision is made at time now (== task.Publish for instant
 // dispatch; later for batched dispatch), appending into buf. It is the
-// exact linear scan that ScanSource exposes.
+// exact linear scan that ScanSource exposes, batching shared-endpoint
+// distances through Market.Batch when one is installed.
 func (e *Engine) candidates(task model.Task, now float64, buf []Candidate) []Candidate {
 	service := e.Market.TravelTime(task.Source, task.Dest, 0)
 	serviceCost := e.Market.ServiceCost(task)
-	for i := range e.Drivers {
-		if c, ok := e.candidateFor(i, task, now, service, serviceCost); ok {
-			buf = append(buf, c)
+	if cap(e.allIDs) < len(e.Drivers) {
+		e.allIDs = make([]int, len(e.Drivers))
+		for i := range e.allIDs {
+			e.allIDs[i] = i
 		}
 	}
-	return buf
+	return e.scoreCandidates(&e.db, e.allIDs[:len(e.Drivers)], task, now, service, serviceCost, buf)
 }
 
 // candidateFor runs the exact feasibility checks of Algorithms 3–4 for
 // one driver; service and serviceCost are the task-only terms hoisted out
-// of the per-driver loop.
+// of the per-driver loop. It is the per-pair composition of
+// pickupArrival and finishCandidate — the batched scoring path
+// (scoreCandidates) runs the same two stages over whole candidate sets
+// with the distances computed in shared-endpoint batches, and must stay
+// value-identical to this function.
 func (e *Engine) candidateFor(i int, task model.Task, now, service, serviceCost float64) (Candidate, bool) {
 	if !e.present[i] {
 		return Candidate{}, false // not yet joined, or retired
 	}
+	pickupKm := e.Market.Dist(e.states[i].loc, task.Source)
+	arrival, ok := e.pickupArrival(i, task, now, pickupKm)
+	if !ok {
+		return Candidate{}, false
+	}
+	homeKm := e.Market.Dist(task.Dest, e.Drivers[i].Dest)
+	return e.finishCandidate(i, task, service, serviceCost, arrival, pickupKm, homeKm)
+}
+
+// pickupArrival computes when driver i would reach the pickup (given
+// the already-computed distance from her location to it) and checks the
+// pickup-deadline clause. The second return is false when she cannot
+// make the pickup.
+func (e *Engine) pickupArrival(i int, task model.Task, now, pickupKm float64) (float64, bool) {
 	drv := e.Drivers[i]
 	st := &e.states[i]
-	loc := st.loc
 
 	depart := st.freeAt
 	if depart < now && st.ntasks > 0 {
@@ -417,10 +438,20 @@ func (e *Engine) candidateFor(i int, task model.Task, now, service, serviceCost 
 			depart = drv.Start
 		}
 	}
-	arrival := depart + e.Market.DriverTravelTime(drv, loc, task.Source)
+	arrival := depart + e.Market.TravelTimeKm(pickupKm, drv.SpeedKmh)
 	if arrival > task.StartBy {
-		return Candidate{}, false // cannot reach the pickup by its deadline
+		return 0, false // cannot reach the pickup by its deadline
 	}
+	return arrival, true
+}
+
+// finishCandidate applies the dropoff-deadline and return-home clauses
+// and prices the margin; pickupKm and homeKm are the already-computed
+// location→pickup and dropoff→home distances.
+func (e *Engine) finishCandidate(i int, task model.Task, service, serviceCost, arrival, pickupKm, homeKm float64) (Candidate, bool) {
+	drv := e.Drivers[i]
+	st := &e.states[i]
+
 	finish := arrival + service
 	if finish > task.EndBy {
 		return Candidate{}, false // cannot complete by the dropoff deadline
@@ -433,15 +464,15 @@ func (e *Engine) candidateFor(i int, task model.Task, now, service, serviceCost 
 	if e.RealTime {
 		releasedAt = finish
 	}
-	if releasedAt+e.Market.DriverTravelTime(drv, task.Dest, drv.Dest) > drv.End {
+	if releasedAt+e.Market.TravelTimeKm(homeKm, drv.SpeedKmh) > drv.End {
 		return Candidate{}, false
 	}
 
 	// δ_{n,m}, Eq. (14): price minus the marginal cost of inserting
 	// the task after the driver's current plan.
-	deadhead := e.Market.TravelCost(loc, task.Source)
-	newHome := e.Market.TravelCost(task.Dest, drv.Dest)
-	oldHome := e.Market.TravelCost(loc, drv.Dest)
+	deadhead := e.Market.TravelCostKm(pickupKm)
+	newHome := e.Market.TravelCostKm(homeKm)
+	oldHome := e.Market.TravelCost(st.loc, drv.Dest)
 	margin := task.Price - (deadhead + serviceCost + newHome - oldHome)
 
 	return Candidate{Driver: i, Arrival: arrival, Margin: margin}, true

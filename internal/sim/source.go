@@ -70,6 +70,7 @@ type GridSource struct {
 	ix       *spatial.Index
 	maxSpeed float64 // fastest driver in the fleet, km/h
 	ids      []int   // query scratch
+	db       distBatch
 }
 
 var _ CandidateSource = (*GridSource)(nil)
@@ -139,12 +140,7 @@ func (s *GridSource) Candidates(task model.Task, now float64, buf []Candidate) [
 
 	service := e.Market.TravelTime(task.Source, task.Dest, 0)
 	serviceCost := e.Market.ServiceCost(task)
-	for _, i := range s.ids {
-		if c, ok := e.candidateFor(i, task, now, service, serviceCost); ok {
-			buf = append(buf, c)
-		}
-	}
-	return buf
+	return e.scoreCandidates(&s.db, s.ids, task, now, service, serviceCost, buf)
 }
 
 // Moved implements CandidateSource.

@@ -38,18 +38,26 @@
 #     must settle the in-memory books — the suite doubles as a
 #     crash-replay differential at bench scale.
 #   BENCH_9.json — the road-network trajectory: the same batched day
-#     under crow-fly vs street-graph shortest paths (the ALT router
-#     with its singleflight route cache) vs network distances with a
+#     under crow-fly vs street-graph shortest paths (the default CH
+#     router with its singleflight route cache) vs network distances with a
 #     live surge pricer on an airport-spiked trace. Each leg sweeps
 #     shard × match-worker configurations that must stay bit-identical,
 #     and the harness enforces measured circuity in [1.1, 1.6] and a
 #     ≥ 90% route-cache hit rate on the largest fleet.
+#   BENCH_10.json — the routing-kernel trajectory: contraction
+#     hierarchies vs the landmark-A* kernel on the default Porto grid.
+#     Per kernel: preprocessing seconds, cold point-to-point queries/sec
+#     (with speedup_vs_alt), the one-to-many batch API vs a looped Dist
+#     on 15-target candidate sets, and the same batched day on a cold vs
+#     warm route cache. The harness enforces CH ≥ 5× ALT on cold
+#     point-to-point, a > 1× one-to-many speedup, and bit-identical
+#     books across kernels and cache temperatures.
 #
 # All are machine-readable JSON so perf changes diff against a fixed
 # trajectory.
 #
 # Usage: scripts/bench.sh [extra `rideshare bench` flags]
-# Output: BENCH_2.json through BENCH_9.json at the repository root.
+# Output: BENCH_2.json through BENCH_10.json at the repository root.
 #
 # Extra flags apply to the dispatch run only — forwarding them to the
 # streaming runs too would let a user -out/-shards override clobber the
@@ -64,4 +72,5 @@ go run ./cmd/rideshare bench -windows -tasks 12000 -batch-window 300 -shards 4 -
 go run ./cmd/rideshare bench -windows -maxprocs 1,2,4,0 -tasks 12000 -batch-window 300 -shards 4 -out BENCH_6.json
 go run ./cmd/rideshare bench -oracle -tasks 12000 -batch-window 60 -match-workers 4 -out BENCH_7.json
 go run ./cmd/rideshare bench -durable -out BENCH_8.json
-exec go run ./cmd/rideshare bench -roadnet -out BENCH_9.json
+go run ./cmd/rideshare bench -roadnet -out BENCH_9.json
+exec go run ./cmd/rideshare bench -roadnet -router alt,ch -out BENCH_10.json
